@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of every BFV evaluator operation — the
+//! measured backing for Quill's latency model (the paper's SEAL profiling,
+//! §4.2).
+
+use bfv::encoding::BatchEncoder;
+use bfv::encrypt::Encryptor;
+use bfv::evaluator::Evaluator;
+use bfv::keys::KeyGenerator;
+use bfv::params::{BfvContext, BfvParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn he_ops(c: &mut Criterion) {
+    let ctx = BfvContext::new(BfvParams::fast_4096()).expect("valid parameters");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let encoder = BatchEncoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let rk = keygen.relin_key(&mut rng);
+    let gk = keygen.galois_keys_for_rotations(&[1], false, &mut rng);
+
+    let data: Vec<u64> = (0..encoder.slot_count() as u64).collect();
+    let pt = encoder.encode(&data);
+    let a = encryptor.encrypt(&pt, &mut rng);
+    let b = encryptor.encrypt(&pt, &mut rng);
+
+    let mut group = c.benchmark_group("he_ops_n4096");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("add_ct_ct", |bch| bch.iter(|| ev.add(&a, &b)));
+    group.bench_function("sub_ct_ct", |bch| bch.iter(|| ev.sub(&a, &b)));
+    group.bench_function("add_ct_pt", |bch| bch.iter(|| ev.add_plain(&a, &pt)));
+    group.bench_function("mul_ct_pt", |bch| bch.iter(|| ev.mul_plain(&a, &pt)));
+    group.bench_function("rotate_rows", |bch| {
+        bch.iter(|| ev.rotate_rows(&a, 1, &gk))
+    });
+    group.bench_function("mul_ct_ct_relin", |bch| {
+        bch.iter(|| ev.multiply_relin(&a, &b, &rk))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, he_ops);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of baseline vs synthesized kernels on the BFV
+//! backend — the per-kernel measurements behind Figure 4 (the
+//! `fig4_speedup` binary prints the summary table; this bench gives
+//! statistically grounded per-version numbers).
+
+use bfv::encoding::Plaintext;
+use bfv::encrypt::{Ciphertext, Encryptor};
+use bfv::keys::KeyGenerator;
+use bfv::params::{BfvContext, BfvParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::codegen::BfvRunner;
+use porcupine_kernels::all_direct;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn kernel_latency(c: &mut Criterion) {
+    let ctx = BfvContext::new(BfvParams::fast_4096()).expect("valid parameters");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let options = SynthesisOptions {
+        timeout: Duration::from_secs(60),
+        ..SynthesisOptions::default()
+    };
+
+    // Keep the bench suite's wall-clock sane: the three headline kernels.
+    for k in all_direct()
+        .into_iter()
+        .filter(|k| ["box-blur", "gx", "dot-product"].contains(&k.name))
+    {
+        let synth = synthesize(&k.spec, &k.sketch, &options)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name))
+            .program;
+        let programs = [&k.baseline, &synth];
+        let runner = BfvRunner::for_programs(&ctx, &keygen, &programs, &mut rng);
+        let encoder = runner.encoder();
+
+        let ct_model: Vec<Vec<u64>> = (0..k.spec.num_ct_inputs)
+            .map(|_| (0..k.spec.n).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        let pt_model: Vec<Vec<u64>> = (0..k.spec.num_pt_inputs)
+            .map(|_| (0..k.spec.n).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        let cts: Vec<Ciphertext> = ct_model
+            .iter()
+            .map(|v| encryptor.encrypt(&encoder.encode(v), &mut rng))
+            .collect();
+        let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
+        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
+        let pt_refs: Vec<&Plaintext> = pts.iter().collect();
+
+        let mut group = c.benchmark_group(k.name);
+        group.sample_size(10).measurement_time(Duration::from_secs(5));
+        group.bench_function("baseline", |b| {
+            b.iter(|| runner.run(&k.baseline, &ct_refs, &pt_refs))
+        });
+        group.bench_function("synthesized", |b| {
+            b.iter(|| runner.run(&synth, &ct_refs, &pt_refs))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, kernel_latency);
+criterion_main!(benches);

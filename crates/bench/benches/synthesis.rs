@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the synthesis engine itself (Table 3's
+//! time-to-solution, for the fast kernels where statistical repetition is
+//! affordable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine_kernels::{pointwise, reduction, stencil};
+use std::time::Duration;
+
+fn synthesis_time(c: &mut Criterion) {
+    let options = SynthesisOptions {
+        timeout: Duration::from_secs(60),
+        ..SynthesisOptions::default()
+    };
+    let img = stencil::default_image();
+    let kernels = vec![
+        stencil::box_blur(img),
+        reduction::dot_product(8),
+        reduction::hamming_distance(4),
+        pointwise::linear_regression(8),
+        pointwise::polynomial_regression(8),
+    ];
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for k in kernels {
+        group.bench_function(k.name, |b| {
+            b.iter(|| synthesize(&k.spec, &k.sketch, &options).expect("synthesizes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, synthesis_time);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates the **Figure 5 / Figure 6** case studies: prints the
+//! synthesized and baseline box blur and Gx kernels side by side, with the
+//! optimization analysis of §7.3 (separable-filter discovery, multiply-by-2
+//! as addition), plus the emitted SEAL-style C++ (Figure 3f).
+//!
+//! ```text
+//! cargo run -p porcupine-bench --release --bin case_studies
+//! ```
+
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::codegen::emit_seal_cpp;
+use porcupine_kernels::stencil;
+use quill::cost::{cost, LatencyModel};
+
+fn main() {
+    let options = SynthesisOptions::default();
+    let model = LatencyModel::profiled_default();
+    let img = stencil::default_image();
+
+    for k in [stencil::box_blur(img), stencil::gx(img)] {
+        let r = synthesize(&k.spec, &k.sketch, &options)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
+        println!("================= {} =================", k.name);
+        println!(
+            "baseline:    {:>2} instructions, logic depth {}, mult depth {}, cost {:.0}",
+            k.baseline.len(),
+            k.baseline.logic_depth(),
+            k.baseline.mult_depth(),
+            cost(&k.baseline, &model),
+        );
+        println!(
+            "synthesized: {:>2} instructions, logic depth {}, mult depth {}, cost {:.0}",
+            r.program.len(),
+            r.program.logic_depth(),
+            r.program.mult_depth(),
+            cost(&r.program, &model),
+        );
+        println!("\n--- baseline (depth-minimized, Figure 5b/6b style) ---");
+        print!("{}", k.baseline);
+        println!("\n--- synthesized (Figure 5a/6a style) ---");
+        print!("{}", r.program);
+        println!("\n--- generated SEAL C++ (Figure 3f) ---");
+        print!("{}", emit_seal_cpp(&r.program));
+        println!();
+    }
+    println!(
+        "§7.3 analysis: the synthesized kernels decompose the 2-D stencils into\n\
+         two 1-D passes (separable filters), reusing partial sums — fewer\n\
+         instructions at slightly higher logic depth, which the noise model\n\
+         (multiplicative depth) shows is free."
+    );
+}

@@ -1,0 +1,170 @@
+//! Regenerates **Figure 4**: run-time speedup of Porcupine-synthesized
+//! kernels over the hand-written depth-minimized baselines, measured on the
+//! in-repo BFV backend, plus the §7.2 multi-step applications (Sobel,
+//! Harris). Every run is checked against the plaintext reference before
+//! being timed.
+//!
+//! ```text
+//! cargo run -p porcupine-bench --release --bin fig4_speedup [runs] [synth_timeout_s] [--secure]
+//! ```
+//!
+//! Defaults: 10 timed runs per version over the `fast_4096` parameter set;
+//! `--secure` switches to the paper-faithful `N = 8192`, 128-bit-secure set
+//! (slower). The paper reports up to 51% speedup, 11% geometric mean.
+
+use bfv::encoding::Plaintext;
+use bfv::encrypt::{Ciphertext, Decryptor, Encryptor};
+use bfv::keys::KeyGenerator;
+use bfv::params::{BfvContext, BfvParams};
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::codegen::BfvRunner;
+use porcupine::spec::KernelSpec;
+use porcupine_kernels::{all_direct, composite, stencil};
+use quill::program::Program;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+struct Workload {
+    name: String,
+    spec: KernelSpec,
+    baseline: Program,
+    synthesized: Program,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let synth_timeout: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let secure = args.iter().any(|a| a == "--secure");
+
+    let params = if secure {
+        BfvParams::secure_128()
+    } else {
+        BfvParams::fast_4096()
+    };
+    println!(
+        "# Figure 4: kernel speedups (N={}, {} runs/version, synthesis timeout {synth_timeout}s)",
+        params.poly_degree, runs
+    );
+    let ctx = BfvContext::new(params).expect("valid parameters");
+    let options = SynthesisOptions {
+        timeout: Duration::from_secs(synth_timeout),
+        ..SynthesisOptions::default()
+    };
+
+    // --- Synthesize all kernels and build the workload list. -------------
+    let mut workloads: Vec<Workload> = Vec::new();
+    let mut by_name: std::collections::HashMap<&str, Program> = Default::default();
+    for k in all_direct() {
+        let r = synthesize(&k.spec, &k.sketch, &options)
+            .unwrap_or_else(|e| panic!("{} failed to synthesize: {e}", k.name));
+        by_name.insert(k.name, r.program.clone());
+        workloads.push(Workload {
+            name: k.name.to_string(),
+            spec: k.spec,
+            baseline: k.baseline,
+            synthesized: r.program,
+        });
+    }
+    let img = stencil::default_image();
+    let combine = composite::sobel_combine(img.slots());
+    let det = composite::harris_det(img.slots());
+    let trace = composite::harris_trace(img.slots());
+    let combine_p = synthesize(&combine.spec, &combine.sketch, &options).unwrap().program;
+    let det_p = synthesize(&det.spec, &det.sketch, &options).unwrap().program;
+    let trace_p = synthesize(&trace.spec, &trace.sketch, &options).unwrap().program;
+    workloads.push(Workload {
+        name: "sobel (multi-step)".into(),
+        spec: composite::sobel_spec(img),
+        baseline: composite::sobel_baseline(img),
+        synthesized: composite::sobel_from(&by_name["gx"], &by_name["gy"], &combine_p),
+    });
+    workloads.push(Workload {
+        name: "harris (multi-step)".into(),
+        spec: composite::harris_spec(img),
+        baseline: composite::harris_baseline(img),
+        synthesized: composite::harris_from(&composite::HarrisStages {
+            gx: by_name["gx"].clone(),
+            gy: by_name["gy"].clone(),
+            blur: by_name["box-blur"].clone(),
+            det: det_p,
+            trace: trace_p,
+        }),
+    });
+
+    // --- Time every workload. --------------------------------------------
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "kernel", "baseline(ms)", "synth(ms)", "speedup%"
+    );
+    let mut ratios = Vec::new();
+    for w in &workloads {
+        let programs = [&w.baseline, &w.synthesized];
+        let runner = BfvRunner::for_programs(&ctx, &keygen, &programs, &mut rng);
+        let t = w.spec.t;
+
+        // Random model inputs (valid region), zero padding elsewhere.
+        let ct_model: Vec<Vec<u64>> = (0..w.spec.num_ct_inputs)
+            .map(|_| (0..w.spec.n).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        let pt_model: Vec<Vec<u64>> = (0..w.spec.num_pt_inputs)
+            .map(|_| (0..w.spec.n).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        let expected = w.spec.eval_concrete(&ct_model, &pt_model);
+
+        let encoder = runner.encoder();
+        let cts: Vec<Ciphertext> = ct_model
+            .iter()
+            .map(|v| encryptor.encrypt(&encoder.encode(v), &mut rng))
+            .collect();
+        let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
+        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
+        let pt_refs: Vec<&Plaintext> = pts.iter().collect();
+
+        let mut times = [Vec::new(), Vec::new()];
+        for (vi, prog) in programs.iter().enumerate() {
+            // correctness check once per version
+            let out = runner.run(prog, &ct_refs, &pt_refs);
+            let budget = decryptor.invariant_noise_budget(&out);
+            assert!(budget > 0, "{}: noise budget exhausted ({budget})", w.name);
+            let decoded = encoder.decode(&decryptor.decrypt(&out));
+            for i in 0..w.spec.n {
+                if w.spec.output_mask[i] {
+                    assert_eq!(
+                        decoded[i], expected[i] % t,
+                        "{}: wrong result at slot {i}",
+                        w.name
+                    );
+                }
+            }
+            for _ in 0..runs {
+                let start = Instant::now();
+                std::hint::black_box(runner.run(prog, &ct_refs, &pt_refs));
+                times[vi].push(start.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        let base = median(times[0].clone());
+        let synth = median(times[1].clone());
+        let speedup = (base - synth) / base * 100.0;
+        ratios.push(base / synth);
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>9.1}",
+            w.name, base, synth, speedup
+        );
+    }
+    let geomean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    println!(
+        "\ngeometric-mean speedup: {:.1}% (paper: 11% geomean, up to 51%)",
+        (geomean.exp() - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,109 @@
+//! Profiles every Quill instruction on the BFV backend — the analogue of
+//! the paper profiling SEAL to parametrize Quill's cost model (§4.2).
+//!
+//! ```text
+//! cargo run -p porcupine-bench --release --bin profile_latency [reps]
+//! ```
+//!
+//! Paste the printed constants into
+//! `quill::cost::LatencyModel::profiled_default` when re-calibrating.
+
+use bfv::encoding::BatchEncoder;
+use bfv::encrypt::{Decryptor, Encryptor};
+use bfv::evaluator::Evaluator;
+use bfv::keys::KeyGenerator;
+use bfv::params::{BfvContext, BfvParams};
+use porcupine_bench::fmt_us;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    median(samples)
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let params = BfvParams::fast_4096();
+    println!(
+        "# HE instruction latencies: N={}, t={}, {} primes, median of {reps} reps",
+        params.poly_degree,
+        params.plain_modulus,
+        params.moduli.len()
+    );
+    let ctx = BfvContext::new(params).expect("valid parameters");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
+    let encoder = BatchEncoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let rk = keygen.relin_key(&mut rng);
+    let gk = keygen.galois_keys_for_rotations(&[1], false, &mut rng);
+
+    let data: Vec<u64> = (0..encoder.slot_count() as u64).collect();
+    let pt = encoder.encode(&data);
+    let a = encryptor.encrypt(&pt, &mut rng);
+    let b = encryptor.encrypt(&pt, &mut rng);
+
+    let add = time_us(reps, || {
+        std::hint::black_box(ev.add(&a, &b));
+    });
+    let sub = time_us(reps, || {
+        std::hint::black_box(ev.sub(&a, &b));
+    });
+    let add_pt = time_us(reps, || {
+        std::hint::black_box(ev.add_plain(&a, &pt));
+    });
+    let sub_pt = time_us(reps, || {
+        std::hint::black_box(ev.sub_plain(&a, &pt));
+    });
+    let mul_pt = time_us(reps, || {
+        std::hint::black_box(ev.mul_plain(&a, &pt));
+    });
+    let rot = time_us(reps, || {
+        std::hint::black_box(ev.rotate_rows(&a, 1, &gk));
+    });
+    let mul = time_us(reps, || {
+        std::hint::black_box(ev.multiply_relin(&a, &b, &rk));
+    });
+    let enc_t = time_us(reps, || {
+        std::hint::black_box(encryptor.encrypt(&pt, &mut rng));
+    });
+    let dec_t = time_us(reps, || {
+        std::hint::black_box(decryptor.decrypt(&a));
+    });
+
+    println!("{:<28} {}", "add-ct-ct", fmt_us(add));
+    println!("{:<28} {}", "sub-ct-ct", fmt_us(sub));
+    println!("{:<28} {}", "add-ct-pt", fmt_us(add_pt));
+    println!("{:<28} {}", "sub-ct-pt", fmt_us(sub_pt));
+    println!("{:<28} {}", "mul-ct-pt", fmt_us(mul_pt));
+    println!("{:<28} {}", "rot-ct (keyswitch)", fmt_us(rot));
+    println!("{:<28} {}", "mul-ct-ct (incl. relin)", fmt_us(mul));
+    println!("{:<28} {}", "encrypt", fmt_us(enc_t));
+    println!("{:<28} {}", "decrypt", fmt_us(dec_t));
+    println!();
+    println!("LatencyModel {{");
+    println!("    add_ct_ct: {add:.1},");
+    println!("    sub_ct_ct: {sub:.1},");
+    println!("    mul_ct_ct: {mul:.1},");
+    println!("    add_ct_pt: {add_pt:.1},");
+    println!("    sub_ct_pt: {sub_pt:.1},");
+    println!("    mul_ct_pt: {mul_pt:.1},");
+    println!("    rot_ct: {rot:.1},");
+    println!("}}");
+}

@@ -1,0 +1,86 @@
+//! Regenerates **Table 2**: instruction count and logic depth of baseline
+//! vs synthesized kernels (plus the multiplicative depth the cost model
+//! tracks).
+//!
+//! ```text
+//! cargo run -p porcupine-bench --release --bin table2_instructions [timeout_secs]
+//! ```
+
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine_kernels::{all_direct, composite, stencil};
+use quill::program::Program;
+use std::time::Duration;
+
+fn row(name: &str, baseline: &Program, synthesized: &Program) {
+    println!(
+        "{:<24} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        name,
+        baseline.len(),
+        baseline.logic_depth(),
+        baseline.mult_depth(),
+        synthesized.len(),
+        synthesized.logic_depth(),
+        synthesized.mult_depth(),
+    );
+}
+
+fn main() {
+    let timeout = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120u64);
+    let options = SynthesisOptions {
+        timeout: Duration::from_secs(timeout),
+        ..SynthesisOptions::default()
+    };
+
+    println!("# Table 2: baseline vs synthesized (instr / logic depth / mult depth)");
+    println!(
+        "{:<24} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "kernel", "b.inst", "b.dep", "b.mdep", "s.inst", "s.dep", "s.mdep"
+    );
+
+    let img = stencil::default_image();
+    let mut synthesized = std::collections::HashMap::new();
+    for k in all_direct() {
+        match synthesize(&k.spec, &k.sketch, &options) {
+            Ok(r) => {
+                row(k.name, &k.baseline, &r.program);
+                synthesized.insert(k.name, r.program);
+            }
+            Err(e) => println!("{:<24} synthesis failed: {e}", k.name),
+        }
+    }
+
+    // Multi-step applications (§7.2): Sobel and Harris composed from the
+    // synthesized kernels above.
+    let combine = composite::sobel_combine(img.slots());
+    let det = composite::harris_det(img.slots());
+    let trace = composite::harris_trace(img.slots());
+    let combine_prog = synthesize(&combine.spec, &combine.sketch, &options)
+        .expect("combine synthesizes")
+        .program;
+    let det_prog = synthesize(&det.spec, &det.sketch, &options)
+        .expect("det synthesizes")
+        .program;
+    let trace_prog = synthesize(&trace.spec, &trace.sketch, &options)
+        .expect("trace synthesizes")
+        .program;
+
+    if let (Some(gx), Some(gy), Some(blur)) = (
+        synthesized.get("gx"),
+        synthesized.get("gy"),
+        synthesized.get("box-blur"),
+    ) {
+        let sobel = composite::sobel_from(gx, gy, &combine_prog);
+        row("sobel (multi-step)", &composite::sobel_baseline(img), &sobel);
+        let harris = composite::harris_from(&composite::HarrisStages {
+            gx: gx.clone(),
+            gy: gy.clone(),
+            blur: blur.clone(),
+            det: det_prog,
+            trace: trace_prog,
+        });
+        row("harris (multi-step)", &composite::harris_baseline(img), &harris);
+    }
+}

@@ -1,0 +1,39 @@
+//! # porcupine-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7):
+//!
+//! | artifact | binary / bench |
+//! |---|---|
+//! | Figure 4 (speedups) | `fig4_speedup` |
+//! | Table 2 (instructions & depth) | `table2_instructions` |
+//! | Table 3 (synthesis time) | `table3_synthesis` |
+//! | Figures 5/6 (case studies) | `case_studies` |
+//! | §7.4 sketch ablation | `ablation_sketch` |
+//! | §6.1 rotation-restriction ablation | `ablation_rotations` |
+//! | HE op latency profile | `profile_latency`, `benches/he_ops.rs` |
+//! | Criterion kernel micro-benches | `benches/kernels.rs`, `benches/synthesis.rs` |
+//!
+//! Results are recorded in the repository's `EXPERIMENTS.md`.
+
+/// Formats a microsecond latency with a stable width for table output.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1_000_000.0 {
+        format!("{:.2} s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.2} ms", us / 1_000.0)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_latencies() {
+        assert_eq!(fmt_us(250.0), "250 µs");
+        assert_eq!(fmt_us(2_500.0), "2.50 ms");
+        assert_eq!(fmt_us(2_500_000.0), "2.50 s");
+    }
+}

@@ -1,0 +1,663 @@
+//! Arbitrary-precision unsigned (and lightly signed) integers on `u64` limbs.
+//!
+//! The BFV multiply and decrypt paths need exact integer arithmetic on values
+//! up to roughly `N * Q^2` (about 500–600 bits for the benchmark parameter
+//! sets), which is far beyond `u128`. This module provides the minimal exact
+//! big-integer kit those paths need: add/sub/cmp/mul, Knuth Algorithm D
+//! division, single-limb helpers, and bit inspection. It is deliberately not
+//! a general-purpose bignum crate — only what the cryptosystem uses, heavily
+//! tested (including property tests against `u128` ground truth).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer, little-endian `u64` limbs.
+///
+/// Invariant: no trailing zero limbs (the canonical representation of zero is
+/// an empty limb vector). All constructors and arithmetic maintain this.
+///
+/// # Examples
+///
+/// ```
+/// use bfv::bigint::BigUint;
+///
+/// let a = BigUint::from_u128(1 << 100);
+/// let b = BigUint::from_u64(3);
+/// let (q, r) = a.div_rem(&b);
+/// assert_eq!(q.mul(&b).add(&r), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut b = BigUint { limbs: vec![v] };
+        b.normalize();
+        b
+    }
+
+    /// Constructs from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut b = BigUint {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        b.normalize();
+        b
+    }
+
+    /// Constructs from little-endian limbs (trailing zeros allowed).
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut b = BigUint { limbs };
+        b.normalize();
+        b
+    }
+
+    /// Borrows the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Sum of `self` and `other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = if i < short.len() { short[i] } else { 0 };
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Adds a `u64` in place.
+    pub fn add_assign_u64(&mut self, v: u64) {
+        let mut carry = v;
+        for limb in self.limbs.iter_mut() {
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            carry = c as u64;
+            if carry == 0 {
+                return;
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "BigUint::sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = if i < other.limbs.len() { other.limbs[i] } else { 0 };
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    /// Three-way comparison (named to avoid clashing with `Ord::cmp`).
+    pub fn cmp_big(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Product of `self` and `other` (schoolbook; operands here are ≤ ~10 limbs).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Product with a single limb.
+    pub fn mul_u64(&self, v: u64) -> BigUint {
+        if v == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &a in &self.limbs {
+            let cur = (a as u128) * (v as u128) + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Left shift by `sh` bits.
+    pub fn shl_bits(&self, sh: u32) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_sh = (sh / 64) as usize;
+        let bit_sh = sh % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_sh + 1];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if bit_sh == 0 {
+                out[i + limb_sh] |= a;
+            } else {
+                out[i + limb_sh] |= a << bit_sh;
+                out[i + limb_sh + 1] |= a >> (64 - bit_sh);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by `sh` bits.
+    pub fn shr_bits(&self, sh: u32) -> BigUint {
+        let limb_sh = (sh / 64) as usize;
+        if limb_sh >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_sh = sh % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_sh);
+        for i in limb_sh..self.limbs.len() {
+            let mut v = self.limbs[i] >> bit_sh;
+            if bit_sh != 0 && i + 1 < self.limbs.len() {
+                v |= self.limbs[i + 1] << (64 - bit_sh);
+            }
+            out.push(v);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Remainder modulo a single limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "division by zero");
+        let mut rem = 0u128;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((rem << 64) | limb as u128) % (m as u128);
+        }
+        rem as u64
+    }
+
+    /// Quotient and remainder by a single limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn div_rem_u64(&self, m: u64) -> (BigUint, u64) {
+        assert!(m != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / m as u128) as u64;
+            rem = cur % m as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// Quotient and remainder (Knuth Algorithm D for multi-limb divisors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        if self.cmp_big(divisor) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+
+        // Normalize: shift so divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let mut u = self.shl_bits(shift).limbs;
+        let v = divisor.shl_bits(shift).limbs;
+        let n = v.len();
+        let m = u.len() - n;
+        u.push(0); // u has m + n + 1 limbs
+
+        let v_top = v[n - 1];
+        let v_next = v[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two limbs of the current remainder.
+            let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = num / v_top as u128;
+            let mut rhat = num % v_top as u128;
+            while qhat >> 64 != 0
+                || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+
+            // Multiply-subtract: u[j..j+n+1] -= qhat * v
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            let mut qj = qhat as u64;
+            if borrow != 0 {
+                // q̂ was one too large: add divisor back.
+                qj -= 1;
+                let mut carry2 = 0u128;
+                for i in 0..n {
+                    let s = u[j + i] as u128 + v[i] as u128 + carry2;
+                    u[j + i] = s as u64;
+                    carry2 = s >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry2 as u64);
+            }
+            q[j] = qj;
+        }
+
+        let rem = BigUint::from_limbs(u[..n].to_vec()).shr_bits(shift);
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// `round(self * num / den)` with round-half-up, exact.
+    pub fn mul_div_round(&self, num: u64, den: &BigUint) -> BigUint {
+        let scaled = self.mul_u64(num);
+        let half = den.shr_bits(1);
+        let (q, r) = scaled.div_rem(den);
+        // round half up: if 2r >= den, bump. den may be odd: compare r > half,
+        // or r == half and den even.
+        match r.cmp_big(&half) {
+            Ordering::Greater => q.add(&BigUint::one()),
+            Ordering::Equal if den.limbs[0] & 1 == 0 => q.add(&BigUint::one()),
+            _ => q,
+        }
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_u128(v)
+    }
+}
+
+/// A signed big integer: sign + magnitude, used for centered-representative
+/// arithmetic in the BFV multiply and decrypt paths.
+///
+/// # Examples
+///
+/// ```
+/// use bfv::bigint::{BigInt, BigUint};
+///
+/// let a = BigInt::from_i64(-5);
+/// let b = BigInt::from_i64(3);
+/// assert_eq!(a.add(&b), BigInt::from_i64(-2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BigInt {
+    /// True magnitude.
+    pub mag: BigUint,
+    /// Sign: `true` means negative. Zero is always non-negative.
+    pub neg: bool,
+}
+
+impl BigInt {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigInt { mag: BigUint::zero(), neg: false }
+    }
+
+    /// Constructs from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        BigInt {
+            mag: BigUint::from_u64(v.unsigned_abs()),
+            neg: v < 0,
+        }
+    }
+
+    /// Constructs a non-negative value from a `BigUint`.
+    pub fn from_biguint(mag: BigUint) -> Self {
+        BigInt { mag, neg: false }
+    }
+
+    /// Returns `true` if zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    fn canonical(mut self) -> Self {
+        if self.mag.is_zero() {
+            self.neg = false;
+        }
+        self
+    }
+
+    /// Negation.
+    pub fn negate(&self) -> BigInt {
+        BigInt { mag: self.mag.clone(), neg: !self.neg }.canonical()
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        if self.neg == other.neg {
+            BigInt { mag: self.mag.add(&other.mag), neg: self.neg }.canonical()
+        } else {
+            match self.mag.cmp_big(&other.mag) {
+                Ordering::Less => {
+                    BigInt { mag: other.mag.sub(&self.mag), neg: other.neg }.canonical()
+                }
+                _ => BigInt { mag: self.mag.sub(&other.mag), neg: self.neg }.canonical(),
+            }
+        }
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.negate())
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        BigInt {
+            mag: self.mag.mul(&other.mag),
+            neg: self.neg != other.neg,
+        }
+        .canonical()
+    }
+
+    /// `round(self * num / den)` with round-half-away-from-zero, exact.
+    pub fn mul_div_round(&self, num: u64, den: &BigUint) -> BigInt {
+        BigInt {
+            mag: self.mag.mul_div_round(num, den),
+            neg: self.neg,
+        }
+        .canonical()
+    }
+
+    /// Reduces into `[0, m)` for a single-limb modulus.
+    pub fn rem_euclid_u64(&self, m: u64) -> u64 {
+        let r = self.mag.rem_u64(m);
+        if self.neg && r != 0 {
+            m - r
+        } else {
+            r
+        }
+    }
+
+    /// Reduces into `[0, m)` for a big modulus.
+    pub fn rem_euclid_big(&self, m: &BigUint) -> BigUint {
+        let (_, r) = self.mag.div_rem(m);
+        if self.neg && !r.is_zero() {
+            m.sub(&r)
+        } else {
+            r
+        }
+    }
+}
+
+/// Interprets `x ∈ [0, q)` as a centered representative in `(-q/2, q/2]`.
+pub fn center(x: &BigUint, q: &BigUint) -> BigInt {
+    let half = q.shr_bits(1);
+    if x.cmp_big(&half) == Ordering::Greater {
+        BigInt { mag: q.sub(x), neg: true }.canonical()
+    } else {
+        BigInt::from_biguint(x.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_canonical() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(BigUint::from_limbs(vec![0, 0, 0]), BigUint::zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip_small() {
+        let a = BigUint::from_u128(u128::MAX);
+        let b = BigUint::from_u64(u64::MAX);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = BigUint::from_u64(0xdead_beef_1234_5678);
+        let b = BigUint::from_u64(0xfeed_face_8765_4321);
+        let p = a.mul(&b);
+        let expect = 0xdead_beef_1234_5678u128 * 0xfeed_face_8765_4321u128 as u128;
+        let expect = (0xdead_beef_1234_5678u128).wrapping_mul(0) + expect * 0 + {
+            (0xdead_beef_1234_5678u128) * (0xfeed_face_8765_4321u128)
+        };
+        assert_eq!(p.to_u128(), Some(expect));
+    }
+
+    #[test]
+    fn div_rem_u64_small() {
+        let a = BigUint::from_u128(12345678901234567890123456789);
+        let (q, r) = a.div_rem_u64(97);
+        assert_eq!(
+            q.mul_u64(97).add(&BigUint::from_u64(r)),
+            a
+        );
+        assert!(r < 97);
+    }
+
+    #[test]
+    fn div_rem_big_simple() {
+        let a = BigUint::from_u128(u128::MAX).mul(&BigUint::from_u128(u128::MAX));
+        let b = BigUint::from_u128(u128::MAX - 12345);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_big(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_needs_correction_step() {
+        // Constructed so the q̂ estimate is too large and the add-back path runs.
+        let b = BigUint::from_limbs(vec![0, 1, 0x8000_0000_0000_0000]);
+        let a = b.mul(&BigUint::from_limbs(vec![u64::MAX, u64::MAX])).add(&b.sub(&BigUint::one()));
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_big(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn shifts_invert() {
+        let a = BigUint::from_u128(0x1234_5678_9abc_def0_1111_2222_3333_4444);
+        for sh in [0u32, 1, 63, 64, 65, 127, 130] {
+            assert_eq!(a.shl_bits(sh).shr_bits(sh), a, "shift {sh}");
+        }
+    }
+
+    #[test]
+    fn rem_u64_agrees_with_div_rem_u64() {
+        let a = BigUint::from_limbs(vec![0x1111, 0x2222, 0x3333, 0x4444]);
+        for m in [3u64, 97, 65537, (1 << 61) - 1] {
+            assert_eq!(a.rem_u64(m), a.div_rem_u64(m).1);
+        }
+    }
+
+    #[test]
+    fn mul_div_round_exact_cases() {
+        // round(10 * 3 / 4) = round(7.5) = 8 (half-up)
+        let a = BigUint::from_u64(10);
+        assert_eq!(a.mul_div_round(3, &BigUint::from_u64(4)).to_u64(), Some(8));
+        // round(10 * 3 / 7) = round(4.28) = 4
+        assert_eq!(a.mul_div_round(3, &BigUint::from_u64(7)).to_u64(), Some(4));
+        // round(11 * 3 / 6) = round(5.5) = 6
+        let b = BigUint::from_u64(11);
+        assert_eq!(b.mul_div_round(3, &BigUint::from_u64(6)).to_u64(), Some(6));
+    }
+
+    #[test]
+    fn bigint_signs() {
+        let a = BigInt::from_i64(-7);
+        let b = BigInt::from_i64(7);
+        assert_eq!(a.add(&b), BigInt::zero());
+        assert_eq!(a.mul(&b), BigInt::from_i64(-49));
+        assert_eq!(a.mul(&a), BigInt::from_i64(49));
+        assert_eq!(a.sub(&b), BigInt::from_i64(-14));
+        assert_eq!(a.rem_euclid_u64(5), 3);
+        assert_eq!(b.rem_euclid_u64(5), 2);
+    }
+
+    #[test]
+    fn center_works() {
+        let q = BigUint::from_u64(17);
+        assert_eq!(center(&BigUint::from_u64(3), &q), BigInt::from_i64(3));
+        assert_eq!(center(&BigUint::from_u64(16), &q), BigInt::from_i64(-1));
+        assert_eq!(center(&BigUint::from_u64(8), &q), BigInt::from_i64(8));
+        assert_eq!(center(&BigUint::from_u64(9), &q), BigInt::from_i64(-8));
+    }
+
+    #[test]
+    fn display_hex() {
+        let a = BigUint::from_u128((1u128 << 64) + 0xabc);
+        assert_eq!(format!("{a}"), "0x10000000000000abc");
+        assert_eq!(format!("{}", BigUint::zero()), "0x0");
+    }
+}

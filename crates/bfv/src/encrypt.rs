@@ -1,0 +1,176 @@
+//! Ciphertexts, encryption, decryption, and the invariant-noise budget.
+
+use crate::bigint::{center, BigInt};
+use crate::encoding::Plaintext;
+use crate::keys::{PublicKey, SecretKey};
+use crate::params::BfvContext;
+use crate::poly::RnsPoly;
+use rand::Rng;
+
+/// A BFV ciphertext: a vector of ring elements (size 2 fresh, size 3 after
+/// an unrelinearized multiply) decrypting via `Σ_j c_j · s^j`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    pub(crate) parts: Vec<RnsPoly>,
+}
+
+impl Ciphertext {
+    /// Number of polynomial parts (2 or 3 in this implementation).
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// Public-key encryptor.
+#[derive(Debug)]
+pub struct Encryptor<'a> {
+    ctx: &'a BfvContext,
+    pk: PublicKey,
+}
+
+impl<'a> Encryptor<'a> {
+    /// Creates an encryptor from a public key.
+    pub fn new(ctx: &'a BfvContext, pk: PublicKey) -> Self {
+        Encryptor { ctx, pk }
+    }
+
+    /// Encrypts a plaintext: `(b·u + e_1 + Δ·m, a·u + e_2)`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let ring = self.ctx.ring();
+        let m = ring.from_u64_coeffs(&pt.coeffs);
+        let dm = ring.mul_scalar_residues(&m, self.ctx.delta_residues());
+        let u = ring.sample_ternary(rng);
+        let e1 = ring.sample_error(rng);
+        let e2 = ring.sample_error(rng);
+        let c0 = ring.add(&ring.add(&ring.mul(&self.pk.b, &u), &e1), &dm);
+        let c1 = ring.add(&ring.mul(&self.pk.a, &u), &e2);
+        Ciphertext { parts: vec![c0, c1] }
+    }
+}
+
+/// Secret-key decryptor and noise meter.
+#[derive(Debug)]
+pub struct Decryptor<'a> {
+    ctx: &'a BfvContext,
+    sk: SecretKey,
+}
+
+impl<'a> Decryptor<'a> {
+    /// Creates a decryptor from the secret key.
+    pub fn new(ctx: &'a BfvContext, sk: SecretKey) -> Self {
+        Decryptor { ctx, sk }
+    }
+
+    /// The raw phase `Σ_j c_j s^j mod Q`, lifted to centered integers.
+    fn phase(&self, ct: &Ciphertext) -> Vec<BigInt> {
+        let ring = self.ctx.ring();
+        let mut acc = ct.parts[0].clone();
+        let mut s_pow = self.sk.s.clone();
+        for part in &ct.parts[1..] {
+            acc = ring.add(&acc, &ring.mul(part, &s_pow));
+            s_pow = ring.mul(&s_pow, &self.sk.s);
+        }
+        ring.lift_centered(&acc)
+    }
+
+    /// Decrypts: `m_c = round(t · w_c / Q) mod t` per coefficient.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let t = self.ctx.params().plain_modulus;
+        let q = self.ctx.ring().modulus();
+        let coeffs = self
+            .phase(ct)
+            .iter()
+            .map(|w| w.mul_div_round(t, q).rem_euclid_u64(t))
+            .collect();
+        Plaintext { coeffs }
+    }
+
+    /// Invariant noise budget in bits, like SEAL's: `log2(Q / (2·‖t·w mod Q‖))`.
+    ///
+    /// A non-positive budget means decryption is no longer reliable.
+    pub fn invariant_noise_budget(&self, ct: &Ciphertext) -> i64 {
+        let t = self.ctx.params().plain_modulus;
+        let q = self.ctx.ring().modulus();
+        let q_bits = q.bits() as i64;
+        let mut max_bits: i64 = 0;
+        for w in self.phase(ct) {
+            let x = BigInt {
+                mag: w.mag.mul_u64(t),
+                neg: w.neg,
+            };
+            let r = x.rem_euclid_big(q);
+            let centered = center(&r, q);
+            max_bits = max_bits.max(centered.mag.bits() as i64);
+        }
+        q_bits - max_bits - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::BatchEncoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::BfvParams;
+    use rand::{Rng as _, SeedableRng};
+
+    fn setup() -> (BfvContext, rand::rngs::StdRng) {
+        (
+            BfvContext::new(BfvParams::test_small()).unwrap(),
+            rand::rngs::StdRng::seed_from_u64(0xBF),
+        )
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, mut rng) = setup();
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let enc = Encryptor::new(&ctx, kg.public_key(&mut rng));
+        let dec = Decryptor::new(&ctx, kg.secret_key().clone());
+        let encoder = BatchEncoder::new(&ctx);
+
+        let t = ctx.params().plain_modulus;
+        let v: Vec<u64> = (0..encoder.slot_count() as u64).map(|i| (i * 31 + 5) % t).collect();
+        let ct = enc.encrypt(&encoder.encode(&v), &mut rng);
+        assert_eq!(encoder.decode(&dec.decrypt(&ct)), v);
+    }
+
+    #[test]
+    fn fresh_budget_is_large() {
+        let (ctx, mut rng) = setup();
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let enc = Encryptor::new(&ctx, kg.public_key(&mut rng));
+        let dec = Decryptor::new(&ctx, kg.secret_key().clone());
+        let encoder = BatchEncoder::new(&ctx);
+        let ct = enc.encrypt(&encoder.encode(&[1, 2, 3]), &mut rng);
+        let budget = dec.invariant_noise_budget(&ct);
+        assert!(budget > 60, "fresh budget {budget} too small");
+    }
+
+    #[test]
+    fn different_randomness_different_ciphertexts() {
+        let (ctx, mut rng) = setup();
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let enc = Encryptor::new(&ctx, kg.public_key(&mut rng));
+        let encoder = BatchEncoder::new(&ctx);
+        let pt = encoder.encode(&[42]);
+        let c1 = enc.encrypt(&pt, &mut rng);
+        let c2 = enc.encrypt(&pt, &mut rng);
+        assert_ne!(c1.parts[0], c2.parts[0]);
+    }
+
+    #[test]
+    fn decrypts_random_full_slots() {
+        let (ctx, mut rng) = setup();
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let enc = Encryptor::new(&ctx, kg.public_key(&mut rng));
+        let dec = Decryptor::new(&ctx, kg.secret_key().clone());
+        let encoder = BatchEncoder::new(&ctx);
+        let t = ctx.params().plain_modulus;
+        for trial in 0..3 {
+            let v: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
+            let ct = enc.encrypt(&encoder.encode(&v), &mut rng);
+            assert_eq!(encoder.decode(&dec.decrypt(&ct)), v, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Homomorphic evaluation: the SIMD instruction set Porcupine targets.
+//!
+//! Mirrors the SEAL evaluator surface the paper compiles to: ciphertext
+//! add/sub/negate, plaintext add/sub/multiply, ciphertext multiply with
+//! relinearization, and slot rotations via Galois automorphisms.
+//!
+//! Multiplication is exact: operands are lifted to centered integers,
+//! tensored in an auxiliary RNS base `P > 2·N·(Q/2)²` via per-prime NTTs,
+//! CRT-reconstructed, rescaled by `t/Q` with exact rounding, and reduced
+//! back mod `Q` — the textbook BFV multiply without approximation error.
+
+use crate::bigint::BigInt;
+use crate::encoding::{galois_element_for_column_swap, galois_element_for_rotation, Plaintext};
+use crate::encrypt::Ciphertext;
+use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
+use crate::params::BfvContext;
+use crate::poly::RnsPoly;
+
+/// Stateless evaluator over one context.
+///
+/// # Examples
+///
+/// ```
+/// use bfv::{params::{BfvContext, BfvParams}, encoding::BatchEncoder,
+///           keys::KeyGenerator, encrypt::{Encryptor, Decryptor}, evaluator::Evaluator};
+/// use rand::SeedableRng;
+///
+/// let ctx = BfvContext::new(BfvParams::test_small())?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let kg = KeyGenerator::new(&ctx, &mut rng);
+/// let enc = Encryptor::new(&ctx, kg.public_key(&mut rng));
+/// let dec = Decryptor::new(&ctx, kg.secret_key().clone());
+/// let coder = BatchEncoder::new(&ctx);
+/// let ev = Evaluator::new(&ctx);
+///
+/// let a = enc.encrypt(&coder.encode(&[3, 4]), &mut rng);
+/// let b = enc.encrypt(&coder.encode(&[10, 20]), &mut rng);
+/// let sum = ev.add(&a, &b);
+/// assert_eq!(&coder.decode(&dec.decrypt(&sum))[..2], &[13, 24]);
+/// # Ok::<(), bfv::params::ParamError>(())
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    ctx: &'a BfvContext,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator.
+    pub fn new(ctx: &'a BfvContext) -> Self {
+        Evaluator { ctx }
+    }
+
+    /// Slot-wise sum of two ciphertexts.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.zip(a, b, |r, x, y| r.add(x, y))
+    }
+
+    /// Slot-wise difference of two ciphertexts.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let ring = self.ctx.ring();
+        let len = a.parts.len().max(b.parts.len());
+        let zero = ring.zero();
+        let parts = (0..len)
+            .map(|i| {
+                let x = a.parts.get(i).unwrap_or(&zero);
+                let y = b.parts.get(i).unwrap_or(&zero);
+                ring.sub(x, y)
+            })
+            .collect();
+        Ciphertext { parts }
+    }
+
+    /// Slot-wise negation.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let ring = self.ctx.ring();
+        Ciphertext {
+            parts: a.parts.iter().map(|p| ring.neg(p)).collect(),
+        }
+    }
+
+    fn zip(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        f: impl Fn(&crate::poly::RingContext, &RnsPoly, &RnsPoly) -> RnsPoly,
+    ) -> Ciphertext {
+        let ring = self.ctx.ring();
+        let len = a.parts.len().max(b.parts.len());
+        let zero = ring.zero();
+        let parts = (0..len)
+            .map(|i| {
+                let x = a.parts.get(i).unwrap_or(&zero);
+                let y = b.parts.get(i).unwrap_or(&zero);
+                f(ring, x, y)
+            })
+            .collect();
+        Ciphertext { parts }
+    }
+
+    /// Adds an encoded plaintext to a ciphertext (`c0 += Δ·m`).
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let ring = self.ctx.ring();
+        let m = ring.from_u64_coeffs(&pt.coeffs);
+        let dm = ring.mul_scalar_residues(&m, self.ctx.delta_residues());
+        let mut parts = a.parts.clone();
+        parts[0] = ring.add(&parts[0], &dm);
+        Ciphertext { parts }
+    }
+
+    /// Subtracts an encoded plaintext from a ciphertext.
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let ring = self.ctx.ring();
+        let m = ring.from_u64_coeffs(&pt.coeffs);
+        let dm = ring.mul_scalar_residues(&m, self.ctx.delta_residues());
+        let mut parts = a.parts.clone();
+        parts[0] = ring.sub(&parts[0], &dm);
+        Ciphertext { parts }
+    }
+
+    /// Multiplies a ciphertext by an encoded plaintext (slot-wise).
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let ring = self.ctx.ring();
+        let m = ring.from_u64_coeffs(&pt.coeffs);
+        Ciphertext {
+            parts: a.parts.iter().map(|p| ring.mul(p, &m)).collect(),
+        }
+    }
+
+    /// Ciphertext–ciphertext multiply, producing a size-3 ciphertext.
+    /// Relinearize with [`Evaluator::relinearize`] before further rotations
+    /// or multiplies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is not size 2.
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        assert_eq!(a.size(), 2, "multiply requires size-2 inputs (relinearize first)");
+        assert_eq!(b.size(), 2, "multiply requires size-2 inputs (relinearize first)");
+        let ring = self.ctx.ring();
+        let aux = self.ctx.aux_ring();
+        let t = self.ctx.params().plain_modulus;
+        let q = ring.modulus();
+
+        // Lift to exact centered integers and re-embed in the aux base.
+        let lift = |p: &RnsPoly| -> RnsPoly { aux.from_centered(&ring.lift_centered(p)) };
+        let (c0, c1) = (lift(&a.parts[0]), lift(&a.parts[1]));
+        let (d0, d1) = (lift(&b.parts[0]), lift(&b.parts[1]));
+
+        // Tensor in the aux base (exact: |coeff| ≤ N(Q/2)² + slack < P/2).
+        let e0 = aux.mul(&c0, &d0);
+        let e1 = aux.add(&aux.mul(&c0, &d1), &aux.mul(&c1, &d0));
+        let e2 = aux.mul(&c1, &d1);
+
+        // Rescale round(t/Q · x) exactly and reduce mod Q.
+        let rescale = |p: &RnsPoly| -> RnsPoly {
+            let lifted = aux.lift_centered(p);
+            let rounded: Vec<BigInt> = lifted.iter().map(|x| x.mul_div_round(t, q)).collect();
+            ring.from_centered(&rounded)
+        };
+        Ciphertext {
+            parts: vec![rescale(&e0), rescale(&e1), rescale(&e2)],
+        }
+    }
+
+    /// Key-switches polynomial `d` (under the source key of `ksk`) to the
+    /// canonical secret, returning the two accumulated parts.
+    fn key_switch(&self, d: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+        let ring = self.ctx.ring();
+        let mut acc_b = ring.zero();
+        let mut acc_a = ring.zero();
+        for (i, (b_i, a_i)) in ksk.parts.iter().enumerate() {
+            let d_i = ring.decompose_component(d, i);
+            acc_b = ring.add(&acc_b, &ring.mul(&d_i, b_i));
+            acc_a = ring.add(&acc_a, &ring.mul(&d_i, a_i));
+        }
+        (acc_b, acc_a)
+    }
+
+    /// Relinearizes a size-3 ciphertext back to size 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not size 3.
+    pub fn relinearize(&self, a: &Ciphertext, rk: &RelinKey) -> Ciphertext {
+        assert_eq!(a.size(), 3, "relinearize expects a size-3 ciphertext");
+        let ring = self.ctx.ring();
+        let (ks_b, ks_a) = self.key_switch(&a.parts[2], &rk.0);
+        Ciphertext {
+            parts: vec![
+                ring.add(&a.parts[0], &ks_b),
+                ring.add(&a.parts[1], &ks_a),
+            ],
+        }
+    }
+
+    /// Multiply then relinearize — the shape Porcupine's codegen emits for
+    /// every ct×ct product.
+    pub fn multiply_relin(&self, a: &Ciphertext, b: &Ciphertext, rk: &RelinKey) -> Ciphertext {
+        self.relinearize(&self.multiply(a, b), rk)
+    }
+
+    /// Applies the Galois automorphism `x → x^g` homomorphically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not size 2 or no key for `g` is present.
+    pub fn apply_galois(&self, a: &Ciphertext, g: u64, gk: &GaloisKeys) -> Ciphertext {
+        assert_eq!(a.size(), 2, "apply_galois expects size-2 (relinearize first)");
+        if g == 1 {
+            return a.clone();
+        }
+        let ring = self.ctx.ring();
+        let key = gk
+            .keys
+            .get(&g)
+            .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
+        let c0 = ring.automorphism(&a.parts[0], g);
+        let c1 = ring.automorphism(&a.parts[1], g);
+        let (ks_b, ks_a) = self.key_switch(&c1, key);
+        Ciphertext {
+            parts: vec![ring.add(&c0, &ks_b), ks_a],
+        }
+    }
+
+    /// Rotates both batching rows left by `steps` (negative = right) —
+    /// SEAL's `rotate_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the required Galois key is missing.
+    pub fn rotate_rows(&self, a: &Ciphertext, steps: i64, gk: &GaloisKeys) -> Ciphertext {
+        let n = self.ctx.params().poly_degree;
+        self.apply_galois(a, galois_element_for_rotation(n, steps), gk)
+    }
+
+    /// Swaps the two batching rows — SEAL's `rotate_columns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the required Galois key is missing.
+    pub fn rotate_columns(&self, a: &Ciphertext, gk: &GaloisKeys) -> Ciphertext {
+        let n = self.ctx.params().poly_degree;
+        self.apply_galois(a, galois_element_for_column_swap(n), gk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::BatchEncoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::BfvParams;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        ctx: BfvContext,
+    }
+
+    struct Session<'a> {
+        encoder: BatchEncoder<'a>,
+        enc: Encryptor<'a>,
+        dec: Decryptor<'a>,
+        ev: Evaluator<'a>,
+        kg: KeyGenerator<'a>,
+        rng: rand::rngs::StdRng,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                ctx: BfvContext::new(BfvParams::test_small()).unwrap(),
+            }
+        }
+
+        fn session(&self) -> Session<'_> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xE7A1);
+            let kg = KeyGenerator::new(&self.ctx, &mut rng);
+            let enc = Encryptor::new(&self.ctx, kg.public_key(&mut rng));
+            let dec = Decryptor::new(&self.ctx, kg.secret_key().clone());
+            Session {
+                encoder: BatchEncoder::new(&self.ctx),
+                enc,
+                dec,
+                ev: Evaluator::new(&self.ctx),
+                kg,
+                rng,
+            }
+        }
+    }
+
+    #[test]
+    fn homomorphic_add_sub_neg() {
+        let f = Fixture::new();
+        let mut s = f.session();
+        let t = f.ctx.params().plain_modulus;
+        let a = s.enc.encrypt(&s.encoder.encode(&[5, 7, 100]), &mut s.rng);
+        let b = s.enc.encrypt(&s.encoder.encode(&[3, 9, 65530]), &mut s.rng);
+        let sum = s.encoder.decode(&s.dec.decrypt(&s.ev.add(&a, &b)));
+        assert_eq!(&sum[..3], &[8, 16, (100 + 65530) % t]);
+        let diff = s.encoder.decode(&s.dec.decrypt(&s.ev.sub(&a, &b)));
+        assert_eq!(&diff[..3], &[2, (t - 2) % t, (100 + t - 65530) % t]);
+        let neg = s.encoder.decode(&s.dec.decrypt(&s.ev.negate(&a)));
+        assert_eq!(&neg[..3], &[t - 5, t - 7, t - 100]);
+    }
+
+    #[test]
+    fn plain_ops() {
+        let f = Fixture::new();
+        let mut s = f.session();
+        let a = s.enc.encrypt(&s.encoder.encode(&[10, 20, 30]), &mut s.rng);
+        let p = s.encoder.encode(&[1, 2, 3]);
+        let added = s.encoder.decode(&s.dec.decrypt(&s.ev.add_plain(&a, &p)));
+        assert_eq!(&added[..3], &[11, 22, 33]);
+        let subbed = s.encoder.decode(&s.dec.decrypt(&s.ev.sub_plain(&a, &p)));
+        assert_eq!(&subbed[..3], &[9, 18, 27]);
+        let mulled = s.encoder.decode(&s.dec.decrypt(&s.ev.mul_plain(&a, &p)));
+        assert_eq!(&mulled[..3], &[10, 40, 90]);
+    }
+
+    #[test]
+    fn ciphertext_multiply_and_relinearize() {
+        let f = Fixture::new();
+        let mut s = f.session();
+        let a = s.enc.encrypt(&s.encoder.encode(&[6, 7, 255]), &mut s.rng);
+        let b = s.enc.encrypt(&s.encoder.encode(&[7, 8, 255]), &mut s.rng);
+        let prod3 = s.ev.multiply(&a, &b);
+        assert_eq!(prod3.size(), 3);
+        // size-3 decrypts correctly
+        let direct = s.encoder.decode(&s.dec.decrypt(&prod3));
+        assert_eq!(&direct[..3], &[42, 56, 65025]);
+        // relinearized decrypts correctly
+        let rk = s.kg.relin_key(&mut s.rng);
+        let prod2 = s.ev.relinearize(&prod3, &rk);
+        assert_eq!(prod2.size(), 2);
+        let relin = s.encoder.decode(&s.dec.decrypt(&prod2));
+        assert_eq!(&relin[..3], &[42, 56, 65025]);
+        assert!(s.dec.invariant_noise_budget(&prod2) > 0);
+    }
+
+    #[test]
+    fn rotations_match_slot_semantics() {
+        let f = Fixture::new();
+        let mut s = f.session();
+        let n = s.encoder.slot_count();
+        let half = n / 2;
+        let v: Vec<u64> = (0..n as u64).collect();
+        let ct = s.enc.encrypt(&s.encoder.encode(&v), &mut s.rng);
+        let gk = s.kg.galois_keys_for_rotations(&[1, -2], true, &mut s.rng);
+
+        let left1 = s.encoder.decode(&s.dec.decrypt(&s.ev.rotate_rows(&ct, 1, &gk)));
+        for i in 0..half {
+            assert_eq!(left1[i], v[(i + 1) % half]);
+            assert_eq!(left1[half + i], v[half + (i + 1) % half]);
+        }
+        let right2 = s.encoder.decode(&s.dec.decrypt(&s.ev.rotate_rows(&ct, -2, &gk)));
+        for i in 0..half {
+            assert_eq!(right2[i], v[(i + half - 2) % half]);
+        }
+        let swapped = s.encoder.decode(&s.dec.decrypt(&s.ev.rotate_columns(&ct, &gk)));
+        for i in 0..half {
+            assert_eq!(swapped[i], v[half + i]);
+            assert_eq!(swapped[half + i], v[i]);
+        }
+    }
+
+    #[test]
+    fn rotation_of_zero_steps_is_identity() {
+        let f = Fixture::new();
+        let mut s = f.session();
+        let ct = s.enc.encrypt(&s.encoder.encode(&[9, 8, 7]), &mut s.rng);
+        let gk = s.kg.galois_keys(&[], &mut s.rng);
+        let same = s.ev.rotate_rows(&ct, 0, &gk);
+        assert_eq!(
+            s.encoder.decode(&s.dec.decrypt(&same))[..3],
+            [9, 8, 7]
+        );
+    }
+
+    #[test]
+    fn multiply_depth_two_survives() {
+        let f = Fixture::new();
+        let mut s = f.session();
+        let rk = s.kg.relin_key(&mut s.rng);
+        let a = s.enc.encrypt(&s.encoder.encode(&[3]), &mut s.rng);
+        let sq = s.ev.multiply_relin(&a, &a, &rk);
+        let quad = s.ev.multiply_relin(&sq, &sq, &rk);
+        let out = s.encoder.decode(&s.dec.decrypt(&quad));
+        assert_eq!(out[0], 81);
+        let budget = s.dec.invariant_noise_budget(&quad);
+        assert!(budget > 0, "depth-2 budget exhausted: {budget}");
+    }
+
+    #[test]
+    fn noise_budget_decreases_monotonically() {
+        let f = Fixture::new();
+        let mut s = f.session();
+        let rk = s.kg.relin_key(&mut s.rng);
+        let a = s.enc.encrypt(&s.encoder.encode(&[2]), &mut s.rng);
+        let fresh = s.dec.invariant_noise_budget(&a);
+        let sq = s.ev.multiply_relin(&a, &a, &rk);
+        let after_mul = s.dec.invariant_noise_budget(&sq);
+        assert!(after_mul < fresh, "mul must consume budget ({fresh} -> {after_mul})");
+        let sum = s.ev.add(&sq, &sq);
+        let after_add = s.dec.invariant_noise_budget(&sum);
+        assert!(after_add <= after_mul + 1, "add grows noise additively only");
+    }
+}

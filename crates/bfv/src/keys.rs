@@ -1,0 +1,208 @@
+//! Key material: secret/public keys, relinearization keys, and Galois keys,
+//! all using RNS-decomposition key switching.
+//!
+//! A key-switch key from `s'` to `s` has one part per RNS prime:
+//! `ksk_i = (b_i, a_i)` with `b_i = -(a_i·s + e_i) + γ_i·s'`, where `γ_i` is
+//! the CRT unit (`1 mod q_i`, `0 mod q_j`). Key switching a polynomial `d`
+//! under `s'` then computes `Σ_i lift([d]_{q_i}) ⊙ ksk_i`, whose parts sum to
+//! `≈ d·s'` under `s` with only small added noise (each digit is `< q_i`).
+
+use crate::params::BfvContext;
+use crate::poly::RnsPoly;
+use crate::zq::add_mod;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The secret key: a ternary polynomial `s`.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    pub(crate) s: RnsPoly,
+}
+
+/// The public key: an RLWE sample `(b, a)` with `b = -(a·s + e)`.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pub(crate) b: RnsPoly,
+    pub(crate) a: RnsPoly,
+}
+
+/// A key-switch key from some `s'` back to `s` (one part per RNS prime).
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    pub(crate) parts: Vec<(RnsPoly, RnsPoly)>,
+}
+
+/// Relinearization key: key-switch key for `s' = s²`.
+#[derive(Debug, Clone)]
+pub struct RelinKey(pub(crate) KeySwitchKey);
+
+/// Galois keys: key-switch keys for `s' = σ_g(s)`, one per Galois element.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    pub(crate) keys: HashMap<u64, KeySwitchKey>,
+}
+
+impl GaloisKeys {
+    /// The Galois elements covered by this key set.
+    pub fn elements(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.keys.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether a key for Galois element `g` is present.
+    pub fn contains(&self, g: u64) -> bool {
+        self.keys.contains_key(&g)
+    }
+}
+
+/// Generates all key material for one secret.
+///
+/// # Examples
+///
+/// ```
+/// use bfv::params::{BfvContext, BfvParams};
+/// use bfv::keys::KeyGenerator;
+/// use rand::SeedableRng;
+///
+/// let ctx = BfvContext::new(BfvParams::test_small())?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let keygen = KeyGenerator::new(&ctx, &mut rng);
+/// let pk = keygen.public_key(&mut rng);
+/// let rk = keygen.relin_key(&mut rng);
+/// # let _ = (pk, rk);
+/// # Ok::<(), bfv::params::ParamError>(())
+/// ```
+#[derive(Debug)]
+pub struct KeyGenerator<'a> {
+    ctx: &'a BfvContext,
+    sk: SecretKey,
+}
+
+impl<'a> KeyGenerator<'a> {
+    /// Samples a fresh ternary secret.
+    pub fn new<R: Rng + ?Sized>(ctx: &'a BfvContext, rng: &mut R) -> Self {
+        let s = ctx.ring().sample_ternary(rng);
+        KeyGenerator {
+            ctx,
+            sk: SecretKey { s },
+        }
+    }
+
+    /// The secret key.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// Generates a public key.
+    pub fn public_key<R: Rng + ?Sized>(&self, rng: &mut R) -> PublicKey {
+        let ring = self.ctx.ring();
+        let a = ring.sample_uniform(rng);
+        let e = ring.sample_error(rng);
+        let b = ring.neg(&ring.add(&ring.mul(&a, &self.sk.s), &e));
+        PublicKey { b, a }
+    }
+
+    /// Builds a key-switch key whose source key is `target` (e.g. `s²` or
+    /// `σ_g(s)`).
+    fn key_switch_key<R: Rng + ?Sized>(&self, target: &RnsPoly, rng: &mut R) -> KeySwitchKey {
+        let ring = self.ctx.ring();
+        let k = ring.num_primes();
+        let mut parts = Vec::with_capacity(k);
+        for i in 0..k {
+            let a_i = ring.sample_uniform(rng);
+            let e_i = ring.sample_error(rng);
+            let mut b_i = ring.neg(&ring.add(&ring.mul(&a_i, &self.sk.s), &e_i));
+            // Add γ_i · target: in RNS, γ_i is the unit vector at component i,
+            // so only component i of `target` contributes.
+            let p = ring.primes()[i];
+            for c in 0..ring.degree() {
+                b_i.residues[i][c] = add_mod(b_i.residues[i][c], target.residues[i][c], p);
+            }
+            parts.push((b_i, a_i));
+        }
+        KeySwitchKey { parts }
+    }
+
+    /// Generates the relinearization key (`s' = s²`).
+    pub fn relin_key<R: Rng + ?Sized>(&self, rng: &mut R) -> RelinKey {
+        let ring = self.ctx.ring();
+        let s2 = ring.mul(&self.sk.s, &self.sk.s);
+        RelinKey(self.key_switch_key(&s2, rng))
+    }
+
+    /// Generates Galois keys for the given Galois elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is even or out of range (see
+    /// [`crate::poly::RingContext::automorphism`]).
+    pub fn galois_keys<R: Rng + ?Sized>(&self, elements: &[u64], rng: &mut R) -> GaloisKeys {
+        let ring = self.ctx.ring();
+        let mut keys = HashMap::new();
+        for &g in elements {
+            if g == 1 || keys.contains_key(&g) {
+                continue;
+            }
+            let s_g = ring.automorphism(&self.sk.s, g);
+            keys.insert(g, self.key_switch_key(&s_g, rng));
+        }
+        GaloisKeys { keys }
+    }
+
+    /// Generates Galois keys sufficient for `rotate_rows` by each of
+    /// `steps` and, if `include_column_swap`, for `rotate_columns`.
+    pub fn galois_keys_for_rotations<R: Rng + ?Sized>(
+        &self,
+        steps: &[i64],
+        include_column_swap: bool,
+        rng: &mut R,
+    ) -> GaloisKeys {
+        let n = self.ctx.params().poly_degree;
+        let mut elements: Vec<u64> = steps
+            .iter()
+            .map(|&s| crate::encoding::galois_element_for_rotation(n, s))
+            .collect();
+        if include_column_swap {
+            elements.push(crate::encoding::galois_element_for_column_swap(n));
+        }
+        self.galois_keys(&elements, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BfvParams;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keygen_produces_distinct_parts() {
+        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let rk = kg.relin_key(&mut rng);
+        assert_eq!(rk.0.parts.len(), ctx.ring().num_primes());
+        assert_ne!(rk.0.parts[0].1, rk.0.parts[1].1);
+    }
+
+    #[test]
+    fn galois_keys_skip_identity_and_dedup() {
+        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let gk = kg.galois_keys(&[1, 3, 3, 9], &mut rng);
+        assert_eq!(gk.elements(), vec![3, 9]);
+        assert!(gk.contains(3));
+        assert!(!gk.contains(1));
+    }
+
+    #[test]
+    fn rotation_key_helper_collects_elements() {
+        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let gk = kg.galois_keys_for_rotations(&[1, -1, 4], true, &mut rng);
+        assert_eq!(gk.elements().len(), 4);
+    }
+}

@@ -1,0 +1,317 @@
+//! Negacyclic number-theoretic transform over `Z_p[x]/(x^N + 1)`.
+//!
+//! The forward transform maps coefficients to evaluations at the odd powers
+//! of a primitive 2N-th root of unity ψ, in the **natural order**
+//! `out[j] = m(ψ^(2j+1))`. Pinning the evaluation order (instead of the usual
+//! bit-reversed convention) is what lets the batch encoder map SIMD slots to
+//! Galois-orbit positions directly; see [`crate::encoding`].
+//!
+//! Implementation: twist by ψ^i, bit-reversal permutation, then iterative
+//! decimation-in-time butterflies with Shoup-precomputed twiddles.
+
+use crate::zq::{add_mod, inv_mod, mul_mod, mul_mod_shoup, pow_mod, shoup_precompute, sub_mod};
+
+/// Precomputed tables for a fixed `(p, N)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use bfv::{ntt::NttTables, zq};
+///
+/// let p = zq::ntt_primes(50, 16, 1, &[])[0];
+/// let tables = NttTables::new(p, 8);
+/// let mut a: Vec<u64> = (0..8).collect();
+/// let orig = a.clone();
+/// tables.forward(&mut a);
+/// tables.inverse(&mut a);
+/// assert_eq!(a, orig);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    p: u64,
+    n: usize,
+    psi: Vec<u64>,
+    psi_shoup: Vec<u64>,
+    psi_inv: Vec<u64>,
+    psi_inv_shoup: Vec<u64>,
+    tw: Vec<u64>,
+    tw_shoup: Vec<u64>,
+    tw_inv: Vec<u64>,
+    tw_inv_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+    bitrev: Vec<u32>,
+}
+
+impl NttTables {
+    /// Builds tables for ring degree `n` (a power of two ≥ 2) modulo prime
+    /// `p ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `2n ∤ p - 1`.
+    pub fn new(p: u64, n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two");
+        assert!((p - 1) % (2 * n as u64) == 0, "p must be 1 mod 2n");
+        let psi_root = crate::zq::root_of_unity(2 * n as u64, p);
+        Self::with_root(p, n, psi_root)
+    }
+
+    /// Builds tables with an explicit primitive 2n-th root ψ (used by the
+    /// batch encoder so the slot map and the transform agree on ψ).
+    pub fn with_root(p: u64, n: usize, psi_root: u64) -> Self {
+        assert_eq!(pow_mod(psi_root, 2 * n as u64, p), 1);
+        assert_eq!(pow_mod(psi_root, n as u64, p), p - 1, "psi must be primitive");
+        let omega = mul_mod(psi_root, psi_root, p);
+        let omega_inv = inv_mod(omega, p);
+        let psi_inv_root = inv_mod(psi_root, p);
+
+        let pows = |base: u64| -> Vec<u64> {
+            let mut v = Vec::with_capacity(n);
+            let mut cur = 1u64;
+            for _ in 0..n {
+                v.push(cur);
+                cur = mul_mod(cur, base, p);
+            }
+            v
+        };
+        let psi = pows(psi_root);
+        let psi_inv = pows(psi_inv_root);
+
+        // Stage twiddles: for each len = 2,4,..,n the factors omega^(n/len * k).
+        let mut tw = Vec::with_capacity(n - 1);
+        let mut tw_inv = Vec::with_capacity(n - 1);
+        let mut len = 2;
+        while len <= n {
+            let step = (n / len) as u64;
+            for k in 0..len / 2 {
+                tw.push(pow_mod(omega, step * k as u64, p));
+                tw_inv.push(pow_mod(omega_inv, step * k as u64, p));
+            }
+            len <<= 1;
+        }
+
+        let shoup_all = |v: &[u64]| v.iter().map(|&w| shoup_precompute(w, p)).collect();
+        let n_inv = inv_mod(n as u64, p);
+
+        let log_n = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - log_n))
+            .collect();
+
+        NttTables {
+            p,
+            n,
+            psi_shoup: shoup_all(&psi),
+            psi_inv_shoup: shoup_all(&psi_inv),
+            tw_shoup: shoup_all(&tw),
+            tw_inv_shoup: shoup_all(&tw_inv),
+            psi,
+            psi_inv,
+            tw,
+            tw_inv,
+            n_inv,
+            n_inv_shoup: shoup_precompute(n_inv, p),
+            bitrev,
+        }
+    }
+
+    /// The prime modulus.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// The ring degree.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The primitive 2n-th root ψ used by this table (ψ^1).
+    pub fn psi(&self) -> u64 {
+        self.psi[1]
+    }
+
+    fn permute(&self, a: &mut [u64]) {
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, a: &mut [u64], tw: &[u64], tw_shoup: &[u64]) {
+        let p = self.p;
+        let n = self.n;
+        let mut len = 2;
+        let mut tw_off = 0;
+        while len <= n {
+            let half = len / 2;
+            let stage_tw = &tw[tw_off..tw_off + half];
+            let stage_tw_shoup = &tw_shoup[tw_off..tw_off + half];
+            let mut base = 0;
+            while base < n {
+                for k in 0..half {
+                    let x = a[base + k];
+                    let y = mul_mod_shoup(a[base + k + half], stage_tw[k], stage_tw_shoup[k], p);
+                    a[base + k] = add_mod(x, y, p);
+                    a[base + k + half] = sub_mod(x, y, p);
+                }
+                base += len;
+            }
+            tw_off += half;
+            len <<= 1;
+        }
+    }
+
+    /// Forward negacyclic NTT, in place: coefficients → evaluations
+    /// `out[j] = m(ψ^(2j+1))` in natural `j` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let p = self.p;
+        for i in 0..self.n {
+            a[i] = mul_mod_shoup(a[i], self.psi[i], self.psi_shoup[i], p);
+        }
+        self.permute(a);
+        self.butterflies(a, &self.tw, &self.tw_shoup);
+    }
+
+    /// Inverse negacyclic NTT, in place: evaluations → coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        let p = self.p;
+        self.permute(a);
+        self.butterflies(a, &self.tw_inv, &self.tw_inv_shoup);
+        for i in 0..self.n {
+            let v = mul_mod_shoup(a[i], self.n_inv, self.n_inv_shoup, p);
+            a[i] = mul_mod_shoup(v, self.psi_inv[i], self.psi_inv_shoup[i], p);
+        }
+    }
+
+    /// Negacyclic convolution `a * b mod (x^n + 1, p)` out of place.
+    pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for i in 0..self.n {
+            fa[i] = mul_mod(fa[i], fb[i], self.p);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication, O(n²) — reference for tests.
+pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            let prod = mul_mod(a[i], b[j], p);
+            let k = i + j;
+            if k < n {
+                out[k] = add_mod(out[k], prod, p);
+            } else {
+                out[k - n] = sub_mod(out[k - n], prod, p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zq;
+    use rand::{Rng, SeedableRng};
+
+    fn table(n: usize) -> NttTables {
+        let p = zq::ntt_primes(50, 2 * n as u64, 1, &[])[0];
+        NttTables::new(p, n)
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [4usize, 8, 64, 256, 1024] {
+            let t = table(n);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.modulus())).collect();
+            let mut a = orig.clone();
+            t.forward(&mut a);
+            t.inverse(&mut a);
+            assert_eq!(a, orig, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn evaluation_order_is_natural_odd_powers() {
+        let n = 8;
+        let t = table(n);
+        let p = t.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let coeffs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        let mut a = coeffs.clone();
+        t.forward(&mut a);
+        let psi = t.psi();
+        for j in 0..n {
+            let point = zq::pow_mod(psi, (2 * j + 1) as u64, p);
+            // Horner evaluation
+            let mut acc = 0u64;
+            for &c in coeffs.iter().rev() {
+                acc = add_mod(mul_mod(acc, point, p), c, p);
+            }
+            assert_eq!(a[j], acc, "slot {j}");
+        }
+    }
+
+    #[test]
+    fn multiply_matches_schoolbook() {
+        for n in [4usize, 16, 64] {
+            let t = table(n);
+            let p = t.modulus();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42 + n as u64);
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+            assert_eq!(t.multiply(&a, &b), negacyclic_mul_schoolbook(&a, &b, p));
+        }
+    }
+
+    #[test]
+    fn x_to_the_n_is_minus_one() {
+        // x^(n-1) * x = x^n = -1 in the negacyclic ring.
+        let n = 16;
+        let t = table(n);
+        let p = t.modulus();
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let c = t.multiply(&a, &b);
+        let mut expect = vec![0u64; n];
+        expect[0] = p - 1;
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn works_over_plaintext_modulus_65537() {
+        // Batching uses the same transform over Z_t.
+        let n = 32;
+        let t = NttTables::new(65537, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..65537)).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+}

@@ -1,0 +1,314 @@
+//! BFV parameter sets and the shared evaluation context.
+
+use crate::bigint::BigUint;
+use crate::ntt::NttTables;
+use crate::poly::RingContext;
+use crate::rns::RnsContext;
+use crate::zq;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parameter validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// `N` is not a power of two in the supported range.
+    BadDegree(usize),
+    /// The plaintext modulus is not a batching-compatible prime.
+    BadPlainModulus(u64),
+    /// A ciphertext modulus prime is invalid for this `N`.
+    BadPrime(u64),
+    /// Fewer than two RNS primes (RNS-decomposition key switching needs ≥ 2).
+    TooFewPrimes(usize),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::BadDegree(n) => {
+                write!(f, "polynomial degree {n} must be a power of two in [16, 32768]")
+            }
+            ParamError::BadPlainModulus(t) => write!(
+                f,
+                "plaintext modulus {t} must be a prime congruent to 1 mod 2N for batching"
+            ),
+            ParamError::BadPrime(p) => {
+                write!(f, "ciphertext modulus prime {p} must be prime and 1 mod 2N")
+            }
+            ParamError::TooFewPrimes(k) => write!(
+                f,
+                "need at least 2 RNS primes for key switching, got {k}"
+            ),
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+/// A BFV parameter set: ring degree, plaintext modulus, and the RNS
+/// ciphertext modulus chain.
+///
+/// # Examples
+///
+/// ```
+/// use bfv::params::BfvParams;
+///
+/// let params = BfvParams::test_small();
+/// assert!(params.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfvParams {
+    /// Ring degree `N` (a power of two). Ciphertexts hold `N` slots arranged
+    /// as a 2 × N/2 matrix.
+    pub poly_degree: usize,
+    /// Plaintext modulus `t` (prime, `t ≡ 1 mod 2N`).
+    pub plain_modulus: u64,
+    /// RNS ciphertext primes `q_i` (each `≡ 1 mod 2N`).
+    pub moduli: Vec<u64>,
+}
+
+impl BfvParams {
+    /// Generates a parameter set with `count` fresh primes of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the resulting set fails [`BfvParams::validate`].
+    pub fn generate(
+        poly_degree: usize,
+        plain_modulus: u64,
+        bits: u32,
+        count: usize,
+    ) -> Result<Self, ParamError> {
+        if !poly_degree.is_power_of_two() || poly_degree < 16 || poly_degree > 32768 {
+            return Err(ParamError::BadDegree(poly_degree));
+        }
+        let moduli = zq::ntt_primes(bits, 2 * poly_degree as u64, count, &[plain_modulus]);
+        let params = BfvParams {
+            poly_degree,
+            plain_modulus,
+            moduli,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Small parameters for unit tests: `N = 1024`, `t = 65537`, 3 × 45-bit
+    /// primes. **Toy security** — fast, not safe.
+    pub fn test_small() -> Self {
+        BfvParams::generate(1024, 65537, 45, 3).expect("static parameters are valid")
+    }
+
+    /// Mid-size parameters used by the synthesis-to-backend integration
+    /// tests: `N = 4096`, `t = 65537`, 3 × 46-bit primes (`Q ≈ 138` bits).
+    /// At `N = 4096` the homomorphic-encryption standard allows ~109 bits for
+    /// 128-bit security, so this set trades security margin for speed; use
+    /// [`BfvParams::secure_128`] for benchmark-grade settings.
+    pub fn fast_4096() -> Self {
+        BfvParams::generate(4096, 65537, 46, 3).expect("static parameters are valid")
+    }
+
+    /// Benchmark parameters mirroring the paper's SEAL settings: `N = 8192`,
+    /// `t = 65537`, 4 × 50-bit primes (`Q = 200` bits ≤ the 218-bit bound for
+    /// 128-bit security at `N = 8192` from the HE security standard).
+    pub fn secure_128() -> Self {
+        BfvParams::generate(8192, 65537, 50, 4).expect("static parameters are valid")
+    }
+
+    /// Checks all structural requirements.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated requirement.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        let n = self.poly_degree;
+        if !n.is_power_of_two() || n < 16 || n > 32768 {
+            return Err(ParamError::BadDegree(n));
+        }
+        let two_n = 2 * n as u64;
+        let t = self.plain_modulus;
+        if !zq::is_prime(t) || (t - 1) % two_n != 0 {
+            return Err(ParamError::BadPlainModulus(t));
+        }
+        if self.moduli.len() < 2 {
+            return Err(ParamError::TooFewPrimes(self.moduli.len()));
+        }
+        for &q in &self.moduli {
+            if !zq::is_prime(q) || (q - 1) % two_n != 0 || q == t {
+                return Err(ParamError::BadPrime(q));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of SIMD slots (`N`; arranged as two rows of `N/2`).
+    pub fn slot_count(&self) -> usize {
+        self.poly_degree
+    }
+
+    /// Slots per batching row (`N / 2`) — the unit `rotate_rows` acts on.
+    pub fn row_size(&self) -> usize {
+        self.poly_degree / 2
+    }
+}
+
+/// Shared precomputation for one parameter set: the ciphertext ring, the
+/// auxiliary multiplication base, plaintext-side constants, and the batching
+/// NTT. Create once, share by reference everywhere.
+#[derive(Debug)]
+pub struct BfvContext {
+    params: BfvParams,
+    ring: RingContext,
+    /// Auxiliary base for exact tensoring in multiply: P > 2 · N · (Q/2)².
+    aux_ring: RingContext,
+    /// NTT over `Z_t` used by the batch encoder.
+    plain_ntt: NttTables,
+    /// `Δ = floor(Q / t)`.
+    delta: BigUint,
+    /// `Δ mod q_i`.
+    delta_residues: Vec<u64>,
+    /// `Q mod t`.
+    q_mod_t: u64,
+}
+
+impl BfvContext {
+    /// Builds a context.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are invalid.
+    pub fn new(params: BfvParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        let n = params.poly_degree;
+        let ring = RingContext::new(n, params.moduli.clone());
+
+        let q_bits = ring.modulus().bits();
+        let aux_bits_needed = 2 * q_bits + (n as u64).trailing_zeros() + 3;
+        let aux_prime_bits = 50u32;
+        let aux_count = aux_bits_needed.div_ceil(aux_prime_bits - 1) as usize;
+        let mut exclude = params.moduli.clone();
+        exclude.push(params.plain_modulus);
+        let aux_primes = zq::ntt_primes(aux_prime_bits, 2 * n as u64, aux_count, &exclude);
+        let aux_ring = RingContext::new(n, aux_primes);
+
+        let plain_ntt = NttTables::new(params.plain_modulus, n);
+
+        let (delta, _) = ring.modulus().div_rem_u64(params.plain_modulus);
+        let delta_residues = params.moduli.iter().map(|&q| delta.rem_u64(q)).collect();
+        let q_mod_t = ring.modulus().rem_u64(params.plain_modulus);
+
+        Ok(BfvContext {
+            params,
+            ring,
+            aux_ring,
+            plain_ntt,
+            delta,
+            delta_residues,
+            q_mod_t,
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// The ciphertext ring `R_Q`.
+    pub fn ring(&self) -> &RingContext {
+        &self.ring
+    }
+
+    /// The auxiliary ring used for exact tensoring.
+    pub fn aux_ring(&self) -> &RingContext {
+        &self.aux_ring
+    }
+
+    /// The auxiliary CRT context.
+    pub fn aux_rns(&self) -> &RnsContext {
+        self.aux_ring.rns()
+    }
+
+    /// NTT over the plaintext modulus (batching transform).
+    pub fn plain_ntt(&self) -> &NttTables {
+        &self.plain_ntt
+    }
+
+    /// `Δ = floor(Q/t)`.
+    pub fn delta(&self) -> &BigUint {
+        &self.delta
+    }
+
+    /// `Δ mod q_i` for each ciphertext prime.
+    pub fn delta_residues(&self) -> &[u64] {
+        &self.delta_residues
+    }
+
+    /// `Q mod t`.
+    pub fn q_mod_t(&self) -> u64 {
+        self.q_mod_t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [BfvParams::test_small(), BfvParams::fast_4096()] {
+            assert!(p.validate().is_ok());
+            assert_eq!(p.plain_modulus, 65537);
+        }
+    }
+
+    #[test]
+    fn secure_preset_modulus_size() {
+        let p = BfvParams::secure_128();
+        assert!(p.validate().is_ok());
+        let total_bits: u32 = p.moduli.iter().map(|&q| 64 - q.leading_zeros()).sum();
+        assert!(total_bits <= 218, "Q must stay under the 128-bit security bound");
+    }
+
+    #[test]
+    fn rejects_bad_degree() {
+        let mut p = BfvParams::test_small();
+        p.poly_degree = 1000;
+        assert_eq!(p.validate(), Err(ParamError::BadDegree(1000)));
+    }
+
+    #[test]
+    fn rejects_bad_plain_modulus() {
+        let mut p = BfvParams::test_small();
+        p.plain_modulus = 65536; // not prime
+        assert!(matches!(p.validate(), Err(ParamError::BadPlainModulus(_))));
+        p.plain_modulus = 97; // prime but 2N does not divide 96
+        assert!(matches!(p.validate(), Err(ParamError::BadPlainModulus(_))));
+    }
+
+    #[test]
+    fn rejects_single_prime() {
+        let mut p = BfvParams::test_small();
+        p.moduli.truncate(1);
+        assert_eq!(p.validate(), Err(ParamError::TooFewPrimes(1)));
+    }
+
+    #[test]
+    fn context_constants() {
+        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+        let t = ctx.params().plain_modulus;
+        // Δ·t + (Q mod t) == Q
+        let recomposed = ctx.delta().mul_u64(t).add(&crate::bigint::BigUint::from_u64(ctx.q_mod_t()));
+        assert_eq!(&recomposed, ctx.ring().modulus());
+        // aux base large enough for exact tensoring
+        let q_bits = ctx.ring().modulus().bits();
+        let needed = 2 * q_bits + (ctx.params().poly_degree as u64).trailing_zeros() + 2;
+        assert!(ctx.aux_ring().modulus().bits() >= needed);
+    }
+
+    #[test]
+    fn aux_primes_disjoint_from_ciphertext_primes() {
+        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+        for p in ctx.aux_ring().primes() {
+            assert!(!ctx.params().moduli.contains(p));
+            assert_ne!(*p, ctx.params().plain_modulus);
+        }
+    }
+}

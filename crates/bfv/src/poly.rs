@@ -1,0 +1,415 @@
+//! RNS polynomials in `Z_Q[x]/(x^N + 1)` and their ring context.
+//!
+//! An [`RnsPoly`] stores one residue vector per RNS prime. Additions and
+//! NTT-based multiplications stay componentwise; exact lifting to centered
+//! big integers (for the BFV multiply rescale and for decryption) goes
+//! through [`RingContext::lift_centered`].
+
+use crate::bigint::{center, BigInt, BigUint};
+use crate::ntt::NttTables;
+use crate::rns::RnsContext;
+use crate::zq::{add_mod, mul_mod, sub_mod};
+use rand::Rng;
+
+/// Shared precomputation for a ring `Z_Q[x]/(x^N + 1)` with RNS modulus
+/// `Q = ∏ q_i`: per-prime NTT tables plus CRT data.
+#[derive(Debug)]
+pub struct RingContext {
+    n: usize,
+    rns: RnsContext,
+    ntt: Vec<NttTables>,
+}
+
+impl RingContext {
+    /// Builds a context for degree `n` and the given primes (each must be
+    /// ≡ 1 mod 2n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any prime is not NTT-friendly for degree `n`.
+    pub fn new(n: usize, primes: Vec<u64>) -> Self {
+        let ntt = primes.iter().map(|&p| NttTables::new(p, n)).collect();
+        RingContext {
+            n,
+            rns: RnsContext::new(primes),
+            ntt,
+        }
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The RNS primes.
+    pub fn primes(&self) -> &[u64] {
+        self.rns.primes()
+    }
+
+    /// Number of RNS components.
+    pub fn num_primes(&self) -> usize {
+        self.rns.len()
+    }
+
+    /// The CRT context.
+    pub fn rns(&self) -> &RnsContext {
+        &self.rns
+    }
+
+    /// The full coefficient modulus `Q`.
+    pub fn modulus(&self) -> &BigUint {
+        self.rns.modulus()
+    }
+
+    /// NTT tables for RNS component `i`.
+    pub fn ntt(&self, i: usize) -> &NttTables {
+        &self.ntt[i]
+    }
+
+    /// The all-zero polynomial.
+    pub fn zero(&self) -> RnsPoly {
+        RnsPoly {
+            residues: vec![vec![0u64; self.n]; self.rns.len()],
+        }
+    }
+
+    /// Builds a polynomial from small unsigned coefficients (reduced modulo
+    /// each prime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    pub fn from_u64_coeffs(&self, coeffs: &[u64]) -> RnsPoly {
+        assert_eq!(coeffs.len(), self.n);
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .map(|&p| coeffs.iter().map(|&c| c % p).collect())
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Builds a polynomial from signed coefficients (centered lift).
+    pub fn from_i64_coeffs(&self, coeffs: &[i64]) -> RnsPoly {
+        assert_eq!(coeffs.len(), self.n);
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .map(|&p| {
+                coeffs
+                    .iter()
+                    .map(|&c| {
+                        let r = (c % p as i64) as i64;
+                        if r < 0 {
+                            (r + p as i64) as u64
+                        } else {
+                            r as u64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Builds a polynomial from exact centered big-integer coefficients.
+    pub fn from_centered(&self, coeffs: &[BigInt]) -> RnsPoly {
+        assert_eq!(coeffs.len(), self.n);
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .map(|&p| coeffs.iter().map(|c| c.rem_euclid_u64(p)).collect())
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Lifts every coefficient to its exact centered representative in
+    /// `(-Q/2, Q/2]`.
+    pub fn lift_centered(&self, poly: &RnsPoly) -> Vec<BigInt> {
+        let q = self.rns.modulus();
+        (0..self.n)
+            .map(|c| {
+                let residues: Vec<u64> = (0..self.rns.len())
+                    .map(|i| poly.residues[i][c])
+                    .collect();
+                center(&self.rns.reconstruct(&residues), q)
+            })
+            .collect()
+    }
+
+    /// Uniformly random polynomial in `R_Q` (uniform per RNS component is
+    /// uniform mod `Q` by CRT).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPoly {
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .map(|&p| (0..self.n).map(|_| rng.gen_range(0..p)).collect())
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Random ternary polynomial with coefficients in `{-1, 0, 1}`.
+    pub fn sample_ternary<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPoly {
+        let coeffs: Vec<i64> = (0..self.n).map(|_| rng.gen_range(-1..=1)).collect();
+        self.from_i64_coeffs(&coeffs)
+    }
+
+    /// Random error polynomial from a centered binomial distribution with
+    /// parameter η = 10 (σ ≈ 2.24); stands in for SEAL's σ = 3.2 discrete
+    /// Gaussian, which only shifts noise-budget constants.
+    pub fn sample_error<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPoly {
+        let coeffs: Vec<i64> = (0..self.n)
+            .map(|_| {
+                let a = (rng.gen::<u16>() & 0x3ff).count_ones() as i64;
+                let b = (rng.gen::<u16>() & 0x3ff).count_ones() as i64;
+                a - b
+            })
+            .collect();
+        self.from_i64_coeffs(&coeffs)
+    }
+
+    /// Componentwise sum.
+    pub fn add(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.zip(a, b, add_mod)
+    }
+
+    /// Componentwise difference.
+    pub fn sub(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.zip(a, b, sub_mod)
+    }
+
+    /// Negation.
+    pub fn neg(&self, a: &RnsPoly) -> RnsPoly {
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .zip(&a.residues)
+            .map(|(&p, r)| r.iter().map(|&x| if x == 0 { 0 } else { p - x }).collect())
+            .collect();
+        RnsPoly { residues }
+    }
+
+    fn zip(&self, a: &RnsPoly, b: &RnsPoly, f: fn(u64, u64, u64) -> u64) -> RnsPoly {
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                a.residues[i]
+                    .iter()
+                    .zip(&b.residues[i])
+                    .map(|(&x, &y)| f(x, y, p))
+                    .collect()
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Negacyclic product via per-prime NTT.
+    pub fn mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        let residues = (0..self.rns.len())
+            .map(|i| self.ntt[i].multiply(&a.residues[i], &b.residues[i]))
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Multiplies every coefficient by the integer whose per-prime residues
+    /// are `scalar_residues` (e.g. `Δ mod q_i`).
+    pub fn mul_scalar_residues(&self, a: &RnsPoly, scalar_residues: &[u64]) -> RnsPoly {
+        assert_eq!(scalar_residues.len(), self.rns.len());
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                a.residues[i]
+                    .iter()
+                    .map(|&x| mul_mod(x, scalar_residues[i], p))
+                    .collect()
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Applies the Galois automorphism `x → x^g` (g odd, `1 ≤ g < 2N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even or out of range.
+    pub fn automorphism(&self, a: &RnsPoly, g: u64) -> RnsPoly {
+        let n = self.n as u64;
+        assert!(g % 2 == 1 && g < 2 * n, "invalid Galois element {g}");
+        let mut out = self.zero();
+        for (i, &p) in self.rns.primes().iter().enumerate() {
+            for c in 0..self.n {
+                let target = (c as u64 * g) % (2 * n);
+                let v = a.residues[i][c];
+                if target < n {
+                    out.residues[i][target as usize] =
+                        add_mod(out.residues[i][target as usize], v, p);
+                } else {
+                    out.residues[i][(target - n) as usize] = sub_mod(
+                        out.residues[i][(target - n) as usize],
+                        v,
+                        p,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts RNS component `i` as a polynomial with small coefficients
+    /// (`< q_i`) reduced modulo **every** prime — the RNS-decomposition step
+    /// of key switching.
+    pub fn decompose_component(&self, a: &RnsPoly, i: usize) -> RnsPoly {
+        let src = &a.residues[i];
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .map(|&p| src.iter().map(|&x| x % p).collect())
+            .collect();
+        RnsPoly { residues }
+    }
+}
+
+/// A polynomial in `Z_Q[x]/(x^N + 1)`, stored as one residue vector per RNS
+/// prime (coefficient order, little-endian in the exponent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    /// `residues[prime_index][coeff_index]`.
+    pub(crate) residues: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// Residues for RNS component `i`.
+    pub fn component(&self, i: usize) -> &[u64] {
+        &self.residues[i]
+    }
+
+    /// True if every residue is zero.
+    pub fn is_zero(&self) -> bool {
+        self.residues.iter().all(|r| r.iter().all(|&x| x == 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx(n: usize, k: usize) -> RingContext {
+        let primes = crate::zq::ntt_primes(45, 2 * n as u64, k, &[]);
+        RingContext::new(n, primes)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let ctx = ctx(64, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = ctx.sample_uniform(&mut rng);
+        let b = ctx.sample_uniform(&mut rng);
+        let s = ctx.add(&a, &b);
+        assert_eq!(ctx.sub(&s, &b), a);
+        assert_eq!(ctx.sub(&s, &a), b);
+        assert_eq!(ctx.add(&a, &ctx.neg(&a)), ctx.zero());
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let ctx = ctx(32, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = ctx.sample_uniform(&mut rng);
+        let b = ctx.sample_uniform(&mut rng);
+        let c = ctx.sample_uniform(&mut rng);
+        assert_eq!(ctx.mul(&a, &b), ctx.mul(&b, &a));
+        let lhs = ctx.mul(&a, &ctx.add(&b, &c));
+        let rhs = ctx.add(&ctx.mul(&a, &b), &ctx.mul(&a, &c));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn centered_lift_roundtrip() {
+        let ctx = ctx(16, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = ctx.sample_uniform(&mut rng);
+        let lifted = ctx.lift_centered(&a);
+        assert_eq!(ctx.from_centered(&lifted), a);
+        // centered magnitudes are at most Q/2
+        let half = ctx.modulus().shr_bits(1);
+        for c in &lifted {
+            assert!(c.mag.cmp_big(&half) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn signed_coeffs_center_correctly() {
+        let ctx = ctx(4, 2);
+        let p = ctx.from_i64_coeffs(&[-1, 2, -3, 0]);
+        let lifted = ctx.lift_centered(&p);
+        assert_eq!(lifted[0], BigInt::from_i64(-1));
+        assert_eq!(lifted[1], BigInt::from_i64(2));
+        assert_eq!(lifted[2], BigInt::from_i64(-3));
+        assert_eq!(lifted[3], BigInt::from_i64(0));
+    }
+
+    #[test]
+    fn automorphism_identity_and_composition() {
+        let ctx = ctx(16, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = ctx.sample_uniform(&mut rng);
+        assert_eq!(ctx.automorphism(&a, 1), a);
+        // sigma_g1 . sigma_g2 = sigma_{g1 g2 mod 2N}
+        let g1 = 3u64;
+        let g2 = 5u64;
+        let lhs = ctx.automorphism(&ctx.automorphism(&a, g1), g2);
+        let rhs = ctx.automorphism(&a, (g1 * g2) % 32);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn automorphism_matches_poly_eval() {
+        // sigma_g(x^k) = x^{gk mod 2N} with sign wrap; check on a monomial.
+        let ctx = ctx(8, 2);
+        let mut coeffs = vec![0u64; 8];
+        coeffs[3] = 1; // x^3
+        let a = ctx.from_u64_coeffs(&coeffs);
+        let b = ctx.automorphism(&a, 5); // x^15 = x^15-8 * (x^8=-1) => -x^7
+        let lifted = ctx.lift_centered(&b);
+        assert_eq!(lifted[7], BigInt::from_i64(-1));
+        for i in 0..7 {
+            assert!(lifted[i].is_zero());
+        }
+    }
+
+    #[test]
+    fn decompose_component_small_coeffs() {
+        let ctx = ctx(8, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = ctx.sample_uniform(&mut rng);
+        for i in 0..3 {
+            let d = ctx.decompose_component(&a, i);
+            // Its own component is unchanged.
+            assert_eq!(d.component(i), a.component(i));
+        }
+    }
+
+    #[test]
+    fn error_and_ternary_are_small() {
+        let ctx = ctx(256, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for poly in [ctx.sample_ternary(&mut rng), ctx.sample_error(&mut rng)] {
+            for c in ctx.lift_centered(&poly) {
+                assert!(c.mag.to_u64().unwrap() <= 10);
+            }
+        }
+    }
+}

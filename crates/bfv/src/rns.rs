@@ -1,0 +1,176 @@
+//! Residue number system (RNS) contexts: CRT decomposition and exact Garner
+//! reconstruction over a set of coprime 64-bit primes.
+//!
+//! BFV ciphertext coefficients live modulo `Q = q_0 · q_1 · ... · q_{k-1}`.
+//! Cheap operations stay componentwise; the multiply/decrypt paths
+//! reconstruct exact integers with [`RnsContext::reconstruct`].
+
+use crate::bigint::BigUint;
+use crate::zq::{inv_mod, mul_mod, sub_mod};
+
+/// Precomputed CRT data for a fixed list of distinct primes.
+///
+/// # Examples
+///
+/// ```
+/// use bfv::rns::RnsContext;
+/// use bfv::bigint::BigUint;
+///
+/// let ctx = RnsContext::new(vec![97, 101, 103]);
+/// let x = BigUint::from_u64(123_456);
+/// let residues = ctx.decompose(&x);
+/// assert_eq!(ctx.reconstruct(&residues), x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsContext {
+    primes: Vec<u64>,
+    modulus: BigUint,
+    /// `pp[j][i] = (p_0 * ... * p_{j-1}) mod p_i` for `j <= i` (Garner).
+    partial_mod: Vec<Vec<u64>>,
+    /// `garner_inv[i] = ((p_0 * ... * p_{i-1}) mod p_i)^{-1} mod p_i`.
+    garner_inv: Vec<u64>,
+}
+
+impl RnsContext {
+    /// Builds a context for `primes` (must be distinct primes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primes` is empty or contains duplicates.
+    pub fn new(primes: Vec<u64>) -> Self {
+        assert!(!primes.is_empty(), "need at least one prime");
+        for (i, &p) in primes.iter().enumerate() {
+            assert!(p > 1);
+            assert!(!primes[..i].contains(&p), "duplicate prime {p}");
+        }
+        let k = primes.len();
+        let mut modulus = BigUint::one();
+        for &p in &primes {
+            modulus = modulus.mul_u64(p);
+        }
+        // partial_mod[j][i]: product of first j primes mod p_i.
+        let mut partial_mod = vec![vec![0u64; k]; k];
+        for i in 0..k {
+            let mut acc = 1u64 % primes[i];
+            for j in 0..k {
+                partial_mod[j][i] = acc;
+                acc = mul_mod(acc, primes[j] % primes[i], primes[i]);
+            }
+        }
+        let garner_inv = (0..k)
+            .map(|i| inv_mod(partial_mod[i][i], primes[i]))
+            .collect();
+        RnsContext {
+            primes,
+            modulus,
+            partial_mod,
+            garner_inv,
+        }
+    }
+
+    /// The prime list.
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Number of primes.
+    pub fn len(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// True if the context has no primes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.primes.is_empty()
+    }
+
+    /// The full modulus `Q`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Reduces `x` modulo each prime.
+    pub fn decompose(&self, x: &BigUint) -> Vec<u64> {
+        self.primes.iter().map(|&p| x.rem_u64(p)).collect()
+    }
+
+    /// Exact CRT reconstruction into `[0, Q)` via Garner's mixed-radix
+    /// algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the prime count.
+    pub fn reconstruct(&self, residues: &[u64]) -> BigUint {
+        assert_eq!(residues.len(), self.primes.len());
+        let k = self.primes.len();
+        // Mixed-radix digits d_i.
+        let mut digits = vec![0u64; k];
+        for i in 0..k {
+            let p = self.primes[i];
+            let mut acc = 0u64;
+            for j in 0..i {
+                acc = crate::zq::add_mod(
+                    acc,
+                    mul_mod(digits[j] % p, self.partial_mod[j][i], p),
+                    p,
+                );
+            }
+            let diff = sub_mod(residues[i] % p, acc, p);
+            digits[i] = mul_mod(diff, self.garner_inv[i], p);
+        }
+        // Horner evaluation: x = d_0 + p_0 (d_1 + p_1 (d_2 + ...)).
+        let mut x = BigUint::from_u64(digits[k - 1]);
+        for i in (0..k - 1).rev() {
+            x = x.mul_u64(self.primes[i]);
+            x.add_assign_u64(digits[i]);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_small_primes() {
+        let ctx = RnsContext::new(vec![3, 5, 7]);
+        for v in 0..105u64 {
+            let x = BigUint::from_u64(v);
+            assert_eq!(ctx.reconstruct(&ctx.decompose(&x)), x, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_primes() {
+        let primes = crate::zq::ntt_primes(50, 1 << 13, 5, &[]);
+        let ctx = RnsContext::new(primes);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            // random value < Q via random residues
+            let residues: Vec<u64> = ctx.primes().iter().map(|&p| rng.gen_range(0..p)).collect();
+            let x = ctx.reconstruct(&residues);
+            assert!(x.cmp_big(ctx.modulus()) == std::cmp::Ordering::Less);
+            assert_eq!(ctx.decompose(&x), residues);
+        }
+    }
+
+    #[test]
+    fn modulus_is_product() {
+        let ctx = RnsContext::new(vec![97, 101]);
+        assert_eq!(ctx.modulus().to_u64(), Some(97 * 101));
+    }
+
+    #[test]
+    fn single_prime_context() {
+        let ctx = RnsContext::new(vec![65537]);
+        let x = BigUint::from_u64(1234);
+        assert_eq!(ctx.reconstruct(&ctx.decompose(&x)), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        RnsContext::new(vec![97, 97]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Arithmetic in 64-bit prime fields: modular ops, deterministic
+//! Miller–Rabin primality, NTT-friendly prime search, and roots of unity.
+//!
+//! Every RNS component of a BFV ciphertext lives in `Z_p` for a prime
+//! `p ≡ 1 (mod 2N)` so the negacyclic NTT exists. This module finds those
+//! primes and the 2N-th roots of unity the NTT tables need.
+
+/// `(a + b) mod m` for `a, b < m`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    let (s, ov) = a.overflowing_add(b);
+    if ov || s >= m {
+        s.wrapping_sub(m)
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod m` for `a, b < m`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_sub(b).wrapping_add(m)
+    }
+}
+
+/// `(a * b) mod m` via 128-bit widening.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a^e mod m` by square-and-multiply.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    a %= m;
+    let mut acc = 1u64 % m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` modulo prime `p` (Fermat).
+///
+/// # Panics
+///
+/// Panics if `a ≡ 0 (mod p)`.
+pub fn inv_mod(a: u64, p: u64) -> u64 {
+    assert!(a % p != 0, "zero has no inverse");
+    pow_mod(a, p - 2, p)
+}
+
+/// Shoup precomputation: `floor(w * 2^64 / p)` for fast `mul_mod_shoup`.
+#[inline]
+pub fn shoup_precompute(w: u64, p: u64) -> u64 {
+    (((w as u128) << 64) / p as u128) as u64
+}
+
+/// `(a * w) mod p` using a Shoup-precomputed `w_shoup`; ~2× faster than
+/// `mul_mod` for fixed multiplicands (NTT twiddles).
+#[inline]
+pub fn mul_mod_shoup(a: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
+    let q = ((a as u128 * w_shoup as u128) >> 64) as u64;
+    let r = a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(p));
+    if r >= p {
+        r - p
+    } else {
+        r
+    }
+}
+
+/// Deterministic Miller–Rabin for `u64` (fixed witness set, correct for all
+/// 64-bit inputs).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns `count` distinct primes `p ≡ 1 (mod modulus)` just below
+/// `2^bits`, descending, skipping any in `exclude`.
+///
+/// # Panics
+///
+/// Panics if `bits > 62`, `modulus` is not a power of two, or not enough
+/// primes exist in range (never happens for the sizes used here).
+pub fn ntt_primes(bits: u32, modulus: u64, count: usize, exclude: &[u64]) -> Vec<u64> {
+    assert!(bits >= 20 && bits <= 62, "prime size out of range");
+    assert!(modulus.is_power_of_two());
+    let mut out = Vec::with_capacity(count);
+    // Largest candidate ≡ 1 mod `modulus` below 2^bits.
+    let mut cand = ((1u64 << bits) - 1) / modulus * modulus + 1;
+    while out.len() < count {
+        assert!(cand > (1u64 << (bits - 1)), "ran out of candidate primes");
+        if is_prime(cand) && !exclude.contains(&cand) && !out.contains(&cand) {
+            out.push(cand);
+        }
+        cand -= modulus;
+    }
+    out
+}
+
+/// Finds a generator of the multiplicative group of `Z_p` (p prime).
+pub fn primitive_root(p: u64) -> u64 {
+    let phi = p - 1;
+    let factors = factorize(phi);
+    'g: for g in 2..p {
+        for &f in &factors {
+            if pow_mod(g, phi / f, p) == 1 {
+                continue 'g;
+            }
+        }
+        return g;
+    }
+    unreachable!("no primitive root found for prime {p}")
+}
+
+/// Returns a primitive `order`-th root of unity modulo prime `p`.
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `p - 1`.
+pub fn root_of_unity(order: u64, p: u64) -> u64 {
+    assert!((p - 1) % order == 0, "order {order} must divide p-1 ({p})");
+    let g = primitive_root(p);
+    let root = pow_mod(g, (p - 1) / order, p);
+    debug_assert_eq!(pow_mod(root, order, p), 1);
+    debug_assert_ne!(pow_mod(root, order / 2, p), 1);
+    root
+}
+
+/// Trial-division factorization (distinct prime factors only). The inputs
+/// here are `p - 1` values that are smooth by construction, so this is fast.
+fn factorize(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_mod_ops() {
+        let p = 65537;
+        assert_eq!(add_mod(65536, 1, p), 0);
+        assert_eq!(sub_mod(0, 1, p), 65536);
+        assert_eq!(mul_mod(65536, 65536, p), 1); // (-1)^2 = 1
+        assert_eq!(pow_mod(3, 65536, p), 1); // Fermat
+        assert_eq!(mul_mod(inv_mod(12345, p), 12345, p), 1);
+    }
+
+    #[test]
+    fn overflow_safe_add() {
+        let p = (1u64 << 62) - 57; // not prime necessarily; add_mod only needs m
+        let a = p - 1;
+        assert_eq!(add_mod(a, a, p), p - 2);
+    }
+
+    #[test]
+    fn shoup_matches_plain() {
+        let p = ntt_primes(50, 1 << 13, 1, &[])[0];
+        let w = 0x1234_5678 % p;
+        let ws = shoup_precompute(w, p);
+        for a in [0u64, 1, 2, p - 1, p / 2, 0xdeadbeef % p] {
+            assert_eq!(mul_mod_shoup(a, w, ws, p), mul_mod(a, w, p));
+        }
+    }
+
+    #[test]
+    fn primality_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(65537));
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime M61
+        assert!(!is_prime(1));
+        assert!(!is_prime(65536));
+        assert!(!is_prime(3215031751)); // strong pseudoprime to bases 2,3,5,7
+    }
+
+    #[test]
+    fn ntt_prime_search() {
+        let n = 8192u64;
+        let ps = ntt_primes(50, 2 * n, 4, &[]);
+        assert_eq!(ps.len(), 4);
+        for &p in &ps {
+            assert!(is_prime(p));
+            assert_eq!(p % (2 * n), 1);
+            assert!(p < (1 << 50));
+        }
+        // excluded primes are skipped
+        let more = ntt_primes(50, 2 * n, 2, &ps);
+        assert!(more.iter().all(|p| !ps.contains(p)));
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let p = 65537u64;
+        let root = root_of_unity(16384, p); // 2N for N = 8192
+        assert_eq!(pow_mod(root, 16384, p), 1);
+        assert_ne!(pow_mod(root, 8192, p), 1);
+        // psi^N = -1 for negacyclic
+        assert_eq!(pow_mod(root, 8192, p), p - 1);
+    }
+
+    #[test]
+    fn primitive_root_of_fermat_prime() {
+        // 3 is the canonical primitive root of 65537.
+        assert_eq!(primitive_root(65537), 3);
+    }
+}

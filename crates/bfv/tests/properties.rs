@@ -1,0 +1,180 @@
+//! Property-based tests for the number-theoretic core of the BFV
+//! substrate: big integers against `u128` ground truth, NTT algebra, CRT
+//! bijectivity, and homomorphic slot semantics.
+
+use bfv::bigint::{center, BigInt, BigUint};
+use bfv::ntt::{negacyclic_mul_schoolbook, NttTables};
+use bfv::rns::RnsContext;
+use bfv::zq;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bigint_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let ba = BigUint::from_u128(a);
+        let bb = BigUint::from_u128(b);
+        let sum = ba.add(&bb);
+        prop_assert_eq!(sum.sub(&bb), ba.clone());
+        prop_assert_eq!(sum.sub(&ba), bb);
+    }
+
+    #[test]
+    fn bigint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+        prop_assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn bigint_div_rem_reconstructs(a in any::<u128>(), b in 1..=u128::MAX) {
+        let ba = BigUint::from_u128(a);
+        let bb = BigUint::from_u128(b);
+        let (q, r) = ba.div_rem(&bb);
+        prop_assert_eq!(q.mul(&bb).add(&r), ba);
+        prop_assert!(r.cmp_big(&bb) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn bigint_div_rem_multi_limb(limbs in prop::collection::vec(any::<u64>(), 3..6),
+                                 dlimbs in prop::collection::vec(any::<u64>(), 2..4)) {
+        let a = BigUint::from_limbs(limbs);
+        let b = BigUint::from_limbs(dlimbs);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r.cmp_big(&b) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn bigint_shifts_are_mul_div_by_powers(a in any::<u128>(), sh in 0u32..100) {
+        let ba = BigUint::from_u128(a);
+        let shifted = ba.shl_bits(sh);
+        prop_assert_eq!(shifted.shr_bits(sh), ba.clone());
+        // shl then rem_u64 by 2 == 0 for sh >= 1
+        if sh >= 1 && !ba.is_zero() {
+            prop_assert_eq!(shifted.rem_u64(2), 0);
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i128(a in -(1i128 << 62)..(1i128 << 62),
+                                      b in -(1i128 << 62)..(1i128 << 62)) {
+        let ba = BigInt { mag: BigUint::from_u128(a.unsigned_abs()), neg: a < 0 };
+        let bb = BigInt { mag: BigUint::from_u128(b.unsigned_abs()), neg: b < 0 };
+        let sum = ba.add(&bb);
+        let expect = a + b;
+        prop_assert_eq!(sum.mag.to_u128(), Some(expect.unsigned_abs()));
+        if expect != 0 {
+            prop_assert_eq!(sum.neg, expect < 0);
+        }
+    }
+
+    #[test]
+    fn center_is_inverse_of_mod(v in any::<u64>()) {
+        let q = BigUint::from_u64(1_000_003);
+        let x = BigUint::from_u64(v % 1_000_003);
+        let c = center(&x, &q);
+        prop_assert_eq!(c.rem_euclid_u64(1_000_003), v % 1_000_003);
+    }
+
+    #[test]
+    fn pow_mod_fermat(a in 2u64..65536) {
+        // a^(p-1) = 1 mod p for prime p not dividing a
+        prop_assert_eq!(zq::pow_mod(a, 65536, 65537), if a % 65537 == 0 { 0 } else { 1 });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ntt_multiply_matches_schoolbook(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let n = 32;
+        let p = zq::ntt_primes(45, 2 * n as u64, 1, &[])[0];
+        let t = NttTables::new(p, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..p)).collect();
+        prop_assert_eq!(t.multiply(&a, &b), negacyclic_mul_schoolbook(&a, &b, p));
+    }
+
+    #[test]
+    fn crt_roundtrip_random_residues(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let primes = zq::ntt_primes(45, 64, 4, &[]);
+        let ctx = RnsContext::new(primes);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let residues: Vec<u64> = ctx.primes().iter().map(|&p| rng.gen_range(0..p)).collect();
+        let x = ctx.reconstruct(&residues);
+        prop_assert_eq!(ctx.decompose(&x), residues);
+    }
+}
+
+/// Homomorphic slot semantics: random circuits of adds/mults/rotations over
+/// encrypted data agree with plaintext evaluation.
+#[test]
+fn random_homomorphic_circuits_agree_with_plaintext() {
+    use bfv::encoding::BatchEncoder;
+    use bfv::encrypt::{Decryptor, Encryptor};
+    use bfv::evaluator::Evaluator;
+    use bfv::keys::KeyGenerator;
+    use bfv::params::{BfvContext, BfvParams};
+    use rand::{Rng, SeedableRng};
+
+    let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
+    let encoder = BatchEncoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let rk = keygen.relin_key(&mut rng);
+    let gk = keygen.galois_keys_for_rotations(&[1, 3], false, &mut rng);
+
+    let t = ctx.params().plain_modulus;
+    let half = encoder.row_size();
+    for trial in 0..4 {
+        let va: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
+        let vb: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
+        let mut ct = encryptor.encrypt(&encoder.encode(&va), &mut rng);
+        let cb = encryptor.encrypt(&encoder.encode(&vb), &mut rng);
+        let mut model = va.clone();
+
+        for step in 0..5 {
+            match (trial + step) % 4 {
+                0 => {
+                    ct = ev.add(&ct, &cb);
+                    for i in 0..model.len() {
+                        model[i] = (model[i] + vb[i]) % t;
+                    }
+                }
+                1 => {
+                    ct = ev.rotate_rows(&ct, 1, &gk);
+                    let rot = |m: &[u64]| -> Vec<u64> {
+                        let mut out = vec![0u64; m.len()];
+                        for i in 0..half {
+                            out[i] = m[(i + 1) % half];
+                            out[half + i] = m[half + (i + 1) % half];
+                        }
+                        out
+                    };
+                    model = rot(&model);
+                }
+                2 => {
+                    ct = ev.multiply_relin(&ct, &cb, &rk);
+                    for i in 0..model.len() {
+                        model[i] = ((model[i] as u128 * vb[i] as u128) % t as u128) as u64;
+                    }
+                }
+                _ => {
+                    ct = ev.sub(&ct, &cb);
+                    for i in 0..model.len() {
+                        model[i] = (model[i] + t - vb[i]) % t;
+                    }
+                }
+            }
+        }
+        assert!(decryptor.invariant_noise_budget(&ct) > 0, "trial {trial}");
+        assert_eq!(encoder.decode(&decryptor.decrypt(&ct)), model, "trial {trial}");
+    }
+}

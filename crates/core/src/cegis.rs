@@ -1,0 +1,337 @@
+//! The synthesis engine (§5, Algorithm 1): counter-example–guided inductive
+//! synthesis with iterative sketch deepening and cost minimization.
+//!
+//! 1. **Initial solution.** For `L = 1, 2, …` search `sketch_L` for a
+//!    program agreeing with the examples; verify symbolically; on failure
+//!    add the counter-example and retry. The first verified program has the
+//!    minimum component count.
+//! 2. **Optimization.** Re-issue the query with the constraint
+//!    `cost < cost(best)` until the search proves no cheaper program exists
+//!    (yielding the optimum within the sketch) or the timeout fires.
+
+use crate::search::{SearchOutcome, Searcher};
+use crate::sketch::Sketch;
+use crate::spec::{Example, KernelSpec};
+use crate::verify::verify;
+use quill::cost::{cost, LatencyModel};
+use quill::program::Program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Knobs for one synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// Total wall-clock budget (Algorithm 1 stops with the best program so
+    /// far when it fires; the paper used a 20-minute no-progress timeout).
+    pub timeout: Duration,
+    /// Run the cost-minimization phase after the initial solution.
+    pub optimize: bool,
+    /// The latency model behind the cost objective.
+    pub latency: LatencyModel,
+    /// RNG seed (examples and counter-example sampling are deterministic
+    /// given the seed).
+    pub seed: u64,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            timeout: Duration::from_secs(600),
+            optimize: true,
+            latency: LatencyModel::profiled_default(),
+            seed: 0x9E3779B9,
+        }
+    }
+}
+
+/// The outcome of a successful synthesis run, including the measurements
+/// Table 3 reports.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The best verified program found.
+    pub program: Program,
+    /// The first verified program (upper bound used by the optimizer).
+    pub initial_program: Program,
+    /// Cost of the initial program.
+    pub initial_cost: f64,
+    /// Cost of the best program.
+    pub final_cost: f64,
+    /// Arithmetic component count of the sketch instance that succeeded.
+    pub components: usize,
+    /// Input–output examples consumed (initial + counter-examples).
+    pub examples_used: usize,
+    /// Time to the initial solution.
+    pub time_to_initial: Duration,
+    /// Total time including optimization.
+    pub time_total: Duration,
+    /// True if the optimizer exhausted the space (proved optimality within
+    /// the sketch) rather than hitting the timeout.
+    pub proved_optimal: bool,
+}
+
+/// Synthesis failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// No program in the sketch (up to `max_components`) satisfies the
+    /// specification.
+    SketchTooRestrictive {
+        /// The largest component count tried.
+        max_components: usize,
+    },
+    /// The time budget expired before any verified solution was found.
+    Timeout,
+    /// Verification failed but no concrete counter-example could be
+    /// sampled (probabilistically negligible).
+    CounterExampleExtraction,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::SketchTooRestrictive { max_components } => write!(
+                f,
+                "no satisfying program exists in the sketch with up to {max_components} components"
+            ),
+            SynthesisError::Timeout => write!(f, "synthesis timed out before finding a solution"),
+            SynthesisError::CounterExampleExtraction => {
+                write!(f, "could not extract a concrete counter-example")
+            }
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+/// Synthesizes a verified, cost-optimized HE kernel for `spec` within
+/// `sketch` (the paper's top-level entry point).
+///
+/// # Errors
+///
+/// See [`SynthesisError`].
+///
+/// # Examples
+///
+/// ```
+/// use porcupine::cegis::{synthesize, SynthesisOptions};
+/// use porcupine::sketch::{ArithOp, RotationSet, Sketch, SketchOp};
+/// use porcupine::spec::{GenericReference, KernelSpec};
+/// use quill::ring::Ring;
+///
+/// // Sum the four slots of a packed vector into slot 0.
+/// struct Sum4;
+/// impl GenericReference for Sum4 {
+///     fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+///         let s = ct[0].iter().fold(ct[0][0].from_i64(0), |a, x| a.add(x));
+///         vec![s, ct[0][0].from_i64(0), ct[0][0].from_i64(0), ct[0][0].from_i64(0)]
+///     }
+/// }
+/// let mut mask = vec![false; 4];
+/// mask[0] = true;
+/// let spec = KernelSpec::new("sum4", 4, 1, 0, mask, 65537, Box::new(Sum4));
+/// let sketch = Sketch::new(
+///     vec![SketchOp::rotated(ArithOp::AddCtCt)],
+///     RotationSet::PowersOfTwo { extent: 4 },
+///     3,
+/// );
+/// let result = synthesize(&spec, &sketch, &SynthesisOptions::default())?;
+/// assert_eq!(result.components, 2); // two rotate-and-add steps
+/// # Ok::<(), porcupine::cegis::SynthesisError>(())
+/// ```
+pub fn synthesize(
+    spec: &KernelSpec,
+    sketch: &Sketch,
+    options: &SynthesisOptions,
+) -> Result<SynthesisResult, SynthesisError> {
+    let start = Instant::now();
+    let deadline = start + options.timeout;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut examples: Vec<Example> = vec![spec.sample_example(&mut rng)];
+
+    // Phase 1: find the initial solution at minimal component count.
+    let mut initial: Option<(Program, usize)> = None;
+    'deepening: for num_components in 1..=sketch.max_components {
+        loop {
+            if Instant::now() >= deadline {
+                return Err(SynthesisError::Timeout);
+            }
+            let mut searcher = Searcher::new(
+                spec,
+                sketch,
+                &examples,
+                &options.latency,
+                Some(deadline),
+                None,
+            );
+            match searcher.run(num_components) {
+                SearchOutcome::Unsat => break, // try a larger sketch
+                SearchOutcome::Timeout => return Err(SynthesisError::Timeout),
+                SearchOutcome::Found(program) => {
+                    match verify(&program, spec, &mut rng) {
+                        Ok(()) => {
+                            initial = Some((program, num_components));
+                            break 'deepening;
+                        }
+                        Err(failure) => {
+                            let cex = failure
+                                .counter_example
+                                .ok_or(SynthesisError::CounterExampleExtraction)?;
+                            examples.push(cex);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let (initial_program, components) = initial.ok_or(SynthesisError::SketchTooRestrictive {
+        max_components: sketch.max_components,
+    })?;
+    let time_to_initial = start.elapsed();
+    let initial_cost = cost(&initial_program, &options.latency);
+
+    // Phase 2: minimize cost within the same sketch instance.
+    let mut best = initial_program.clone();
+    let mut best_cost = initial_cost;
+    let mut proved_optimal = false;
+    if options.optimize {
+        loop {
+            if Instant::now() >= deadline {
+                break;
+            }
+            let mut searcher = Searcher::new(
+                spec,
+                sketch,
+                &examples,
+                &options.latency,
+                Some(deadline),
+                Some(best_cost),
+            );
+            match searcher.run(components) {
+                SearchOutcome::Unsat => {
+                    proved_optimal = true;
+                    break;
+                }
+                SearchOutcome::Timeout => break,
+                SearchOutcome::Found(program) => match verify(&program, spec, &mut rng) {
+                    Ok(()) => {
+                        best_cost = cost(&program, &options.latency);
+                        best = program;
+                    }
+                    Err(failure) => {
+                        let cex = failure
+                            .counter_example
+                            .ok_or(SynthesisError::CounterExampleExtraction)?;
+                        examples.push(cex);
+                    }
+                },
+            }
+        }
+    }
+
+    Ok(SynthesisResult {
+        program: best,
+        initial_program,
+        initial_cost,
+        final_cost: best_cost,
+        components,
+        examples_used: examples.len(),
+        time_to_initial,
+        time_total: start.elapsed(),
+        proved_optimal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::{ArithOp, RotationSet, SketchOp};
+    use crate::spec::GenericReference;
+    use quill::interp;
+    use quill::ring::Ring;
+
+    struct Sum {
+        n: usize,
+    }
+
+    impl GenericReference for Sum {
+        fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+            let s = ct[0].iter().fold(ct[0][0].from_i64(0), |a, x| a.add(x));
+            let mut out = vec![ct[0][0].from_i64(0); self.n];
+            out[0] = s;
+            out
+        }
+    }
+
+    fn sum_spec(n: usize) -> KernelSpec {
+        let mut mask = vec![false; n];
+        mask[0] = true;
+        KernelSpec::new("sum", n, 1, 0, mask, 65537, Box::new(Sum { n }))
+    }
+
+    fn quick_options() -> SynthesisOptions {
+        SynthesisOptions {
+            timeout: Duration::from_secs(60),
+            optimize: true,
+            latency: LatencyModel::uniform(),
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn synthesizes_log_tree_reduction() {
+        let spec = sum_spec(8);
+        let sketch = Sketch::new(
+            vec![SketchOp::rotated(ArithOp::AddCtCt)],
+            RotationSet::PowersOfTwo { extent: 8 },
+            4,
+        );
+        let r = synthesize(&spec, &sketch, &quick_options()).unwrap();
+        assert_eq!(r.components, 3, "log2(8) adds");
+        assert_eq!(r.program.len(), 6, "3 adds + 3 rotations");
+        assert!(r.proved_optimal);
+        assert!(r.final_cost <= r.initial_cost);
+        // cross-check on fresh inputs
+        let x: Vec<u64> = (1..=8).collect();
+        let out = interp::eval_concrete(&r.program, &[x], &[], 65537);
+        assert_eq!(out[0], 36);
+    }
+
+    #[test]
+    fn reports_sketch_too_restrictive() {
+        let spec = sum_spec(8);
+        // Only one add allowed: cannot reduce 8 slots.
+        let sketch = Sketch::new(
+            vec![SketchOp::rotated(ArithOp::AddCtCt)],
+            RotationSet::PowersOfTwo { extent: 8 },
+            1,
+        );
+        let err = synthesize(&spec, &sketch, &quick_options()).unwrap_err();
+        assert_eq!(
+            err,
+            SynthesisError::SketchTooRestrictive { max_components: 1 }
+        );
+    }
+
+    #[test]
+    fn counter_examples_reject_lucky_programs() {
+        // Over a single example a wrong program can pass; verification must
+        // push counter-examples until only correct programs remain. The
+        // masked single-output sum is exactly the shape the paper reports
+        // needing multiple examples for (§7.4).
+        let spec = sum_spec(4);
+        let sketch = Sketch::new(
+            vec![
+                SketchOp::rotated(ArithOp::AddCtCt),
+                SketchOp::rotated(ArithOp::SubCtCt),
+            ],
+            RotationSet::PowersOfTwo { extent: 4 },
+            3,
+        );
+        let r = synthesize(&spec, &sketch, &quick_options()).unwrap();
+        let x = vec![11u64, 22, 33, 44];
+        let out = interp::eval_concrete(&r.program, &[x], &[], 65537);
+        assert_eq!(out[0], 110);
+    }
+}

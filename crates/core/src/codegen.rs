@@ -1,0 +1,361 @@
+//! Code generation (§5.3): lowering synthesized Quill kernels onto the BFV
+//! backend, plus SEAL-style C++ emission (Figure 3f).
+//!
+//! Quill instructions map 1:1 onto [`bfv::Evaluator`] calls; the only
+//! post-processing is inserting a relinearization after every
+//! ciphertext–ciphertext multiply, exactly as the paper's SEAL codegen does.
+//! Model-size slot semantics carry over to the full ciphertext because every
+//! lifted kernel passes the padding-stability check ([`crate::lift`]): data
+//! lives in row-0 slots `[0, n)` and all other slots are zero.
+
+use bfv::encoding::{BatchEncoder, Plaintext};
+use bfv::encrypt::Ciphertext;
+use bfv::evaluator::Evaluator;
+use bfv::keys::{GaloisKeys, KeyGenerator, RelinKey};
+use bfv::params::BfvContext;
+use quill::program::{Instr, Program, PtOperand, ValRef};
+use rand::Rng;
+use std::fmt::Write as _;
+
+/// Executes Quill programs on the BFV backend with the keys they need.
+pub struct BfvRunner<'a> {
+    ctx: &'a BfvContext,
+    encoder: BatchEncoder<'a>,
+    evaluator: Evaluator<'a>,
+    relin: Option<RelinKey>,
+    galois: GaloisKeys,
+}
+
+impl std::fmt::Debug for BfvRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BfvRunner")
+            .field("galois_elements", &self.galois.elements())
+            .field("has_relin", &self.relin.is_some())
+            .finish()
+    }
+}
+
+impl<'a> BfvRunner<'a> {
+    /// Prepares a runner able to execute all of `programs`: generates Galois
+    /// keys for every rotation they use and a relinearization key if any of
+    /// them multiplies ciphertexts.
+    pub fn for_programs<R: Rng + ?Sized>(
+        ctx: &'a BfvContext,
+        keygen: &KeyGenerator<'a>,
+        programs: &[&Program],
+        rng: &mut R,
+    ) -> Self {
+        let mut steps: Vec<i64> = programs
+            .iter()
+            .flat_map(|p| p.rotation_amounts())
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        let galois = keygen.galois_keys_for_rotations(&steps, false, rng);
+        let needs_relin = programs.iter().any(|p| p.ct_ct_mul_count() > 0);
+        let relin = needs_relin.then(|| keygen.relin_key(rng));
+        BfvRunner {
+            ctx,
+            encoder: BatchEncoder::new(ctx),
+            evaluator: Evaluator::new(ctx),
+            relin,
+            galois,
+        }
+    }
+
+    /// The batch encoder (for packing inputs and decoding outputs).
+    pub fn encoder(&self) -> &BatchEncoder<'a> {
+        &self.encoder
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator<'a> {
+        &self.evaluator
+    }
+
+    /// Runs a program over encrypted inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input arities mismatch the program or a required key is
+    /// missing (prepare with [`BfvRunner::for_programs`]).
+    pub fn run(
+        &self,
+        prog: &Program,
+        ct_inputs: &[&Ciphertext],
+        pt_inputs: &[&Plaintext],
+    ) -> Ciphertext {
+        assert_eq!(ct_inputs.len(), prog.num_ct_inputs, "ct input arity");
+        assert_eq!(pt_inputs.len(), prog.num_pt_inputs, "pt input arity");
+        let ev = &self.evaluator;
+        let mut results: Vec<Ciphertext> = Vec::with_capacity(prog.instrs.len());
+        let get = |r: &ValRef, results: &[Ciphertext]| -> Ciphertext {
+            match r {
+                ValRef::Input(i) => ct_inputs[*i].clone(),
+                ValRef::Instr(j) => results[*j].clone(),
+            }
+        };
+        let splat = |v: i64| -> Plaintext {
+            let t = self.ctx.params().plain_modulus as i64;
+            let val = v.rem_euclid(t) as u64;
+            self.encoder
+                .encode(&vec![val; self.encoder.slot_count()])
+        };
+        let get_pt = |p: &PtOperand| -> Plaintext {
+            match p {
+                PtOperand::Input(i) => pt_inputs[*i].clone(),
+                PtOperand::Splat(v) => splat(*v),
+            }
+        };
+        for instr in &prog.instrs {
+            let out = match instr {
+                Instr::AddCtCt(a, b) => ev.add(&get(a, &results), &get(b, &results)),
+                Instr::SubCtCt(a, b) => ev.sub(&get(a, &results), &get(b, &results)),
+                Instr::MulCtCt(a, b) => {
+                    let rk = self
+                        .relin
+                        .as_ref()
+                        .expect("relin key prepared for ct-ct multiply");
+                    ev.multiply_relin(&get(a, &results), &get(b, &results), rk)
+                }
+                Instr::AddCtPt(a, p) => ev.add_plain(&get(a, &results), &get_pt(p)),
+                Instr::SubCtPt(a, p) => ev.sub_plain(&get(a, &results), &get_pt(p)),
+                Instr::MulCtPt(a, p) => ev.mul_plain(&get(a, &results), &get_pt(p)),
+                Instr::RotCt(a, r) => ev.rotate_rows(&get(a, &results), *r, &self.galois),
+            };
+            results.push(out);
+        }
+        get(&prog.output, &results)
+    }
+}
+
+/// Emits a SEAL-style C++ function for a kernel (Figure 3f).
+///
+/// # Examples
+///
+/// ```
+/// use porcupine::codegen::emit_seal_cpp;
+/// use quill::program::{Instr, Program, ValRef};
+///
+/// let p = Program::new(
+///     "pairsum", 1, 0,
+///     vec![
+///         Instr::RotCt(ValRef::Input(0), 1),
+///         Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+///     ],
+///     ValRef::Instr(1),
+/// );
+/// let cpp = emit_seal_cpp(&p);
+/// assert!(cpp.contains("ev.rotate_rows"));
+/// assert!(cpp.contains("void pairsum"));
+/// ```
+pub fn emit_seal_cpp(prog: &Program) -> String {
+    let mut out = String::new();
+    let name = prog.name.replace('-', "_");
+    let _ = writeln!(
+        out,
+        "// Generated by Porcupine: {} instructions, logic depth {}, mult depth {}",
+        prog.len(),
+        prog.logic_depth(),
+        prog.mult_depth()
+    );
+    let _ = writeln!(out, "void {name}(");
+    let _ = writeln!(out, "    seal::Evaluator &ev,");
+    let _ = writeln!(out, "    seal::BatchEncoder &encoder,");
+    let _ = writeln!(out, "    const seal::GaloisKeys &gal_keys,");
+    let _ = writeln!(out, "    const seal::RelinKeys &relin_keys,");
+    let _ = writeln!(out, "    const std::vector<seal::Ciphertext> &ct_in,");
+    let _ = writeln!(out, "    const std::vector<seal::Plaintext> &pt_in,");
+    let _ = writeln!(out, "    seal::Ciphertext &result) {{");
+
+    // Pre-encode splat constants.
+    let mut splats: Vec<i64> = prog
+        .instrs
+        .iter()
+        .filter_map(|i| match i {
+            Instr::AddCtPt(_, PtOperand::Splat(v))
+            | Instr::SubCtPt(_, PtOperand::Splat(v))
+            | Instr::MulCtPt(_, PtOperand::Splat(v)) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    splats.sort_unstable();
+    splats.dedup();
+    for v in &splats {
+        let ident = splat_ident(*v);
+        let _ = writeln!(out, "    seal::Plaintext {ident};");
+        let _ = writeln!(
+            out,
+            "    encoder.encode(std::vector<uint64_t>(encoder.slot_count(), {v}), {ident});"
+        );
+    }
+
+    let val = |r: ValRef| -> String {
+        match r {
+            ValRef::Input(i) => format!("ct_in[{i}]"),
+            ValRef::Instr(j) => format!("c{j}"),
+        }
+    };
+    let pt = |p: &PtOperand| -> String {
+        match p {
+            PtOperand::Input(i) => format!("pt_in[{i}]"),
+            PtOperand::Splat(v) => splat_ident(*v),
+        }
+    };
+    for (j, instr) in prog.instrs.iter().enumerate() {
+        let _ = writeln!(out, "    seal::Ciphertext c{j};");
+        let line = match instr {
+            Instr::AddCtCt(a, b) => format!("ev.add({}, {}, c{j});", val(*a), val(*b)),
+            Instr::SubCtCt(a, b) => format!("ev.sub({}, {}, c{j});", val(*a), val(*b)),
+            Instr::MulCtCt(a, b) => format!(
+                "ev.multiply({}, {}, c{j});\n    ev.relinearize_inplace(c{j}, relin_keys);",
+                val(*a),
+                val(*b)
+            ),
+            Instr::AddCtPt(a, p) => format!("ev.add_plain({}, {}, c{j});", val(*a), pt(p)),
+            Instr::SubCtPt(a, p) => format!("ev.sub_plain({}, {}, c{j});", val(*a), pt(p)),
+            Instr::MulCtPt(a, p) => format!("ev.multiply_plain({}, {}, c{j});", val(*a), pt(p)),
+            Instr::RotCt(a, r) => format!("ev.rotate_rows({}, {r}, gal_keys, c{j});", val(*a)),
+        };
+        let _ = writeln!(out, "    {line}");
+    }
+    let _ = writeln!(out, "    result = {};", val(prog.output));
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn splat_ident(v: i64) -> String {
+    if v < 0 {
+        format!("splat_m{}", -v)
+    } else {
+        format!("splat_{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfv::params::BfvParams;
+    use quill::interp;
+    use rand::SeedableRng;
+
+    fn run_and_compare(prog: &Program, model_n: usize, masked: &[usize]) {
+        let ctx = bfv::params::BfvContext::new(BfvParams::test_small()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
+        let keygen = KeyGenerator::new(&ctx, &mut rng);
+        let pk = keygen.public_key(&mut rng);
+        let enc = bfv::encrypt::Encryptor::new(&ctx, pk);
+        let dec = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
+        let runner = BfvRunner::for_programs(&ctx, &keygen, &[prog], &mut rng);
+        let t = ctx.params().plain_modulus;
+
+        // random model inputs in [0, n), zero elsewhere (padded layout)
+        use rand::Rng as _;
+        let ct_model: Vec<Vec<u64>> = (0..prog.num_ct_inputs)
+            .map(|_| (0..model_n).map(|_| rng.gen_range(0..t)).collect())
+            .collect();
+        let pt_model: Vec<Vec<u64>> = (0..prog.num_pt_inputs)
+            .map(|_| (0..model_n).map(|_| rng.gen_range(0..t)).collect())
+            .collect();
+        let expected = interp::eval_concrete(prog, &ct_model, &pt_model, t);
+
+        let encoder = runner.encoder();
+        let cts: Vec<Ciphertext> = ct_model
+            .iter()
+            .map(|v| enc.encrypt(&encoder.encode(v), &mut rng))
+            .collect();
+        let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
+        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
+        let pt_refs: Vec<&Plaintext> = pts.iter().collect();
+        let out = runner.run(prog, &ct_refs, &pt_refs);
+        assert!(dec.invariant_noise_budget(&out) > 0, "budget exhausted");
+        let decoded = encoder.decode(&dec.decrypt(&out));
+        for &slot in masked {
+            assert_eq!(decoded[slot], expected[slot], "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn backend_matches_interpreter_on_reduction() {
+        // sum of 4 elements into slot 0 (masked), padded model of 8 slots.
+        let prog = Program::new(
+            "sum4",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 2),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+                Instr::RotCt(ValRef::Instr(1), 1),
+                Instr::AddCtCt(ValRef::Instr(1), ValRef::Instr(2)),
+            ],
+            ValRef::Instr(3),
+        );
+        // model inputs occupy 8 slots; data in first 4 would not be padded —
+        // use mask slot 0 only and rely on random input across all 8 slots
+        // matching circular semantics at both sizes? No: restrict to padded
+        // data by masking slot 0 and keeping the model self-consistent.
+        // Here inputs are random over all 8 model slots, so we must verify
+        // padding stability does NOT hold for slots near the wrap; slot 0
+        // reads slots 0..=3 only, which is fine.
+        run_and_compare(&prog, 8, &[0]);
+    }
+
+    #[test]
+    fn backend_matches_interpreter_with_multiply_and_pt() {
+        let prog = Program::new(
+            "mixed",
+            2,
+            1,
+            vec![
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)),
+                Instr::MulCtPt(ValRef::Instr(0), PtOperand::Input(0)),
+                Instr::AddCtPt(ValRef::Instr(1), PtOperand::Splat(7)),
+                Instr::RotCt(ValRef::Instr(2), 1),
+                Instr::SubCtCt(ValRef::Instr(3), ValRef::Instr(2)),
+            ],
+            ValRef::Instr(4),
+        );
+        // slots 0..6 of an 8-slot model avoid the wrap read of slot 7.
+        run_and_compare(&prog, 8, &[0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn backend_handles_negative_rotations() {
+        let prog = Program::new(
+            "right-shift",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), -2),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        // slot i reads i and i-2: valid for slots 2..8.
+        run_and_compare(&prog, 8, &[2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn seal_emission_contains_all_ops() {
+        let prog = Program::new(
+            "demo-kernel",
+            1,
+            1,
+            vec![
+                Instr::RotCt(ValRef::Input(0), -5),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+                Instr::MulCtCt(ValRef::Instr(1), ValRef::Instr(1)),
+                Instr::MulCtPt(ValRef::Instr(2), PtOperand::Splat(2)),
+                Instr::SubCtPt(ValRef::Instr(3), PtOperand::Input(0)),
+            ],
+            ValRef::Instr(4),
+        );
+        let cpp = emit_seal_cpp(&prog);
+        assert!(cpp.contains("void demo_kernel"));
+        assert!(cpp.contains("ev.rotate_rows(ct_in[0], -5, gal_keys, c0);"));
+        assert!(cpp.contains("ev.relinearize_inplace(c2, relin_keys);"));
+        assert!(cpp.contains("splat_2"));
+        assert!(cpp.contains("ev.sub_plain(c3, pt_in[0], c4);"));
+        assert!(cpp.contains("result = c4;"));
+    }
+}

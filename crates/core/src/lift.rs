@@ -1,0 +1,225 @@
+//! Padding-stability lifting: proving that a kernel synthesized at model
+//! size `n` computes the same masked outputs at every ciphertext size
+//! `N ≥ 2n`.
+//!
+//! Porcupine (like the paper) synthesizes and verifies at the kernel's
+//! natural model size (e.g. 25 slots for a 5×5 padded image) but deploys on
+//! ciphertexts with thousands of slots. Circular rotation wraps differently
+//! at the two sizes, so lifting needs an argument:
+//!
+//! **Theorem (padding stability).** Let `P` be a straight-line Quill kernel
+//! whose per-path total rotation offset is bounded by `B < n`, with inputs
+//! supported on slots `[0, n)` and zeros elsewhere. If the masked symbolic
+//! outputs of `P` agree at sizes `n` and `2n` (inputs zero-extended), they
+//! agree at every size `N ≥ 2n`.
+//!
+//! *Proof sketch.* Each read path from output slot `j` (masked, so `j < n`)
+//! accumulates a net offset `o` with `|o| ≤ B < n`, reading slot
+//! `(j + o) mod size`. If `0 ≤ j + o < n`, all sizes read the same data
+//! slot. Otherwise `j + o ∈ (-n, 0) ∪ [n, 2n)`: at size `2n` the read lands
+//! in `[n, 2n)`, a zero slot; at size `N ≥ 2n` it lands in
+//! `[N−n, N) ∪ [n, 2n)`, also zero slots. So sizes `2n` and `N` agree on
+//! every path; agreement between `n` and `2n` then pins the value at all
+//! sizes. ∎
+//!
+//! The check below is exact (canonical symbolic forms at both sizes), so a
+//! kernel that passes it runs unchanged on the BFV backend with any row
+//! size `≥ 2n` — which the integration tests confirm end to end.
+
+use quill::interp;
+use quill::program::{Instr, Program};
+use quill::symbolic::SymPoly;
+use std::error::Error;
+use std::fmt;
+
+/// Why lifting was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// The conservative rotation-offset bound reaches `n`; the two-point
+    /// check is then inconclusive.
+    OffsetBoundTooLarge {
+        /// Sum of |rotation| along the worst path.
+        bound: i64,
+        /// The model size.
+        n: usize,
+    },
+    /// The masked outputs differ between sizes `n` and `2n`: the kernel
+    /// depends on wrap-around and must not be lifted.
+    NotStable {
+        /// First differing masked slot.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::OffsetBoundTooLarge { bound, n } => write!(
+                f,
+                "rotation offset bound {bound} reaches the model size {n}; enlarge the model"
+            ),
+            LiftError::NotStable { slot } => write!(
+                f,
+                "output slot {slot} depends on wrap-around at the model size; kernel is not liftable"
+            ),
+        }
+    }
+}
+
+impl Error for LiftError {}
+
+/// Worst-case total |rotation| along any input→output path.
+pub fn rotation_offset_bound(prog: &Program) -> i64 {
+    let mut bound = vec![0i64; prog.instrs.len()];
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        let operand_bound = instr
+            .ct_operands()
+            .iter()
+            .map(|op| match op {
+                quill::program::ValRef::Input(_) => 0,
+                quill::program::ValRef::Instr(j) => bound[*j],
+            })
+            .max()
+            .unwrap_or(0);
+        bound[i] = operand_bound
+            + match instr {
+                Instr::RotCt(_, r) => r.abs(),
+                _ => 0,
+            };
+    }
+    match prog.output {
+        quill::program::ValRef::Input(_) => 0,
+        quill::program::ValRef::Instr(j) => bound[j],
+    }
+}
+
+/// Symbolic outputs at size `size` with inputs supported on `[0, n)` (same
+/// variable ids as [`interp::eval_symbolic`] at size `n`) and zeros above.
+fn symbolic_at_size(prog: &Program, n: usize, size: usize, t: u64) -> Vec<SymPoly> {
+    let make = |base: usize| -> Vec<SymPoly> {
+        (0..size)
+            .map(|i| {
+                if i < n {
+                    SymPoly::var((base + i) as u32, t)
+                } else {
+                    SymPoly::zero(t)
+                }
+            })
+            .collect()
+    };
+    let ct_inputs: Vec<Vec<SymPoly>> = (0..prog.num_ct_inputs).map(|j| make(j * n)).collect();
+    let ct_vars = prog.num_ct_inputs * n;
+    let pt_inputs: Vec<Vec<SymPoly>> = (0..prog.num_pt_inputs)
+        .map(|j| make(ct_vars + j * n))
+        .collect();
+    interp::eval(prog, &ct_inputs, &pt_inputs)
+}
+
+/// Checks padding stability of `prog` for masked slots at model size `n`.
+///
+/// # Errors
+///
+/// Returns [`LiftError`] if the offset bound reaches `n` or the masked
+/// outputs differ between sizes `n` and `2n`.
+pub fn check_padding_stable(
+    prog: &Program,
+    n: usize,
+    mask: &[bool],
+    t: u64,
+) -> Result<(), LiftError> {
+    assert_eq!(mask.len(), n, "mask must cover the model slots");
+    let bound = rotation_offset_bound(prog);
+    if bound >= n as i64 {
+        return Err(LiftError::OffsetBoundTooLarge { bound, n });
+    }
+    let at_n = interp::eval_symbolic(prog, n, t);
+    let at_2n = symbolic_at_size(prog, n, 2 * n, t);
+    for slot in 0..n {
+        if mask[slot] && at_n[slot] != at_2n[slot] {
+            return Err(LiftError::NotStable { slot });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quill::program::{Instr, Program, ValRef};
+
+    #[test]
+    fn offset_bound_accumulates_along_paths() {
+        let p = Program::new(
+            "rots",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 3),
+                Instr::RotCt(ValRef::Instr(0), -2),
+                Instr::AddCtCt(ValRef::Instr(1), ValRef::Input(0)),
+            ],
+            ValRef::Instr(2),
+        );
+        assert_eq!(rotation_offset_bound(&p), 5);
+    }
+
+    #[test]
+    fn stable_kernel_passes() {
+        // out[0] = x0 + x1 via rotate-left-1: reads stay in [0, n) for the
+        // masked slot, so this is stable.
+        let p = Program::new(
+            "pairsum",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        let mut mask = vec![false; 4];
+        mask[0] = true;
+        assert!(check_padding_stable(&p, 4, &mask, 65537).is_ok());
+    }
+
+    #[test]
+    fn wraparound_dependence_is_rejected() {
+        // Same program but masking slot 3: out[3] = x3 + x0 uses the wrap,
+        // which differs at larger sizes (x0 would be a zero slot).
+        let p = Program::new(
+            "pairsum",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        let mut mask = vec![false; 4];
+        mask[3] = true;
+        assert_eq!(
+            check_padding_stable(&p, 4, &mask, 65537),
+            Err(LiftError::NotStable { slot: 3 })
+        );
+    }
+
+    #[test]
+    fn oversized_rotation_bound_is_flagged() {
+        let p = Program::new(
+            "big-rot",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 3),
+                Instr::RotCt(ValRef::Instr(0), 3),
+            ],
+            ValRef::Instr(1),
+        );
+        let mask = vec![true; 4];
+        assert!(matches!(
+            check_padding_stable(&p, 4, &mask, 65537),
+            Err(LiftError::OffsetBoundTooLarge { bound: 6, n: 4 })
+        ));
+    }
+}

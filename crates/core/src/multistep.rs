@@ -1,0 +1,152 @@
+//! Multi-step synthesis (§6.3): composing independently synthesized kernels
+//! into larger pipelines at their natural break points.
+//!
+//! Program synthesis stops scaling around 10–12 instructions, so Porcupine
+//! partitions applications like Sobel (Gx + Gy + magnitude) and the Harris
+//! corner detector (gradients + blurs + response) into stages, synthesizes
+//! each stage, and stitches the programs back together here — sharing
+//! rotations across stages via CSE.
+
+use quill::program::{Program, ValRef};
+
+/// Builds a pipeline program by appending synthesized stages.
+///
+/// # Examples
+///
+/// ```
+/// use porcupine::multistep::PipelineBuilder;
+/// use quill::program::{Instr, Program, ValRef};
+///
+/// // A toy "gradient": shift-difference, then square it via a second stage.
+/// let diff = Program::new(
+///     "diff", 1, 0,
+///     vec![
+///         Instr::RotCt(ValRef::Input(0), 1),
+///         Instr::SubCtCt(ValRef::Instr(0), ValRef::Input(0)),
+///     ],
+///     ValRef::Instr(1),
+/// );
+/// let square = Program::new(
+///     "square", 1, 0,
+///     vec![Instr::MulCtCt(ValRef::Input(0), ValRef::Input(0))],
+///     ValRef::Instr(0),
+/// );
+/// let mut b = PipelineBuilder::new("grad-sq", 1, 0);
+/// let d = b.add_stage(&diff, &[ValRef::Input(0)], &[]);
+/// let s = b.add_stage(&square, &[d], &[]);
+/// let prog = b.finish(s);
+/// assert_eq!(prog.len(), 3);
+/// assert!(prog.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    prog: Program,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline with the given input arities.
+    pub fn new(name: impl Into<String>, num_ct_inputs: usize, num_pt_inputs: usize) -> Self {
+        PipelineBuilder {
+            prog: Program::new(name, num_ct_inputs, num_pt_inputs, Vec::new(), ValRef::Input(0)),
+        }
+    }
+
+    /// Appends a stage, wiring its ciphertext inputs to pipeline values and
+    /// its plaintext inputs to pipeline plaintext indices. Returns the
+    /// stage's output value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches (see [`Program::append`]).
+    pub fn add_stage(
+        &mut self,
+        stage: &Program,
+        ct_binding: &[ValRef],
+        pt_binding: &[usize],
+    ) -> ValRef {
+        self.prog.append(stage, ct_binding, pt_binding)
+    }
+
+    /// Finishes the pipeline with the given output, then runs CSE and dead
+    /// code elimination so stages share identical rotations.
+    pub fn finish(mut self, output: ValRef) -> Program {
+        self.prog.output = output;
+        let prog = self.prog.cse();
+        debug_assert!(prog.validate().is_ok());
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quill::interp;
+    use quill::program::Instr;
+
+    fn shift_sum() -> Program {
+        Program::new(
+            "shift-sum",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        )
+    }
+
+    #[test]
+    fn two_stage_pipeline_computes_composition() {
+        // stage1 = x + rot(x,1); stage2 = y + rot(y,1) ⇒ out = sum of 4 window.
+        let mut b = PipelineBuilder::new("twice", 1, 0);
+        let s1 = b.add_stage(&shift_sum(), &[ValRef::Input(0)], &[]);
+        let s2 = b.add_stage(&shift_sum(), &[s1], &[]);
+        let p = b.finish(s2);
+        let out = interp::eval_concrete(&p, &[vec![1, 2, 3, 4]], &[], 65537);
+        // out[0] = (x0+x1) + (x1+x2) = 1+2+2+3
+        assert_eq!(out[0], 8);
+    }
+
+    #[test]
+    fn shared_rotations_are_cse_d() {
+        // Two stages over the *same* input duplicate rot(x,1); CSE merges.
+        let mut b = PipelineBuilder::new("shared", 1, 0);
+        let s1 = b.add_stage(&shift_sum(), &[ValRef::Input(0)], &[]);
+        let s2 = b.add_stage(&shift_sum(), &[ValRef::Input(0)], &[]);
+        // combine the two (identical) stage outputs
+        let combine = Program::new(
+            "add",
+            2,
+            0,
+            vec![Instr::AddCtCt(ValRef::Input(0), ValRef::Input(1))],
+            ValRef::Instr(0),
+        );
+        let out = b.add_stage(&combine, &[s1, s2], &[]);
+        let p = b.finish(out);
+        // Without CSE: 2 rots + 2 adds + 1 add = 5. With CSE the duplicate
+        // rot AND the duplicate add collapse: 1 rot + 1 add + 1 add = 3.
+        assert_eq!(p.len(), 3);
+        let out = interp::eval_concrete(&p, &[vec![1, 2, 3, 4]], &[], 65537);
+        assert_eq!(out[0], 2 * (1 + 2));
+    }
+
+    #[test]
+    fn pt_bindings_remap() {
+        let stage = Program::new(
+            "weighted",
+            1,
+            1,
+            vec![Instr::MulCtPt(
+                ValRef::Input(0),
+                quill::program::PtOperand::Input(0),
+            )],
+            ValRef::Instr(0),
+        );
+        let mut b = PipelineBuilder::new("pipeline", 1, 2);
+        let s = b.add_stage(&stage, &[ValRef::Input(0)], &[1]); // bind to pt input 1
+        let p = b.finish(s);
+        let out = interp::eval_concrete(&p, &[vec![3, 4]], &[vec![10, 10], vec![7, 7]], 65537);
+        assert_eq!(out, vec![21, 28]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Kernel specifications (§4.3): a plaintext reference implementation plus a
+//! data layout, defining exactly what the synthesized HE kernel must compute.
+//!
+//! Reference implementations are written once, generically over
+//! [`quill::ring::Ring`], and the trait machinery below instantiates them
+//! concretely (for CEGIS examples) and symbolically (for verification) —
+//! the Rust analogue of the paper's Rosette lifting of Racket references.
+
+use quill::ring::{Ring, Zt};
+use quill::symbolic::SymPoly;
+use rand::Rng;
+
+/// A reference implementation written generically over a ring.
+///
+/// Implement this (one generic method) and [`Reference`] comes for free via
+/// a blanket impl, giving object-safe concrete + symbolic entry points.
+pub trait GenericReference {
+    /// The plaintext computation: slot vectors in, slot vector out.
+    fn compute<R: Ring>(&self, ct_inputs: &[Vec<R>], pt_inputs: &[Vec<R>]) -> Vec<R>;
+}
+
+/// Object-safe view of a reference implementation.
+pub trait Reference: Send + Sync {
+    /// Concrete evaluation over `Z_t`.
+    fn eval_zt(&self, ct_inputs: &[Vec<Zt>], pt_inputs: &[Vec<Zt>]) -> Vec<Zt>;
+    /// Symbolic evaluation over canonical polynomials.
+    fn eval_sym(&self, ct_inputs: &[Vec<SymPoly>], pt_inputs: &[Vec<SymPoly>]) -> Vec<SymPoly>;
+}
+
+impl<T: GenericReference + Send + Sync> Reference for T {
+    fn eval_zt(&self, ct_inputs: &[Vec<Zt>], pt_inputs: &[Vec<Zt>]) -> Vec<Zt> {
+        self.compute(ct_inputs, pt_inputs)
+    }
+
+    fn eval_sym(&self, ct_inputs: &[Vec<SymPoly>], pt_inputs: &[Vec<SymPoly>]) -> Vec<SymPoly> {
+        self.compute(ct_inputs, pt_inputs)
+    }
+}
+
+/// A complete kernel specification: reference computation, model slot count,
+/// input arities, and the output mask (which slots the data layout defines
+/// as meaningful).
+pub struct KernelSpec {
+    /// Kernel name (reporting and program naming).
+    pub name: String,
+    /// Model slot count `n` used during synthesis and verification.
+    pub n: usize,
+    /// Number of ciphertext inputs.
+    pub num_ct_inputs: usize,
+    /// Number of plaintext inputs.
+    pub num_pt_inputs: usize,
+    /// `output_mask[i]` — must output slot `i` match the reference?
+    pub output_mask: Vec<bool>,
+    /// Plaintext modulus.
+    pub t: u64,
+    /// The reference implementation.
+    pub reference: Box<dyn Reference>,
+}
+
+impl std::fmt::Debug for KernelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelSpec")
+            .field("name", &self.name)
+            .field("n", &self.n)
+            .field("num_ct_inputs", &self.num_ct_inputs)
+            .field("num_pt_inputs", &self.num_pt_inputs)
+            .field("t", &self.t)
+            .field(
+                "masked_slots",
+                &self.output_mask.iter().filter(|&&b| b).count(),
+            )
+            .finish()
+    }
+}
+
+impl KernelSpec {
+    /// Builds a spec; the mask defaults to all-slots if `output_mask` is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from `n` (when non-empty).
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        num_ct_inputs: usize,
+        num_pt_inputs: usize,
+        output_mask: Vec<bool>,
+        t: u64,
+        reference: Box<dyn Reference>,
+    ) -> Self {
+        let output_mask = if output_mask.is_empty() {
+            vec![true; n]
+        } else {
+            assert_eq!(output_mask.len(), n, "mask length must equal n");
+            output_mask
+        };
+        KernelSpec {
+            name: name.into(),
+            n,
+            num_ct_inputs,
+            num_pt_inputs,
+            output_mask,
+            t,
+            reference,
+        }
+    }
+
+    /// Samples one random concrete example: inputs plus the reference's
+    /// masked output.
+    pub fn sample_example<R: Rng + ?Sized>(&self, rng: &mut R) -> Example {
+        let sample_vec = |rng: &mut R| -> Vec<u64> {
+            (0..self.n).map(|_| rng.gen_range(0..self.t)).collect()
+        };
+        let ct_inputs: Vec<Vec<u64>> = (0..self.num_ct_inputs).map(|_| sample_vec(rng)).collect();
+        let pt_inputs: Vec<Vec<u64>> = (0..self.num_pt_inputs).map(|_| sample_vec(rng)).collect();
+        let output = self.eval_concrete(&ct_inputs, &pt_inputs);
+        Example {
+            ct_inputs,
+            pt_inputs,
+            output,
+        }
+    }
+
+    /// Runs the reference concretely on unsigned slot vectors.
+    pub fn eval_concrete(&self, ct_inputs: &[Vec<u64>], pt_inputs: &[Vec<u64>]) -> Vec<u64> {
+        let wrap = |vs: &[Vec<u64>]| -> Vec<Vec<Zt>> {
+            vs.iter()
+                .map(|v| v.iter().map(|&x| Zt::new(x, self.t)).collect())
+                .collect()
+        };
+        self.reference
+            .eval_zt(&wrap(ct_inputs), &wrap(pt_inputs))
+            .into_iter()
+            .map(|z| z.value())
+            .collect()
+    }
+
+    /// Symbolic reference outputs with the standard variable numbering
+    /// (ciphertext input `j` slot `i` → var `j·n + i`; plaintext inputs
+    /// follow).
+    pub fn eval_symbolic(&self) -> Vec<SymPoly> {
+        let n = self.n;
+        let t = self.t;
+        let ct_inputs: Vec<Vec<SymPoly>> = (0..self.num_ct_inputs)
+            .map(|j| (0..n).map(|i| SymPoly::var((j * n + i) as u32, t)).collect())
+            .collect();
+        let ct_vars = self.num_ct_inputs * n;
+        let pt_inputs: Vec<Vec<SymPoly>> = (0..self.num_pt_inputs)
+            .map(|j| {
+                (0..n)
+                    .map(|i| SymPoly::var((ct_vars + j * n + i) as u32, t))
+                    .collect()
+            })
+            .collect();
+        self.reference.eval_sym(&ct_inputs, &pt_inputs)
+    }
+}
+
+/// One concrete input–output example used by the CEGIS loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// Ciphertext input slot vectors.
+    pub ct_inputs: Vec<Vec<u64>>,
+    /// Plaintext input slot vectors.
+    pub pt_inputs: Vec<Vec<u64>>,
+    /// Expected output slots (only masked slots are compared).
+    pub output: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ElementwiseSquare;
+
+    impl GenericReference for ElementwiseSquare {
+        fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+            ct[0].iter().map(|x| x.mul(x)).collect()
+        }
+    }
+
+    fn square_spec() -> KernelSpec {
+        KernelSpec::new("square", 4, 1, 0, vec![], 65537, Box::new(ElementwiseSquare))
+    }
+
+    #[test]
+    fn concrete_eval_matches_reference() {
+        let spec = square_spec();
+        let out = spec.eval_concrete(&[vec![2, 3, 4, 5]], &[]);
+        assert_eq!(out, vec![4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn symbolic_eval_produces_squares() {
+        let spec = square_spec();
+        let sym = spec.eval_symbolic();
+        assert_eq!(sym.len(), 4);
+        for (i, p) in sym.iter().enumerate() {
+            assert_eq!(p.degree(), 2);
+            assert_eq!(p.variables(), vec![i as u32]);
+        }
+    }
+
+    #[test]
+    fn sampled_examples_are_consistent() {
+        use rand::SeedableRng;
+        let spec = square_spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let ex = spec.sample_example(&mut rng);
+        assert_eq!(ex.output, spec.eval_concrete(&ex.ct_inputs, &ex.pt_inputs));
+    }
+
+    #[test]
+    fn default_mask_is_full() {
+        let spec = square_spec();
+        assert_eq!(spec.output_mask, vec![true; 4]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Verification of candidate kernels against the specification (§5.1's
+//! `verify` query).
+//!
+//! Both the candidate program and the reference are lifted to canonical
+//! multivariate polynomials over `Z_t` per output slot; masked slots must
+//! match exactly. Because every program in the sketch space computes
+//! polynomials of degree far below `t`, canonical-form equality is a sound
+//! **and complete** equivalence check (see [`quill::symbolic`]). When the
+//! forms differ, a concrete counter-example is extracted by Schwartz–Zippel
+//! sampling of the nonzero difference — it succeeds in one or two draws with
+//! overwhelming probability.
+
+use crate::spec::{Example, KernelSpec};
+use quill::interp;
+use quill::program::Program;
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone)]
+pub struct VerifyFailure {
+    /// The first masked slot whose polynomial differs.
+    pub slot: usize,
+    /// A concrete input on which candidate and spec disagree (absent only
+    /// if sampling failed, which is probabilistically negligible).
+    pub counter_example: Option<Example>,
+}
+
+impl fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "candidate disagrees with the specification at slot {}", self.slot)
+    }
+}
+
+impl Error for VerifyFailure {}
+
+/// Maximum Schwartz–Zippel draws before giving up on a concrete witness.
+const MAX_SAMPLING_TRIES: usize = 10_000;
+
+/// Verifies `prog` against `spec` for **all** inputs.
+///
+/// # Errors
+///
+/// Returns a [`VerifyFailure`] (with a concrete counter-example for the
+/// CEGIS loop) if any masked output slot differs.
+pub fn verify<R: Rng + ?Sized>(
+    prog: &Program,
+    spec: &KernelSpec,
+    rng: &mut R,
+) -> Result<(), VerifyFailure> {
+    let prog_sym = interp::eval_symbolic(prog, spec.n, spec.t);
+    let spec_sym = spec.eval_symbolic();
+    let bad_slot = (0..spec.n)
+        .find(|&i| spec.output_mask[i] && prog_sym[i] != spec_sym[i]);
+    let slot = match bad_slot {
+        None => return Ok(()),
+        Some(s) => s,
+    };
+    // Extract a concrete counter-example.
+    for _ in 0..MAX_SAMPLING_TRIES {
+        let ex = spec.sample_example(rng);
+        let got = interp::eval_concrete(prog, &ex.ct_inputs, &ex.pt_inputs, spec.t);
+        let differs = (0..spec.n).any(|i| spec.output_mask[i] && got[i] != ex.output[i]);
+        if differs {
+            return Err(VerifyFailure {
+                slot,
+                counter_example: Some(ex),
+            });
+        }
+    }
+    Err(VerifyFailure {
+        slot,
+        counter_example: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GenericReference;
+    use quill::program::{Instr, ValRef};
+    use quill::ring::Ring;
+    use rand::SeedableRng;
+
+    struct Double;
+
+    impl GenericReference for Double {
+        fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+            ct[0].iter().map(|x| x.add(x)).collect()
+        }
+    }
+
+    fn spec() -> KernelSpec {
+        KernelSpec::new("double", 4, 1, 0, vec![], 65537, Box::new(Double))
+    }
+
+    #[test]
+    fn accepts_equivalent_program() {
+        // x + x computes 2x.
+        let p = Program::new(
+            "double",
+            1,
+            0,
+            vec![Instr::AddCtCt(ValRef::Input(0), ValRef::Input(0))],
+            ValRef::Instr(0),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(verify(&p, &spec(), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn accepts_splat_multiplication_as_equivalent() {
+        // mul by splat 2 is also 2x — a different program, same polynomials.
+        let p = Program::new(
+            "double",
+            1,
+            0,
+            vec![Instr::MulCtPt(
+                ValRef::Input(0),
+                quill::program::PtOperand::Splat(2),
+            )],
+            ValRef::Instr(0),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(verify(&p, &spec(), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_program_with_counterexample() {
+        // x * x is not 2x.
+        let p = Program::new(
+            "double",
+            1,
+            0,
+            vec![Instr::MulCtCt(ValRef::Input(0), ValRef::Input(0))],
+            ValRef::Instr(0),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let err = verify(&p, &spec(), &mut rng).unwrap_err();
+        let ex = err.counter_example.expect("sampling finds a witness");
+        let got = interp::eval_concrete(&p, &ex.ct_inputs, &ex.pt_inputs, 65537);
+        assert_ne!(got, ex.output);
+    }
+
+    #[test]
+    fn mask_limits_comparison() {
+        // Program correct only in slot 0; spec masked to slot 0 accepts it.
+        struct FirstDouble;
+        impl GenericReference for FirstDouble {
+            fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+                let mut out = ct[0].clone();
+                out[0] = ct[0][0].add(&ct[0][0]);
+                out
+            }
+        }
+        let masked = KernelSpec::new(
+            "first-double",
+            4,
+            1,
+            0,
+            vec![true, false, false, false],
+            65537,
+            Box::new(FirstDouble),
+        );
+        let p = Program::new(
+            "double",
+            1,
+            0,
+            vec![Instr::AddCtCt(ValRef::Input(0), ValRef::Input(0))],
+            ValRef::Instr(0),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(verify(&p, &masked, &mut rng).is_ok());
+    }
+}

@@ -1,0 +1,95 @@
+//! # porcupine-kernels — the paper's evaluation workloads
+//!
+//! The nine kernels of Table 2/3 plus the two multi-step applications
+//! (Sobel, Harris) from §7.2, each bundled as a [`PaperKernel`]:
+//!
+//! * a **specification** — generic reference implementation + layout mask,
+//! * a **sketch** — the local-rotate template with §6.1 rotation
+//!   restrictions, written the way the paper's users would,
+//! * a **hand-written baseline** — the depth-minimized expert
+//!   implementation Porcupine is compared against (§7.1).
+//!
+//! | kernel | constructor | paper size |
+//! |---|---|---|
+//! | Box blur | [`stencil::box_blur`] | 5×5 packed image |
+//! | Dot product | [`reduction::dot_product`] | 8 elements |
+//! | Hamming distance | [`reduction::hamming_distance`] | 4 elements |
+//! | L2 distance | [`reduction::l2_distance`] | 8 elements |
+//! | Linear regression | [`pointwise::linear_regression`] | batch of 8 |
+//! | Polynomial regression | [`pointwise::polynomial_regression`] | batch of 8 |
+//! | Gx / Gy | [`stencil::gx`] / [`stencil::gy`] | 5×5 packed image |
+//! | Roberts cross | [`stencil::roberts_cross`] | 5×5 packed image |
+//! | Sobel / Harris | [`composite`] | multi-step |
+
+use porcupine::sketch::Sketch;
+use porcupine::spec::KernelSpec;
+use quill::program::Program;
+
+pub mod composite;
+pub mod pointwise;
+pub mod reduction;
+pub mod stencil;
+pub mod util;
+
+/// One paper workload: specification, sketch, and hand-written baseline.
+pub struct PaperKernel {
+    /// Kernel name (matches Figure 4 / Tables 2–3).
+    pub name: &'static str,
+    /// What the kernel must compute.
+    pub spec: KernelSpec,
+    /// The synthesis template.
+    pub sketch: Sketch,
+    /// The depth-minimized expert implementation.
+    pub baseline: Program,
+}
+
+impl std::fmt::Debug for PaperKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaperKernel")
+            .field("name", &self.name)
+            .field("baseline_len", &self.baseline.len())
+            .finish()
+    }
+}
+
+/// The nine directly synthesized kernels at the paper's sizes, in Figure 4
+/// order.
+pub fn all_direct() -> Vec<PaperKernel> {
+    let img = stencil::default_image();
+    vec![
+        stencil::box_blur(img),
+        reduction::dot_product(8),
+        reduction::hamming_distance(4),
+        reduction::l2_distance(8),
+        pointwise::linear_regression(8),
+        pointwise::polynomial_regression(8),
+        stencil::gx(img),
+        stencil::gy(img),
+        stencil::roberts_cross(img),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        let kernels = all_direct();
+        assert_eq!(kernels.len(), 9);
+        for k in &kernels {
+            assert!(k.baseline.validate().is_ok(), "{}", k.name);
+            assert_eq!(k.spec.output_mask.len(), k.spec.n, "{}", k.name);
+            assert!(!k.sketch.ops.is_empty(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let kernels = all_direct();
+        let mut names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+}

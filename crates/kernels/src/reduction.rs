@@ -1,0 +1,242 @@
+//! Reduction kernels: dot product, Hamming distance, L2 (squared) distance.
+//!
+//! These pack a data vector into the low slots of one ciphertext
+//! ([`porcupine::layout::ReductionLayout`]) and reduce into slot 0 with the
+//! §6.1 power-of-two rotation restriction (the reduction-tree pattern of
+//! Figure 2). Per §7.1, kernels are modified to stay inside HE-supported
+//! arithmetic: Hamming distance uses `Σ (x_i − y_i)²` (which equals the
+//! Hamming distance on binary inputs) and L2 distance is the *squared*
+//! distance (no square root).
+
+use crate::PaperKernel;
+use porcupine::layout::ReductionLayout;
+use porcupine::sketch::{ArithOp, RotationSet, Sketch, SketchOp};
+use porcupine::spec::{GenericReference, KernelSpec};
+use quill::program::PtOperand;
+use quill::ring::Ring;
+use quill::sexpr::parse_program;
+
+/// Plaintext modulus shared by all paper kernels (`t = 65537`).
+pub const T: u64 = 65537;
+
+struct DotProduct {
+    layout: ReductionLayout,
+}
+
+impl GenericReference for DotProduct {
+    fn compute<R: Ring>(&self, ct: &[Vec<R>], pt: &[Vec<R>]) -> Vec<R> {
+        let x = &ct[0];
+        let w = &pt[0];
+        let zero = x[0].from_i64(0);
+        let mut out = vec![zero.clone(); x.len()];
+        out[0] = (0..self.layout.len).fold(zero, |acc, i| acc.add(&x[i].mul(&w[i])));
+        out
+    }
+}
+
+/// Dot product of `len` packed elements against a plaintext weight vector
+/// (Figure 2's kernel with a server-local operand).
+pub fn dot_product(len: usize) -> PaperKernel {
+    let layout = ReductionLayout::new(len);
+    let spec = KernelSpec::new(
+        "dot-product",
+        layout.slots,
+        1,
+        1,
+        layout.result_mask(),
+        T,
+        Box::new(DotProduct { layout }),
+    );
+    let sketch = Sketch::new(
+        vec![
+            SketchOp::plain(ArithOp::MulCtPt(PtOperand::Input(0))),
+            SketchOp::rhs_rotated(ArithOp::AddCtCt),
+        ],
+        RotationSet::PowersOfTwo { extent: len },
+        1 + len.ilog2() as usize,
+    );
+    // Depth-minimized baseline: multiply, then a balanced rotate-add tree.
+    // For len = 8: 7 instructions, depth 7 (Table 2).
+    let baseline = reduction_baseline("dot-product-baseline", len, 1, 1, "(mul-ct-pt c0 p0)");
+    PaperKernel {
+        name: "dot-product",
+        spec,
+        sketch,
+        baseline,
+    }
+}
+
+struct SquaredDistance {
+    layout: ReductionLayout,
+}
+
+impl GenericReference for SquaredDistance {
+    fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+        let (x, y) = (&ct[0], &ct[1]);
+        let zero = x[0].from_i64(0);
+        let mut out = vec![zero.clone(); x.len()];
+        out[0] = (0..self.layout.len).fold(zero, |acc, i| {
+            let d = x[i].sub(&y[i]);
+            acc.add(&d.mul(&d))
+        });
+        out
+    }
+}
+
+fn squared_distance_kernel(name: &'static str, len: usize) -> PaperKernel {
+    let layout = ReductionLayout::new(len);
+    let spec = KernelSpec::new(
+        name,
+        layout.slots,
+        2,
+        0,
+        layout.result_mask(),
+        T,
+        Box::new(SquaredDistance { layout }),
+    );
+    let sketch = Sketch::new(
+        vec![
+            SketchOp::plain(ArithOp::SubCtCt),
+            SketchOp::plain(ArithOp::MulCtCt),
+            SketchOp::rhs_rotated(ArithOp::AddCtCt),
+        ],
+        RotationSet::PowersOfTwo { extent: len },
+        2 + len.ilog2() as usize,
+    );
+    let baseline = reduction_baseline(
+        Box::leak(format!("{name}-baseline").into_boxed_str()),
+        len,
+        2,
+        0,
+        "(sub-ct-ct c0 c1)",
+    );
+    PaperKernel {
+        name,
+        spec,
+        sketch,
+        baseline,
+    }
+}
+
+/// Hamming distance between two packed binary vectors of `len` elements:
+/// `Σ (x_i − y_i)²` (= popcount of XOR on binary inputs). Table 2 size:
+/// `len = 4` gives 6 instructions at depth 6.
+pub fn hamming_distance(len: usize) -> PaperKernel {
+    let mut k = squared_distance_kernel("hamming-distance", len);
+    // Hamming = sub, square, then the reduction tree.
+    k.baseline = hamming_l2_baseline("hamming-distance-baseline", len);
+    k
+}
+
+/// Squared L2 distance between two packed vectors of `len` elements
+/// (k-NN-style workloads use squared distance per §7.1).
+pub fn l2_distance(len: usize) -> PaperKernel {
+    let mut k = squared_distance_kernel("l2-distance", len);
+    k.baseline = hamming_l2_baseline("l2-distance-baseline", len);
+    k
+}
+
+/// Builds `first_instr` followed by a balanced rotate-add reduction over
+/// `len` slots, in surface syntax.
+fn reduction_baseline(
+    name: &str,
+    len: usize,
+    num_ct: usize,
+    num_pt: usize,
+    first_instr: &str,
+) -> quill::program::Program {
+    assert!(len.is_power_of_two());
+    let mut src = format!("(kernel {name} (inputs (ct {num_ct}) (pt {num_pt}))\n");
+    let mut next = num_ct; // index of next binding
+    src.push_str(&format!("  (let c{next} {first_instr})\n"));
+    let mut acc = next;
+    next += 1;
+    let mut step = len / 2;
+    while step >= 1 {
+        src.push_str(&format!("  (let c{next} (rot-ct c{acc} {step}))\n"));
+        src.push_str(&format!("  (let c{} (add-ct-ct c{acc} c{next}))\n", next + 1));
+        acc = next + 1;
+        next += 2;
+        step /= 2;
+    }
+    src.push_str(&format!("  (return c{acc}))"));
+    parse_program(&src).expect("baseline source is valid")
+}
+
+fn hamming_l2_baseline(name: &str, len: usize) -> quill::program::Program {
+    assert!(len.is_power_of_two());
+    let mut src = format!("(kernel {name} (inputs (ct 2) (pt 0))\n");
+    src.push_str("  (let c2 (sub-ct-ct c0 c1))\n");
+    src.push_str("  (let c3 (mul-ct-ct c2 c2))\n");
+    let mut acc = 3;
+    let mut next = 4;
+    let mut step = len / 2;
+    while step >= 1 {
+        src.push_str(&format!("  (let c{next} (rot-ct c{acc} {step}))\n"));
+        src.push_str(&format!("  (let c{} (add-ct-ct c{acc} c{next}))\n", next + 1));
+        acc = next + 1;
+        next += 2;
+        step /= 2;
+    }
+    src.push_str(&format!("  (return c{acc}))"));
+    parse_program(&src).expect("baseline source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use porcupine::verify::verify;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baselines_verify_against_specs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for k in [dot_product(8), hamming_distance(4), l2_distance(8)] {
+            verify(&k.baseline, &k.spec, &mut rng)
+                .unwrap_or_else(|e| panic!("{} baseline: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn dot_product_baseline_matches_table2() {
+        let k = dot_product(8);
+        assert_eq!(k.baseline.len(), 7, "Table 2: dot product 7 instructions");
+        assert_eq!(k.baseline.logic_depth(), 7, "Table 2: depth 7");
+    }
+
+    #[test]
+    fn hamming_baseline_matches_table2() {
+        let k = hamming_distance(4);
+        assert_eq!(k.baseline.len(), 6, "Table 2: Hamming 6 instructions");
+        assert_eq!(k.baseline.logic_depth(), 6, "Table 2: depth 6");
+    }
+
+    #[test]
+    fn l2_baseline_shape() {
+        // Table 2 reports 9/9; our formulation of the same kernel needs 8
+        // (sub, square, and a 3-level rotate-add tree) — documented in
+        // EXPERIMENTS.md.
+        let k = l2_distance(8);
+        assert_eq!(k.baseline.len(), 8);
+        assert_eq!(k.baseline.logic_depth(), 8);
+        assert_eq!(k.baseline.mult_depth(), 1);
+    }
+
+    #[test]
+    fn reduction_reference_values() {
+        let k = dot_product(4);
+        let x = vec![1, 2, 3, 4, 0, 0, 0, 0];
+        let w = vec![5, 6, 7, 8, 0, 0, 0, 0];
+        let out = k.spec.eval_concrete(&[x], &[w]);
+        assert_eq!(out[0], 70);
+    }
+
+    #[test]
+    fn hamming_counts_differences_on_binary_inputs() {
+        let k = hamming_distance(4);
+        let x = vec![1, 0, 1, 1, 0, 0, 0, 0];
+        let y = vec![1, 1, 0, 1, 0, 0, 0, 0];
+        let out = k.spec.eval_concrete(&[x, y], &[]);
+        assert_eq!(out[0], 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared helpers for reference implementations.
+
+use quill::ring::Ring;
+
+/// Circular read: `v[i mod n]` for possibly-negative `i`. Reference
+/// implementations use circular indexing so they are total over the packed
+/// slot vector; output masks restrict verification to slots whose reads
+/// stay in bounds, where circular and padded semantics coincide.
+pub fn at<R: Ring>(v: &[R], i: isize) -> R {
+    let n = v.len() as isize;
+    v[i.rem_euclid(n) as usize].clone()
+}
+
+/// Weighted circular stencil: `Σ w_k · v[i + off_k]` at every slot `i`.
+pub fn stencil<R: Ring>(v: &[R], taps: &[(isize, i64)]) -> Vec<R> {
+    let template = &v[0];
+    (0..v.len())
+        .map(|i| {
+            taps.iter().fold(template.from_i64(0), |acc, &(off, w)| {
+                acc.add(&at(v, i as isize + off).mul(&template.from_i64(w)))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quill::ring::{zt_vec, Zt};
+
+    #[test]
+    fn circular_reads_wrap() {
+        let v = zt_vec(&[10, 20, 30], 97);
+        assert_eq!(at(&v, -1), Zt::new(30, 97));
+        assert_eq!(at(&v, 3), Zt::new(10, 97));
+        assert_eq!(at(&v, 4), Zt::new(20, 97));
+    }
+
+    #[test]
+    fn stencil_applies_weights() {
+        let v = zt_vec(&[1, 2, 3, 4], 97);
+        // out[i] = v[i] - v[i+1]
+        let out = stencil(&v, &[(0, 1), (1, -1)]);
+        assert_eq!(out[0], Zt::new(96, 97)); // 1-2 = -1
+        assert_eq!(out[3], Zt::new(3, 97)); // 4-1 = 3
+    }
+}

@@ -1,0 +1,146 @@
+//! The Quill cost model: per-instruction latencies and the paper's
+//! `cost(p) = latency(p) × (1 + mdepth(p))` objective (§5.2).
+//!
+//! The paper derives instruction latencies by profiling SEAL; we derive them
+//! by profiling the in-repo [`bfv`](../../bfv) backend (see the `he_ops`
+//! bench and the `profile_latency` binary in `porcupine-bench`). The
+//! constants in [`LatencyModel::profiled_default`] were measured there; what
+//! the synthesizer consumes is only their *ratios*, which are stable across
+//! machines (rotation and ct×ct multiply dominate because both key-switch).
+
+use crate::program::{Instr, Program};
+
+/// Per-instruction latency in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// ct + ct.
+    pub add_ct_ct: f64,
+    /// ct − ct.
+    pub sub_ct_ct: f64,
+    /// ct × ct, **including** the relinearization the compiler inserts
+    /// after every ciphertext multiply (§5.3).
+    pub mul_ct_ct: f64,
+    /// ct + pt.
+    pub add_ct_pt: f64,
+    /// ct − pt.
+    pub sub_ct_pt: f64,
+    /// ct × pt.
+    pub mul_ct_pt: f64,
+    /// Slot rotation (Galois automorphism + key switch).
+    pub rot_ct: f64,
+}
+
+impl LatencyModel {
+    /// Latencies measured on the in-repo BFV backend at `N = 4096`,
+    /// 3 × 46-bit primes (the `fast_4096` preset), median of repeated runs.
+    /// Regenerate with `cargo run -p porcupine-bench --release --bin
+    /// profile_latency`.
+    pub fn profiled_default() -> Self {
+        LatencyModel {
+            add_ct_ct: 43.9,
+            sub_ct_ct: 37.5,
+            mul_ct_ct: 44_550.8,
+            add_ct_pt: 66.9,
+            sub_ct_pt: 68.4,
+            mul_ct_pt: 4_596.4,
+            rot_ct: 14_095.5,
+        }
+    }
+
+    /// A uniform model (every instruction costs 1): makes `cost` rank by
+    /// instruction count × (1 + mdepth), useful in tests and ablations.
+    pub fn uniform() -> Self {
+        LatencyModel {
+            add_ct_ct: 1.0,
+            sub_ct_ct: 1.0,
+            mul_ct_ct: 1.0,
+            add_ct_pt: 1.0,
+            sub_ct_pt: 1.0,
+            mul_ct_pt: 1.0,
+            rot_ct: 1.0,
+        }
+    }
+
+    /// Latency of one instruction.
+    pub fn instr_latency(&self, instr: &Instr) -> f64 {
+        match instr {
+            Instr::AddCtCt(..) => self.add_ct_ct,
+            Instr::SubCtCt(..) => self.sub_ct_ct,
+            Instr::MulCtCt(..) => self.mul_ct_ct,
+            Instr::AddCtPt(..) => self.add_ct_pt,
+            Instr::SubCtPt(..) => self.sub_ct_pt,
+            Instr::MulCtPt(..) => self.mul_ct_pt,
+            Instr::RotCt(..) => self.rot_ct,
+        }
+    }
+
+    /// Total straight-line latency of a program (µs).
+    pub fn program_latency(&self, prog: &Program) -> f64 {
+        prog.instrs.iter().map(|i| self.instr_latency(i)).sum()
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::profiled_default()
+    }
+}
+
+/// The paper's compound objective: `latency × (1 + multiplicative depth)`,
+/// penalizing high-noise programs that would force larger HE parameters.
+pub fn cost(prog: &Program, model: &LatencyModel) -> f64 {
+    model.program_latency(prog) * (1.0 + prog.mult_depth() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Instr, Program, PtOperand, ValRef};
+
+    #[test]
+    fn cost_penalizes_depth() {
+        let flat = Program::new(
+            "flat",
+            2,
+            0,
+            vec![Instr::AddCtCt(ValRef::Input(0), ValRef::Input(1))],
+            ValRef::Instr(0),
+        );
+        let deep = Program::new(
+            "deep",
+            2,
+            0,
+            vec![Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1))],
+            ValRef::Instr(0),
+        );
+        let uniform = LatencyModel::uniform();
+        assert_eq!(cost(&flat, &uniform), 1.0);
+        assert_eq!(cost(&deep, &uniform), 2.0); // same latency, 1 mult level
+    }
+
+    #[test]
+    fn profiled_model_orders_instructions_sanely() {
+        let m = LatencyModel::profiled_default();
+        assert!(m.add_ct_ct < m.mul_ct_pt);
+        assert!(m.mul_ct_pt < m.rot_ct);
+        assert!(m.rot_ct < m.mul_ct_ct);
+    }
+
+    #[test]
+    fn program_latency_sums_instructions() {
+        let m = LatencyModel::uniform();
+        let p = Program::new(
+            "three",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+                Instr::MulCtPt(ValRef::Instr(1), PtOperand::Splat(2)),
+            ],
+            ValRef::Instr(2),
+        );
+        assert_eq!(m.program_latency(&p), 3.0);
+        assert_eq!(cost(&p, &m), 6.0); // mdepth 1 from mul-ct-pt
+    }
+}

@@ -1,0 +1,229 @@
+//! The Quill interpreter: evaluates programs over slot vectors of any
+//! [`Ring`], giving concrete execution (`Zt`) and symbolic lifting
+//! (`SymPoly`) from one code path.
+//!
+//! Rotation semantics follow Table 1: `Rotate(ct, x)` puts
+//! `ct.data[(i + x) mod n]` into slot `i` — a **left** circular rotation for
+//! positive `x`.
+
+use crate::program::{Instr, Program, PtOperand, ValRef};
+use crate::ring::{Ring, Zt};
+use crate::symbolic::SymPoly;
+
+/// Rotates `v` left by `r` slots (negative `r` rotates right).
+pub fn rotate_left<R: Clone>(v: &[R], r: i64) -> Vec<R> {
+    let n = v.len() as i64;
+    let shift = r.rem_euclid(n) as usize;
+    let mut out = Vec::with_capacity(v.len());
+    out.extend_from_slice(&v[shift..]);
+    out.extend_from_slice(&v[..shift]);
+    out
+}
+
+/// Evaluates `prog` over slot vectors of ring `R`, returning the output
+/// vector. All inputs must share one slot count `n ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if input arities or slot counts are inconsistent, or the program
+/// is structurally invalid (validate first).
+pub fn eval<R: Ring>(prog: &Program, ct_inputs: &[Vec<R>], pt_inputs: &[Vec<R>]) -> Vec<R> {
+    assert_eq!(ct_inputs.len(), prog.num_ct_inputs, "ct input arity");
+    assert_eq!(pt_inputs.len(), prog.num_pt_inputs, "pt input arity");
+    let n = ct_inputs
+        .first()
+        .map(Vec::len)
+        .or_else(|| pt_inputs.first().map(Vec::len))
+        .expect("at least one input required");
+    assert!(n >= 1);
+    for v in ct_inputs.iter().chain(pt_inputs) {
+        assert_eq!(v.len(), n, "all inputs must have the same slot count");
+    }
+    let template = &ct_inputs
+        .first()
+        .or_else(|| pt_inputs.first())
+        .expect("at least one input")[0];
+
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(prog.instrs.len());
+    let get = |r: &ValRef, results: &[Vec<R>]| -> Vec<R> {
+        match r {
+            ValRef::Input(i) => ct_inputs[*i].clone(),
+            ValRef::Instr(j) => results[*j].clone(),
+        }
+    };
+    let get_pt = |p: &PtOperand| -> Vec<R> {
+        match p {
+            PtOperand::Input(i) => pt_inputs[*i].clone(),
+            PtOperand::Splat(v) => vec![template.from_i64(*v); n],
+        }
+    };
+    for instr in &prog.instrs {
+        let out = match instr {
+            Instr::AddCtCt(a, b) => zip(&get(a, &results), &get(b, &results), R::add),
+            Instr::SubCtCt(a, b) => zip(&get(a, &results), &get(b, &results), R::sub),
+            Instr::MulCtCt(a, b) => zip(&get(a, &results), &get(b, &results), R::mul),
+            Instr::AddCtPt(a, p) => zip(&get(a, &results), &get_pt(p), R::add),
+            Instr::SubCtPt(a, p) => zip(&get(a, &results), &get_pt(p), R::sub),
+            Instr::MulCtPt(a, p) => zip(&get(a, &results), &get_pt(p), R::mul),
+            Instr::RotCt(a, r) => rotate_left(&get(a, &results), *r),
+        };
+        results.push(out);
+    }
+    get(&prog.output, &results)
+}
+
+fn zip<R: Ring>(a: &[R], b: &[R], f: fn(&R, &R) -> R) -> Vec<R> {
+    a.iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+/// Concrete evaluation over `Z_t` from unsigned slot values.
+pub fn eval_concrete(
+    prog: &Program,
+    ct_inputs: &[Vec<u64>],
+    pt_inputs: &[Vec<u64>],
+    t: u64,
+) -> Vec<u64> {
+    let wrap = |vs: &[Vec<u64>]| -> Vec<Vec<Zt>> {
+        vs.iter()
+            .map(|v| v.iter().map(|&x| Zt::new(x, t)).collect())
+            .collect()
+    };
+    eval(prog, &wrap(ct_inputs), &wrap(pt_inputs))
+        .into_iter()
+        .map(|z| z.value())
+        .collect()
+}
+
+/// Symbolic lifting: evaluates `prog` with slot `i` of ciphertext input `j`
+/// bound to variable `j·n + i` (plaintext inputs follow, offset by the total
+/// ciphertext variable count). Returns one canonical polynomial per output
+/// slot.
+pub fn eval_symbolic(prog: &Program, n: usize, t: u64) -> Vec<SymPoly> {
+    let ct_inputs: Vec<Vec<SymPoly>> = (0..prog.num_ct_inputs)
+        .map(|j| {
+            (0..n)
+                .map(|i| SymPoly::var((j * n + i) as u32, t))
+                .collect()
+        })
+        .collect();
+    let ct_vars = prog.num_ct_inputs * n;
+    let pt_inputs: Vec<Vec<SymPoly>> = (0..prog.num_pt_inputs)
+        .map(|j| {
+            (0..n)
+                .map(|i| SymPoly::var((ct_vars + j * n + i) as u32, t))
+                .collect()
+        })
+        .collect();
+    eval(prog, &ct_inputs, &pt_inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Instr, Program, PtOperand, ValRef};
+
+    const T: u64 = 65537;
+
+    #[test]
+    fn rotate_left_semantics() {
+        let v = vec![10, 20, 30, 40];
+        assert_eq!(rotate_left(&v, 1), vec![20, 30, 40, 10]);
+        assert_eq!(rotate_left(&v, -1), vec![40, 10, 20, 30]);
+        assert_eq!(rotate_left(&v, 4), v);
+        assert_eq!(rotate_left(&v, 5), rotate_left(&v, 1));
+    }
+
+    #[test]
+    fn dot_product_reduction() {
+        // mul-ct-pt then rotate/add tree over 4 slots.
+        let prog = Program::new(
+            "dot4",
+            1,
+            1,
+            vec![
+                Instr::MulCtPt(ValRef::Input(0), PtOperand::Input(0)),
+                Instr::RotCt(ValRef::Instr(0), 2),
+                Instr::AddCtCt(ValRef::Instr(0), ValRef::Instr(1)),
+                Instr::RotCt(ValRef::Instr(2), 1),
+                Instr::AddCtCt(ValRef::Instr(2), ValRef::Instr(3)),
+            ],
+            ValRef::Instr(4),
+        );
+        let x = vec![1u64, 2, 3, 4];
+        let w = vec![5u64, 6, 7, 8];
+        let out = eval_concrete(&prog, &[x], &[w], T);
+        assert_eq!(out[0], 5 + 12 + 21 + 32);
+    }
+
+    #[test]
+    fn splat_constants() {
+        let prog = Program::new(
+            "times-two-plus-one",
+            1,
+            0,
+            vec![
+                Instr::MulCtPt(ValRef::Input(0), PtOperand::Splat(2)),
+                Instr::AddCtPt(ValRef::Instr(0), PtOperand::Splat(1)),
+            ],
+            ValRef::Instr(1),
+        );
+        assert_eq!(eval_concrete(&prog, &[vec![5, 10]], &[], T), vec![11, 21]);
+    }
+
+    #[test]
+    fn symbolic_matches_concrete_on_samples() {
+        let prog = Program::new(
+            "mix",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Instr(0)),
+                Instr::SubCtPt(ValRef::Instr(1), PtOperand::Splat(3)),
+            ],
+            ValRef::Instr(2),
+        );
+        let n = 4;
+        let sym = eval_symbolic(&prog, n, T);
+        let x = vec![7u64, 11, 13, 17];
+        let conc = eval_concrete(&prog, &[x.clone()], &[], T);
+        for (slot, poly) in sym.iter().enumerate() {
+            let v = poly.eval(&|var| x[var as usize % n]);
+            assert_eq!(v, conc[slot], "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn symbolic_output_identity() {
+        // rotating by n is the identity, symbolically too.
+        let prog = Program::new(
+            "rot-n",
+            1,
+            0,
+            vec![Instr::RotCt(ValRef::Input(0), 2), Instr::RotCt(ValRef::Instr(0), 2)],
+            ValRef::Instr(1),
+        );
+        let sym = eval_symbolic(&prog, 4, T);
+        let id = eval_symbolic(
+            &Program::new("id", 1, 0, vec![], ValRef::Input(0)),
+            4,
+            T,
+        );
+        assert_eq!(sym, id);
+    }
+
+    #[test]
+    fn pt_inputs_are_symbolic_too() {
+        let prog = Program::new(
+            "ct-times-pt",
+            1,
+            1,
+            vec![Instr::MulCtPt(ValRef::Input(0), PtOperand::Input(0))],
+            ValRef::Instr(0),
+        );
+        let sym = eval_symbolic(&prog, 2, T);
+        // slot 0 = x0 * x2 (pt vars offset by ct var count 2)
+        assert_eq!(sym[0].degree(), 2);
+        assert_eq!(sym[0].variables(), vec![0, 2]);
+    }
+}

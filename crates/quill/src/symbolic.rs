@@ -1,0 +1,333 @@
+//! Sparse multivariate polynomials over `Z_t` — the symbolic values used to
+//! verify synthesized kernels.
+//!
+//! A straight-line Quill program computes, in every slot, a polynomial over
+//! the input slots with degree `2^mdepth ≪ t`. Two such programs agree on
+//! **all** inputs iff their canonical polynomial forms agree slot-by-slot
+//! (polynomials of per-variable degree `< t` over the field `Z_t` are
+//! determined by their values). Comparing canonical forms therefore replaces
+//! the paper's SMT `verify` query with an exact, deterministic decision
+//! procedure; counter-examples come from Schwartz–Zippel sampling of the
+//! nonzero difference in [`crate::interp`]'s caller (the synthesizer).
+
+use crate::ring::Ring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monomial: sorted `(variable, exponent)` pairs, exponents ≥ 1.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Monomial(Vec<(u32, u32)>);
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn unit() -> Self {
+        Monomial(Vec::new())
+    }
+
+    /// The monomial `x_var`.
+    pub fn var(var: u32) -> Self {
+        Monomial(vec![(var, 1)])
+    }
+
+    /// Product of two monomials (merge exponents).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].0.cmp(&other.0[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((self.0[i].0, self.0[i].1 + other.0[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Monomial(out)
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.0.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// The variables and exponents.
+    pub fn factors(&self) -> &[(u32, u32)] {
+        &self.0
+    }
+}
+
+/// A sparse multivariate polynomial over `Z_t` in canonical form
+/// (map monomial → nonzero coefficient).
+///
+/// # Examples
+///
+/// ```
+/// use quill::symbolic::SymPoly;
+/// use quill::ring::Ring;
+///
+/// let x = SymPoly::var(0, 65537);
+/// let y = SymPoly::var(1, 65537);
+/// // (x + y)^2 == x^2 + 2xy + y^2
+/// let lhs = x.add(&y).mul(&x.add(&y));
+/// let rhs = x.mul(&x).add(&x.mul(&y).mul(&x.from_i64(2))).add(&y.mul(&y));
+/// assert_eq!(lhs, rhs);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymPoly {
+    modulus: u64,
+    terms: BTreeMap<Monomial, u64>,
+}
+
+impl SymPoly {
+    /// The zero polynomial mod `t`.
+    pub fn zero(modulus: u64) -> Self {
+        SymPoly {
+            modulus,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(value: i64, modulus: u64) -> Self {
+        let mut p = SymPoly::zero(modulus);
+        let v = value.rem_euclid(modulus as i64) as u64;
+        if v != 0 {
+            p.terms.insert(Monomial::unit(), v);
+        }
+        p
+    }
+
+    /// The variable `x_var`.
+    pub fn var(var: u32, modulus: u64) -> Self {
+        let mut p = SymPoly::zero(modulus);
+        p.terms.insert(Monomial::var(var), 1);
+        p
+    }
+
+    /// The modulus `t`.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree (0 for constants and zero).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Evaluates at an assignment `var → value` (missing vars read 0).
+    pub fn eval(&self, assignment: &dyn Fn(u32) -> u64) -> u64 {
+        let t = self.modulus;
+        let mut acc = 0u64;
+        for (m, &c) in &self.terms {
+            let mut term = c;
+            for &(v, e) in m.factors() {
+                let base = assignment(v) % t;
+                let mut pw = 1u64;
+                for _ in 0..e {
+                    pw = ((pw as u128 * base as u128) % t as u128) as u64;
+                }
+                term = ((term as u128 * pw as u128) % t as u128) as u64;
+            }
+            acc = (acc + term) % t;
+        }
+        acc
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> Vec<u32> {
+        let mut vars: Vec<u32> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.factors().iter().map(|&(v, _)| v))
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    fn insert_term(&mut self, m: Monomial, c: u64) {
+        if c == 0 {
+            return;
+        }
+        let t = self.modulus;
+        let entry = self.terms.entry(m);
+        match entry {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let v = (*e.get() + c) % t;
+                if v == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = v;
+                }
+            }
+        }
+    }
+}
+
+impl Ring for SymPoly {
+    fn add(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.modulus, other.modulus);
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.insert_term(m.clone(), c);
+        }
+        out
+    }
+
+    fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.modulus, other.modulus);
+        let t = self.modulus;
+        let mut out = SymPoly::zero(t);
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                let c = ((ca as u128 * cb as u128) % t as u128) as u64;
+                out.insert_term(ma.mul(mb), c);
+            }
+        }
+        out
+    }
+
+    fn neg(&self) -> Self {
+        let t = self.modulus;
+        SymPoly {
+            modulus: t,
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, &c)| (m.clone(), t - c))
+                .collect(),
+        }
+    }
+
+    fn from_i64(&self, v: i64) -> Self {
+        SymPoly::constant(v, self.modulus)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl fmt::Display for SymPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if m.factors().is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                if *c != 1 {
+                    write!(f, "{c}·")?;
+                }
+                for (i, &(v, e)) in m.factors().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    if e == 1 {
+                        write!(f, "x{v}")?;
+                    } else {
+                        write!(f, "x{v}^{e}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u64 = 65537;
+
+    #[test]
+    fn canonical_form_cancels() {
+        let x = SymPoly::var(0, T);
+        assert!(x.sub(&x).is_zero());
+        let p = x.add(&x.from_i64(1));
+        let q = p.mul(&p).sub(&p.mul(&p));
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn algebraic_identity_factoring() {
+        // a·x² + b·x == (a·x + b)·x — the polynomial-regression optimization
+        // Porcupine discovers (§7.2).
+        let a = SymPoly::var(0, T);
+        let b = SymPoly::var(1, T);
+        let x = SymPoly::var(2, T);
+        let lhs = a.mul(&x).mul(&x).add(&b.mul(&x));
+        let rhs = a.mul(&x).add(&b).mul(&x);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn eval_agrees_with_structure() {
+        let x = SymPoly::var(0, T);
+        let y = SymPoly::var(1, T);
+        let p = x.mul(&y).add(&x.from_i64(7)).sub(&y);
+        let assign = |v: u32| -> u64 {
+            match v {
+                0 => 10,
+                1 => 3,
+                _ => 0,
+            }
+        };
+        assert_eq!(p.eval(&assign), (10 * 3 + 7 + T - 3) % T);
+    }
+
+    #[test]
+    fn degree_and_variables() {
+        let x = SymPoly::var(3, T);
+        let y = SymPoly::var(1, T);
+        let p = x.mul(&x).mul(&y).add(&y);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.variables(), vec![1, 3]);
+        assert_eq!(p.num_terms(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let x = SymPoly::var(0, T);
+        let p = x.mul(&x).add(&x.from_i64(2).mul(&x)).add(&x.from_i64(5));
+        assert_eq!(format!("{p}"), "5 + 2·x0 + x0^2");
+    }
+
+    #[test]
+    fn monomial_merge() {
+        let m1 = Monomial::var(0).mul(&Monomial::var(2));
+        let m2 = Monomial::var(0).mul(&Monomial::var(1));
+        let prod = m1.mul(&m2);
+        assert_eq!(prod.factors(), &[(0, 2), (1, 1), (2, 1)]);
+        assert_eq!(prod.degree(), 4);
+    }
+}

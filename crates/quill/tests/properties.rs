@@ -1,0 +1,112 @@
+//! Property-based tests for Quill: random programs must satisfy the
+//! fundamental relationships between the concrete interpreter, the symbolic
+//! interpreter, the depth analyses, and the surface syntax.
+
+use proptest::prelude::*;
+use quill::interp;
+use quill::program::{Instr, Program, PtOperand, ValRef};
+use quill::sexpr::{parse_program, to_string};
+
+const T: u64 = 65537;
+const N: usize = 6;
+
+/// Strategy: a random valid straight-line program over one ct input.
+fn arb_program(max_len: usize) -> impl Strategy<Value = Program> {
+    prop::collection::vec((0u8..7, any::<u16>(), any::<u16>(), -5i64..=5), 1..max_len).prop_map(
+        |steps| {
+            let mut instrs: Vec<Instr> = Vec::new();
+            for (op, a, b, r) in steps {
+                let pick = |x: u16, bound: usize| -> ValRef {
+                    let i = x as usize % (bound + 1);
+                    if i == 0 {
+                        ValRef::Input(0)
+                    } else {
+                        ValRef::Instr(i - 1)
+                    }
+                };
+                let lhs = pick(a, instrs.len());
+                let rhs = pick(b, instrs.len());
+                let instr = match op {
+                    0 => Instr::AddCtCt(lhs, rhs),
+                    1 => Instr::SubCtCt(lhs, rhs),
+                    2 => Instr::MulCtCt(lhs, rhs),
+                    3 => Instr::AddCtPt(lhs, PtOperand::Splat(r)),
+                    4 => Instr::SubCtPt(lhs, PtOperand::Splat(r)),
+                    5 => Instr::MulCtPt(lhs, PtOperand::Splat(r)),
+                    _ => Instr::RotCt(lhs, if r == 0 { 1 } else { r }),
+                };
+                instrs.push(instr);
+            }
+            let output = ValRef::Instr(instrs.len() - 1);
+            Program::new("random", 1, 0, instrs, output)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_validate(prog in arb_program(8)) {
+        prop_assert!(prog.validate().is_ok());
+    }
+
+    #[test]
+    fn symbolic_predicts_concrete(prog in arb_program(6),
+                                  input in prop::collection::vec(0u64..T, N)) {
+        let sym = interp::eval_symbolic(&prog, N, T);
+        let conc = interp::eval_concrete(&prog, &[input.clone()], &[], T);
+        for (slot, poly) in sym.iter().enumerate() {
+            let v = poly.eval(&|var| input[var as usize % N]);
+            prop_assert_eq!(v, conc[slot], "slot {}", slot);
+        }
+    }
+
+    #[test]
+    fn sexpr_roundtrip(prog in arb_program(8)) {
+        let printed = to_string(&prog);
+        let reparsed = parse_program(&printed).expect("printed programs parse");
+        prop_assert_eq!(reparsed, prog);
+    }
+
+    #[test]
+    fn dce_preserves_semantics(prog in arb_program(8),
+                               input in prop::collection::vec(0u64..T, N)) {
+        let clean = prog.eliminate_dead_code();
+        prop_assert!(clean.validate().is_ok());
+        prop_assert!(clean.len() <= prog.len());
+        let before = interp::eval_concrete(&prog, &[input.clone()], &[], T);
+        let after = interp::eval_concrete(&clean, &[input], &[], T);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn cse_preserves_semantics(prog in arb_program(8),
+                               input in prop::collection::vec(0u64..T, N)) {
+        let merged = prog.cse();
+        prop_assert!(merged.validate().is_ok());
+        prop_assert!(merged.len() <= prog.len());
+        let before = interp::eval_concrete(&prog, &[input.clone()], &[], T);
+        let after = interp::eval_concrete(&merged, &[input], &[], T);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn mult_depth_bounds_logic_depth(prog in arb_program(8)) {
+        prop_assert!((prog.mult_depth() as usize) <= prog.logic_depth());
+    }
+
+    #[test]
+    fn rotation_by_n_is_identity(input in prop::collection::vec(0u64..T, N)) {
+        let rotated = interp::rotate_left(&input, N as i64);
+        prop_assert_eq!(rotated, input);
+    }
+
+    #[test]
+    fn rotations_compose(input in prop::collection::vec(0u64..T, N),
+                         r1 in -10i64..10, r2 in -10i64..10) {
+        let double = interp::rotate_left(&interp::rotate_left(&input, r1), r2);
+        let single = interp::rotate_left(&input, r1 + r2);
+        prop_assert_eq!(double, single);
+    }
+}

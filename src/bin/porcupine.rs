@@ -1,0 +1,122 @@
+//! The Porcupine command-line driver: synthesize, inspect, and export the
+//! paper's kernels from a shell.
+//!
+//! ```text
+//! porcupine list                         # the kernel registry
+//! porcupine synth gx                     # synthesize, print Quill + stats
+//! porcupine synth gx --emit seal         # print generated SEAL C++
+//! porcupine synth gx --explicit          # §7.4 ablation sketch mode
+//! porcupine synth box-blur --auto        # infer the sketch from the spec
+//! porcupine baseline gx                  # print the hand-written baseline
+//! ```
+
+use porcupine::autosketch::auto_sketch;
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::codegen::emit_seal_cpp;
+use porcupine_kernels::{all_direct, PaperKernel};
+use quill::cost::{cost, LatencyModel};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>]\n  porcupine baseline <kernel> [--emit seal|quill]"
+    );
+    ExitCode::FAILURE
+}
+
+fn find_kernel(name: &str) -> Option<PaperKernel> {
+    all_direct().into_iter().find(|k| k.name == name)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = LatencyModel::profiled_default();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!(
+                "{:<24} {:>6} {:>7} {:>7} {:>12}",
+                "kernel", "instr", "depth", "mdepth", "cost"
+            );
+            for k in all_direct() {
+                println!(
+                    "{:<24} {:>6} {:>7} {:>7} {:>12.0}",
+                    k.name,
+                    k.baseline.len(),
+                    k.baseline.logic_depth(),
+                    k.baseline.mult_depth(),
+                    cost(&k.baseline, &model),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("baseline") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(k) = find_kernel(name) else {
+                eprintln!("unknown kernel '{name}' (try `porcupine list`)");
+                return ExitCode::FAILURE;
+            };
+            if args.iter().any(|a| a == "seal") {
+                print!("{}", emit_seal_cpp(&k.baseline));
+            } else {
+                print!("{}", k.baseline);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("synth") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(k) = find_kernel(name) else {
+                eprintln!("unknown kernel '{name}' (try `porcupine list`)");
+                return ExitCode::FAILURE;
+            };
+            let grab = |flag: &str| -> Option<u64> {
+                args.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok())
+            };
+            let options = SynthesisOptions {
+                timeout: Duration::from_secs(grab("--timeout").unwrap_or(600)),
+                seed: grab("--seed").unwrap_or(0x9E3779B9),
+                ..SynthesisOptions::default()
+            };
+            let sketch = if args.iter().any(|a| a == "--auto") {
+                auto_sketch(&k.spec)
+            } else if args.iter().any(|a| a == "--explicit") {
+                let mut s = k.sketch.clone().with_explicit_rotations();
+                s.max_components += 4; // room for materialized rotations
+                s
+            } else {
+                k.sketch.clone()
+            };
+            match synthesize(&k.spec, &sketch, &options) {
+                Ok(r) => {
+                    eprintln!(
+                        "; {} components, {} examples, initial {:.2?}, total {:.2?}, optimal: {}",
+                        r.components,
+                        r.examples_used,
+                        r.time_to_initial,
+                        r.time_total,
+                        r.proved_optimal
+                    );
+                    eprintln!(
+                        "; cost {:.0} (baseline {:.0})",
+                        r.final_cost,
+                        cost(&k.baseline, &model)
+                    );
+                    if args.iter().any(|a| a == "seal") {
+                        print!("{}", emit_seal_cpp(&r.program));
+                    } else {
+                        print!("{}", r.program);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("synthesis failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,3 @@
+//! Workspace root for the Porcupine reproduction. The real code lives in
+//! `crates/*`; this package only hosts the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`.

@@ -1,0 +1,132 @@
+//! End-to-end synthesis tests: the CEGIS engine must reproduce the paper's
+//! headline results on the fast kernels — minimal component counts,
+//! Table 2 instruction counts, symbolic correctness, and padding
+//! stability. (The slow kernels, L2 and Roberts cross, are exercised by the
+//! bench harness with longer budgets.)
+
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::lift::check_padding_stable;
+use porcupine::verify::verify;
+use porcupine_kernels::{pointwise, reduction, stencil};
+use quill::cost::{cost, LatencyModel};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn fast_options() -> SynthesisOptions {
+    SynthesisOptions {
+        timeout: Duration::from_secs(300),
+        optimize: true,
+        latency: LatencyModel::profiled_default(),
+        seed: 1,
+    }
+}
+
+#[test]
+fn box_blur_matches_figure_5() {
+    let k = stencil::box_blur(stencil::default_image());
+    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("box blur synthesizes");
+    // Figure 5(a): 4 instructions (2 adds + 2 rotations) vs baseline 6.
+    assert_eq!(r.program.len(), 4, "\n{}", r.program);
+    assert_eq!(r.components, 2);
+    assert!(r.program.len() < k.baseline.len());
+    // The separable decomposition has higher logic depth but the same
+    // multiplicative depth (the noise argument of §7.3).
+    assert!(r.program.logic_depth() > k.baseline.logic_depth());
+    assert_eq!(r.program.mult_depth(), k.baseline.mult_depth());
+    // And strictly lower modelled cost.
+    let m = LatencyModel::profiled_default();
+    assert!(cost(&r.program, &m) < cost(&k.baseline, &m));
+}
+
+#[test]
+fn gx_matches_table_2() {
+    let k = stencil::gx(stencil::default_image());
+    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("gx synthesizes");
+    // Table 2: synthesized Gx has 7 instructions (3 arith + 4 rotations).
+    assert_eq!(r.program.len(), 7, "\n{}", r.program);
+    assert_eq!(r.components, 3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    verify(&r.program, &k.spec, &mut rng).expect("synthesized gx verifies");
+    check_padding_stable(&r.program, k.spec.n, &k.spec.output_mask, k.spec.t)
+        .expect("synthesized gx lifts");
+}
+
+#[test]
+fn dot_product_matches_table_2() {
+    let k = reduction::dot_product(8);
+    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("dot product synthesizes");
+    // Table 2: 7 instructions for both baseline and synthesized, depth 7.
+    assert_eq!(r.program.len(), 7);
+    assert_eq!(r.program.len(), k.baseline.len());
+    assert_eq!(r.program.logic_depth(), 7);
+}
+
+#[test]
+fn hamming_distance_matches_table_2() {
+    let k = reduction::hamming_distance(4);
+    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("hamming synthesizes");
+    assert_eq!(r.program.len(), 6, "\n{}", r.program);
+    assert_eq!(r.program.logic_depth(), 6);
+    // Single-value outputs need more counter-examples (§7.4).
+    assert!(r.examples_used >= 2);
+}
+
+#[test]
+fn polynomial_regression_discovers_factorization() {
+    let k = pointwise::polynomial_regression(8);
+    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("poly reg synthesizes");
+    // The factored form (a·x + b)·x + c: 4 instructions vs 5 in the
+    // baseline, and one fewer plaintext multiply (§7.2's algebraic
+    // optimization).
+    assert_eq!(r.program.len(), 4, "\n{}", r.program);
+    let synth_muls: usize = r
+        .program
+        .opcode_counts()
+        .iter()
+        .filter(|(op, _)| op.starts_with("mul"))
+        .map(|(_, c)| c)
+        .sum();
+    let base_muls: usize = k
+        .baseline
+        .opcode_counts()
+        .iter()
+        .filter(|(op, _)| op.starts_with("mul"))
+        .map(|(_, c)| c)
+        .sum();
+    assert!(synth_muls < base_muls, "factoring must drop a multiply");
+}
+
+#[test]
+fn linear_regression_matches_baseline() {
+    let k = pointwise::linear_regression(8);
+    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("lin reg synthesizes");
+    // Paper: baseline and synthesized coincide (4 instructions).
+    assert_eq!(r.program.len(), 4);
+    assert!(r.proved_optimal);
+}
+
+#[test]
+fn synthesized_kernels_are_all_verified_and_liftable() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let img = stencil::default_image();
+    for k in [
+        stencil::box_blur(img),
+        stencil::gx(img),
+        stencil::gy(img),
+        reduction::dot_product(8),
+        reduction::hamming_distance(4),
+    ] {
+        let r = synthesize(&k.spec, &k.sketch, &fast_options())
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        verify(&r.program, &k.spec, &mut rng).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        check_padding_stable(&r.program, k.spec.n, &k.spec.output_mask, k.spec.t)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        // Synthesized never loses to the expert baseline under the model.
+        let m = LatencyModel::profiled_default();
+        assert!(
+            cost(&r.program, &m) <= cost(&k.baseline, &m) + 1e-9,
+            "{}: synthesized cost must not exceed baseline",
+            k.name
+        );
+    }
+}

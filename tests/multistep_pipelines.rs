@@ -1,0 +1,76 @@
+//! Multi-step synthesis integration (§6.3/§7.2): Sobel and Harris composed
+//! from synthesized stages must verify against the whole-pipeline
+//! specifications and beat (or match) the monolithic baselines on
+//! instruction count.
+
+use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::verify::verify;
+use porcupine_kernels::{composite, stencil};
+use quill::Program;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn synth(k: &porcupine_kernels::PaperKernel) -> Program {
+    let options = SynthesisOptions {
+        timeout: Duration::from_secs(300),
+        ..SynthesisOptions::default()
+    };
+    synthesize(&k.spec, &k.sketch, &options)
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name))
+        .program
+}
+
+#[test]
+fn sobel_composed_from_synthesized_stages_verifies() {
+    let img = stencil::default_image();
+    let gx = synth(&stencil::gx(img));
+    let gy = synth(&stencil::gy(img));
+    let combine = synth(&composite::sobel_combine(img.slots()));
+    let sobel = composite::sobel_from(&gx, &gy, &combine);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    verify(&sobel, &composite::sobel_spec(img), &mut rng).expect("sobel verifies");
+
+    let baseline = composite::sobel_baseline(img);
+    assert!(
+        sobel.len() < baseline.len(),
+        "multi-step sobel ({}) must use fewer instructions than baseline ({})",
+        sobel.len(),
+        baseline.len()
+    );
+}
+
+#[test]
+fn harris_composed_from_synthesized_stages_verifies() {
+    let img = stencil::default_image();
+    let stages = composite::HarrisStages {
+        gx: synth(&stencil::gx(img)),
+        gy: synth(&stencil::gy(img)),
+        blur: synth(&stencil::box_blur(img)),
+        det: synth(&composite::harris_det(img.slots())),
+        trace: synth(&composite::harris_trace(img.slots())),
+    };
+    let harris = composite::harris_from(&stages);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+    verify(&harris, &composite::harris_spec(img), &mut rng).expect("harris verifies");
+
+    let baseline = composite::harris_baseline(img);
+    assert!(
+        harris.len() < baseline.len(),
+        "multi-step harris ({}) must use fewer instructions than baseline ({})",
+        harris.len(),
+        baseline.len()
+    );
+}
+
+#[test]
+fn composed_pipelines_share_rotations_via_cse() {
+    let img = stencil::default_image();
+    let gx = stencil::gx(img).baseline;
+    let gy = stencil::gy(img).baseline;
+    let combine = composite::sobel_combine(img.slots()).baseline;
+    let sobel = composite::sobel_from(&gx, &gy, &combine);
+    // The two gradient baselines share four corner rotations of the input.
+    assert_eq!(sobel.len(), gx.len() + gy.len() + combine.len() - 4);
+}

@@ -1,0 +1,57 @@
+//! Surface-syntax and codegen integration: every kernel program round-trips
+//! through the s-expression syntax, and SEAL C++ emission stays consistent
+//! with program structure.
+
+use porcupine::codegen::emit_seal_cpp;
+use porcupine_kernels::{all_direct, composite, stencil};
+use quill::sexpr::{parse_program, to_string};
+
+#[test]
+fn all_baselines_roundtrip_through_sexpr() {
+    for k in all_direct() {
+        let printed = to_string(&k.baseline);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", k.name));
+        assert_eq!(reparsed, k.baseline, "{}", k.name);
+    }
+}
+
+#[test]
+fn composite_baselines_roundtrip_through_sexpr() {
+    let img = stencil::default_image();
+    for prog in [
+        composite::sobel_baseline(img),
+        composite::harris_baseline(img),
+    ] {
+        let printed = to_string(&prog);
+        let reparsed = parse_program(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(reparsed, prog);
+    }
+}
+
+#[test]
+fn seal_emission_covers_every_instruction() {
+    for k in all_direct() {
+        let cpp = emit_seal_cpp(&k.baseline);
+        // one `seal::Ciphertext cN;` declaration per instruction
+        let decls = cpp.matches("seal::Ciphertext c").count();
+        assert_eq!(decls, k.baseline.len(), "{}", k.name);
+        // every ct-ct multiply is followed by a relinearization
+        let muls = cpp.matches("ev.multiply(").count();
+        let relins = cpp.matches("ev.relinearize_inplace(").count();
+        assert_eq!(muls, relins, "{}", k.name);
+    }
+}
+
+#[test]
+fn seal_emission_of_harris_is_complete() {
+    let img = stencil::default_image();
+    let harris = composite::harris_baseline(img);
+    let cpp = emit_seal_cpp(&harris);
+    assert!(cpp.contains("void harris_baseline"));
+    assert!(cpp.contains("splat_16"));
+    assert_eq!(
+        cpp.matches("ev.relinearize_inplace(").count(),
+        harris.ct_ct_mul_count()
+    );
+}
