@@ -27,14 +27,14 @@ fn he_ops(c: &mut Criterion) {
     let b = encryptor.encrypt(&pt, &mut rng);
 
     let mut group = c.benchmark_group("he_ops_n4096");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("add_ct_ct", |bch| bch.iter(|| ev.add(&a, &b)));
     group.bench_function("sub_ct_ct", |bch| bch.iter(|| ev.sub(&a, &b)));
     group.bench_function("add_ct_pt", |bch| bch.iter(|| ev.add_plain(&a, &pt)));
     group.bench_function("mul_ct_pt", |bch| bch.iter(|| ev.mul_plain(&a, &pt)));
-    group.bench_function("rotate_rows", |bch| {
-        bch.iter(|| ev.rotate_rows(&a, 1, &gk))
-    });
+    group.bench_function("rotate_rows", |bch| bch.iter(|| ev.rotate_rows(&a, 1, &gk)));
     group.bench_function("mul_ct_ct_relin", |bch| {
         bch.iter(|| ev.multiply_relin(&a, &b, &rk))
     });

@@ -51,7 +51,9 @@ fn kernel_latency(c: &mut Criterion) {
         let pt_refs: Vec<&Plaintext> = pts.iter().collect();
 
         let mut group = c.benchmark_group(k.name);
-        group.sample_size(10).measurement_time(Duration::from_secs(5));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(5));
         group.bench_function("baseline", |b| {
             b.iter(|| runner.run(&k.baseline, &ct_refs, &pt_refs))
         });

@@ -21,7 +21,9 @@ fn synthesis_time(c: &mut Criterion) {
         pointwise::polynomial_regression(8),
     ];
     let mut group = c.benchmark_group("synthesis");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     for k in kernels {
         group.bench_function(k.name, |b| {
             b.iter(|| synthesize(&k.spec, &k.sketch, &options).expect("synthesizes"))

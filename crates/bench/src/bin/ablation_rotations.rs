@@ -31,7 +31,10 @@ fn main() {
         (
             "box-blur / window",
             stencil::box_blur(img),
-            RotationSet::Window { stride: 5, radius: 1 },
+            RotationSet::Window {
+                stride: 5,
+                radius: 1,
+            },
         ),
         (
             "box-blur / unrestricted",
@@ -50,7 +53,11 @@ fn main() {
         ),
     ];
     for (name, kernel, rots) in cases {
-        let sketch = Sketch::new(kernel.sketch.ops.clone(), rots, kernel.sketch.max_components);
+        let sketch = Sketch::new(
+            kernel.sketch.ops.clone(),
+            rots,
+            kernel.sketch.max_components,
+        );
         match synthesize(&kernel.spec, &sketch, &options) {
             Ok(r) => println!(
                 "{:<34} {:>6} {:>12.2} {:>12.2} {:>8}",

@@ -75,9 +75,15 @@ fn main() {
     let combine = composite::sobel_combine(img.slots());
     let det = composite::harris_det(img.slots());
     let trace = composite::harris_trace(img.slots());
-    let combine_p = synthesize(&combine.spec, &combine.sketch, &options).unwrap().program;
-    let det_p = synthesize(&det.spec, &det.sketch, &options).unwrap().program;
-    let trace_p = synthesize(&trace.spec, &trace.sketch, &options).unwrap().program;
+    let combine_p = synthesize(&combine.spec, &combine.sketch, &options)
+        .unwrap()
+        .program;
+    let det_p = synthesize(&det.spec, &det.sketch, &options)
+        .unwrap()
+        .program;
+    let trace_p = synthesize(&trace.spec, &trace.sketch, &options)
+        .unwrap()
+        .program;
     workloads.push(Workload {
         name: "sobel (multi-step)".into(),
         spec: composite::sobel_spec(img),
@@ -141,7 +147,8 @@ fn main() {
             for i in 0..w.spec.n {
                 if w.spec.output_mask[i] {
                     assert_eq!(
-                        decoded[i], expected[i] % t,
+                        decoded[i],
+                        expected[i] % t,
                         "{}: wrong result at slot {i}",
                         w.name
                     );

@@ -73,7 +73,11 @@ fn main() {
         synthesized.get("box-blur"),
     ) {
         let sobel = composite::sobel_from(gx, gy, &combine_prog);
-        row("sobel (multi-step)", &composite::sobel_baseline(img), &sobel);
+        row(
+            "sobel (multi-step)",
+            &composite::sobel_baseline(img),
+            &sobel,
+        );
         let harris = composite::harris_from(&composite::HarrisStages {
             gx: gx.clone(),
             gy: gy.clone(),
@@ -81,6 +85,10 @@ fn main() {
             det: det_prog,
             trace: trace_prog,
         });
-        row("harris (multi-step)", &composite::harris_baseline(img), &harris);
+        row(
+            "harris (multi-step)",
+            &composite::harris_baseline(img),
+            &harris,
+        );
     }
 }

@@ -18,10 +18,7 @@ use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let timeout = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(600u64);
+    let timeout = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600u64);
     let filter = args.get(2).cloned();
 
     let mut kernels: Vec<PaperKernel> = all_direct();
@@ -33,7 +30,15 @@ fn main() {
     println!("# Table 3: synthesis time and examples (timeout {timeout}s per kernel)");
     println!(
         "{:<24} {:>4} {:>9} {:>12} {:>12} {:>13} {:>12} {:>8} {:>7}",
-        "kernel", "L", "examples", "initial(s)", "total(s)", "initial-cost", "final-cost", "optimal", "instrs"
+        "kernel",
+        "L",
+        "examples",
+        "initial(s)",
+        "total(s)",
+        "initial-cost",
+        "final-cost",
+        "optimal",
+        "instrs"
     );
     for k in kernels {
         if let Some(f) = &filter {

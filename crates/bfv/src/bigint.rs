@@ -159,7 +159,11 @@ impl BigUint {
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0u64;
         for i in 0..self.limbs.len() {
-            let b = if i < other.limbs.len() { other.limbs[i] } else { 0 };
+            let b = if i < other.limbs.len() {
+                other.limbs[i]
+            } else {
+                0
+            };
             let (d1, b1) = self.limbs[i].overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
@@ -325,9 +329,7 @@ impl BigUint {
             let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
             let mut qhat = num / v_top as u128;
             let mut rhat = num % v_top as u128;
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top as u128;
                 if rhat >> 64 != 0 {
@@ -441,7 +443,10 @@ pub struct BigInt {
 impl BigInt {
     /// The value zero.
     pub fn zero() -> Self {
-        BigInt { mag: BigUint::zero(), neg: false }
+        BigInt {
+            mag: BigUint::zero(),
+            neg: false,
+        }
     }
 
     /// Constructs from an `i64`.
@@ -471,19 +476,33 @@ impl BigInt {
 
     /// Negation.
     pub fn negate(&self) -> BigInt {
-        BigInt { mag: self.mag.clone(), neg: !self.neg }.canonical()
+        BigInt {
+            mag: self.mag.clone(),
+            neg: !self.neg,
+        }
+        .canonical()
     }
 
     /// Sum.
     pub fn add(&self, other: &BigInt) -> BigInt {
         if self.neg == other.neg {
-            BigInt { mag: self.mag.add(&other.mag), neg: self.neg }.canonical()
+            BigInt {
+                mag: self.mag.add(&other.mag),
+                neg: self.neg,
+            }
+            .canonical()
         } else {
             match self.mag.cmp_big(&other.mag) {
-                Ordering::Less => {
-                    BigInt { mag: other.mag.sub(&self.mag), neg: other.neg }.canonical()
+                Ordering::Less => BigInt {
+                    mag: other.mag.sub(&self.mag),
+                    neg: other.neg,
                 }
-                _ => BigInt { mag: self.mag.sub(&other.mag), neg: self.neg }.canonical(),
+                .canonical(),
+                _ => BigInt {
+                    mag: self.mag.sub(&other.mag),
+                    neg: self.neg,
+                }
+                .canonical(),
             }
         }
     }
@@ -536,7 +555,11 @@ impl BigInt {
 pub fn center(x: &BigUint, q: &BigUint) -> BigInt {
     let half = q.shr_bits(1);
     if x.cmp_big(&half) == Ordering::Greater {
-        BigInt { mag: q.sub(x), neg: true }.canonical()
+        BigInt {
+            mag: q.sub(x),
+            neg: true,
+        }
+        .canonical()
     } else {
         BigInt::from_biguint(x.clone())
     }
@@ -568,10 +591,7 @@ mod tests {
         let a = BigUint::from_u64(0xdead_beef_1234_5678);
         let b = BigUint::from_u64(0xfeed_face_8765_4321);
         let p = a.mul(&b);
-        let expect = 0xdead_beef_1234_5678u128 * 0xfeed_face_8765_4321u128 as u128;
-        let expect = (0xdead_beef_1234_5678u128).wrapping_mul(0) + expect * 0 + {
-            (0xdead_beef_1234_5678u128) * (0xfeed_face_8765_4321u128)
-        };
+        let expect = 0xdead_beef_1234_5678u128 * 0xfeed_face_8765_4321u128;
         assert_eq!(p.to_u128(), Some(expect));
     }
 
@@ -579,10 +599,7 @@ mod tests {
     fn div_rem_u64_small() {
         let a = BigUint::from_u128(12345678901234567890123456789);
         let (q, r) = a.div_rem_u64(97);
-        assert_eq!(
-            q.mul_u64(97).add(&BigUint::from_u64(r)),
-            a
-        );
+        assert_eq!(q.mul_u64(97).add(&BigUint::from_u64(r)), a);
         assert!(r < 97);
     }
 
@@ -599,7 +616,9 @@ mod tests {
     fn div_rem_needs_correction_step() {
         // Constructed so the q̂ estimate is too large and the add-back path runs.
         let b = BigUint::from_limbs(vec![0, 1, 0x8000_0000_0000_0000]);
-        let a = b.mul(&BigUint::from_limbs(vec![u64::MAX, u64::MAX])).add(&b.sub(&BigUint::one()));
+        let a = b
+            .mul(&BigUint::from_limbs(vec![u64::MAX, u64::MAX]))
+            .add(&b.sub(&BigUint::one()));
         let (q, r) = a.div_rem(&b);
         assert_eq!(q.mul(&b).add(&r), a);
         assert!(r.cmp_big(&b) == Ordering::Less);

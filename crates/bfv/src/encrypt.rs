@@ -44,7 +44,9 @@ impl<'a> Encryptor<'a> {
         let e2 = ring.sample_error(rng);
         let c0 = ring.add(&ring.add(&ring.mul(&self.pk.b, &u), &e1), &dm);
         let c1 = ring.add(&ring.mul(&self.pk.a, &u), &e2);
-        Ciphertext { parts: vec![c0, c1] }
+        Ciphertext {
+            parts: vec![c0, c1],
+        }
     }
 }
 
@@ -112,7 +114,7 @@ mod tests {
     use crate::encoding::BatchEncoder;
     use crate::keys::KeyGenerator;
     use crate::params::BfvParams;
-    use rand::{Rng as _, SeedableRng};
+    use rand::SeedableRng;
 
     fn setup() -> (BfvContext, rand::rngs::StdRng) {
         (
@@ -130,7 +132,9 @@ mod tests {
         let encoder = BatchEncoder::new(&ctx);
 
         let t = ctx.params().plain_modulus;
-        let v: Vec<u64> = (0..encoder.slot_count() as u64).map(|i| (i * 31 + 5) % t).collect();
+        let v: Vec<u64> = (0..encoder.slot_count() as u64)
+            .map(|i| (i * 31 + 5) % t)
+            .collect();
         let ct = enc.encrypt(&encoder.encode(&v), &mut rng);
         assert_eq!(encoder.decode(&dec.decrypt(&ct)), v);
     }
@@ -168,7 +172,9 @@ mod tests {
         let encoder = BatchEncoder::new(&ctx);
         let t = ctx.params().plain_modulus;
         for trial in 0..3 {
-            let v: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
+            let v: Vec<u64> = (0..encoder.slot_count())
+                .map(|_| rng.gen_range(0..t))
+                .collect();
             let ct = enc.encrypt(&encoder.encode(&v), &mut rng);
             assert_eq!(encoder.decode(&dec.decrypt(&ct)), v, "trial {trial}");
         }

@@ -134,8 +134,16 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if either input is not size 2.
     pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        assert_eq!(a.size(), 2, "multiply requires size-2 inputs (relinearize first)");
-        assert_eq!(b.size(), 2, "multiply requires size-2 inputs (relinearize first)");
+        assert_eq!(
+            a.size(),
+            2,
+            "multiply requires size-2 inputs (relinearize first)"
+        );
+        assert_eq!(
+            b.size(),
+            2,
+            "multiply requires size-2 inputs (relinearize first)"
+        );
         let ring = self.ctx.ring();
         let aux = self.ctx.aux_ring();
         let t = self.ctx.params().plain_modulus;
@@ -186,10 +194,7 @@ impl<'a> Evaluator<'a> {
         let ring = self.ctx.ring();
         let (ks_b, ks_a) = self.key_switch(&a.parts[2], &rk.0);
         Ciphertext {
-            parts: vec![
-                ring.add(&a.parts[0], &ks_b),
-                ring.add(&a.parts[1], &ks_a),
-            ],
+            parts: vec![ring.add(&a.parts[0], &ks_b), ring.add(&a.parts[1], &ks_a)],
         }
     }
 
@@ -205,7 +210,11 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the ciphertext is not size 2 or no key for `g` is present.
     pub fn apply_galois(&self, a: &Ciphertext, g: u64, gk: &GaloisKeys) -> Ciphertext {
-        assert_eq!(a.size(), 2, "apply_galois expects size-2 (relinearize first)");
+        assert_eq!(
+            a.size(),
+            2,
+            "apply_galois expects size-2 (relinearize first)"
+        );
         if g == 1 {
             return a.clone();
         }
@@ -348,16 +357,22 @@ mod tests {
         let ct = s.enc.encrypt(&s.encoder.encode(&v), &mut s.rng);
         let gk = s.kg.galois_keys_for_rotations(&[1, -2], true, &mut s.rng);
 
-        let left1 = s.encoder.decode(&s.dec.decrypt(&s.ev.rotate_rows(&ct, 1, &gk)));
+        let left1 = s
+            .encoder
+            .decode(&s.dec.decrypt(&s.ev.rotate_rows(&ct, 1, &gk)));
         for i in 0..half {
             assert_eq!(left1[i], v[(i + 1) % half]);
             assert_eq!(left1[half + i], v[half + (i + 1) % half]);
         }
-        let right2 = s.encoder.decode(&s.dec.decrypt(&s.ev.rotate_rows(&ct, -2, &gk)));
+        let right2 = s
+            .encoder
+            .decode(&s.dec.decrypt(&s.ev.rotate_rows(&ct, -2, &gk)));
         for i in 0..half {
             assert_eq!(right2[i], v[(i + half - 2) % half]);
         }
-        let swapped = s.encoder.decode(&s.dec.decrypt(&s.ev.rotate_columns(&ct, &gk)));
+        let swapped = s
+            .encoder
+            .decode(&s.dec.decrypt(&s.ev.rotate_columns(&ct, &gk)));
         for i in 0..half {
             assert_eq!(swapped[i], v[half + i]);
             assert_eq!(swapped[half + i], v[i]);
@@ -371,10 +386,7 @@ mod tests {
         let ct = s.enc.encrypt(&s.encoder.encode(&[9, 8, 7]), &mut s.rng);
         let gk = s.kg.galois_keys(&[], &mut s.rng);
         let same = s.ev.rotate_rows(&ct, 0, &gk);
-        assert_eq!(
-            s.encoder.decode(&s.dec.decrypt(&same))[..3],
-            [9, 8, 7]
-        );
+        assert_eq!(s.encoder.decode(&s.dec.decrypt(&same))[..3], [9, 8, 7]);
     }
 
     #[test]
@@ -400,9 +412,15 @@ mod tests {
         let fresh = s.dec.invariant_noise_budget(&a);
         let sq = s.ev.multiply_relin(&a, &a, &rk);
         let after_mul = s.dec.invariant_noise_budget(&sq);
-        assert!(after_mul < fresh, "mul must consume budget ({fresh} -> {after_mul})");
+        assert!(
+            after_mul < fresh,
+            "mul must consume budget ({fresh} -> {after_mul})"
+        );
         let sum = s.ev.add(&sq, &sq);
         let after_add = s.dec.invariant_noise_budget(&sum);
-        assert!(after_add <= after_mul + 1, "add grows noise additively only");
+        assert!(
+            after_add <= after_mul + 1,
+            "add grows noise additively only"
+        );
     }
 }

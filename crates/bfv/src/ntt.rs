@@ -52,7 +52,7 @@ impl NttTables {
     /// Panics if `n` is not a power of two or `2n ∤ p - 1`.
     pub fn new(p: u64, n: usize) -> Self {
         assert!(n.is_power_of_two() && n >= 2, "n must be a power of two");
-        assert!((p - 1) % (2 * n as u64) == 0, "p must be 1 mod 2n");
+        assert!((p - 1).is_multiple_of(2 * n as u64), "p must be 1 mod 2n");
         let psi_root = crate::zq::root_of_unity(2 * n as u64, p);
         Self::with_root(p, n, psi_root)
     }
@@ -61,7 +61,11 @@ impl NttTables {
     /// batch encoder so the slot map and the transform agree on ψ).
     pub fn with_root(p: u64, n: usize, psi_root: u64) -> Self {
         assert_eq!(pow_mod(psi_root, 2 * n as u64, p), 1);
-        assert_eq!(pow_mod(psi_root, n as u64, p), p - 1, "psi must be primitive");
+        assert_eq!(
+            pow_mod(psi_root, n as u64, p),
+            p - 1,
+            "psi must be primitive"
+        );
         let omega = mul_mod(psi_root, psi_root, p);
         let omega_inv = inv_mod(omega, p);
         let psi_inv_root = inv_mod(psi_root, p);
@@ -173,8 +177,8 @@ impl NttTables {
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         let p = self.p;
-        for i in 0..self.n {
-            a[i] = mul_mod_shoup(a[i], self.psi[i], self.psi_shoup[i], p);
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mul_mod_shoup(*x, self.psi[i], self.psi_shoup[i], p);
         }
         self.permute(a);
         self.butterflies(a, &self.tw, &self.tw_shoup);
@@ -190,9 +194,9 @@ impl NttTables {
         let p = self.p;
         self.permute(a);
         self.butterflies(a, &self.tw_inv, &self.tw_inv_shoup);
-        for i in 0..self.n {
-            let v = mul_mod_shoup(a[i], self.n_inv, self.n_inv_shoup, p);
-            a[i] = mul_mod_shoup(v, self.psi_inv[i], self.psi_inv_shoup[i], p);
+        for (i, x) in a.iter_mut().enumerate() {
+            let v = mul_mod_shoup(*x, self.n_inv, self.n_inv_shoup, p);
+            *x = mul_mod_shoup(v, self.psi_inv[i], self.psi_inv_shoup[i], p);
         }
     }
 
@@ -215,9 +219,9 @@ pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
     let n = a.len();
     assert_eq!(b.len(), n);
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        for j in 0..n {
-            let prod = mul_mod(a[i], b[j], p);
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = mul_mod(ai, bj, p);
             let k = i + j;
             if k < n {
                 out[k] = add_mod(out[k], prod, p);
@@ -263,14 +267,14 @@ mod tests {
         let mut a = coeffs.clone();
         t.forward(&mut a);
         let psi = t.psi();
-        for j in 0..n {
+        for (j, &aj) in a.iter().enumerate() {
             let point = zq::pow_mod(psi, (2 * j + 1) as u64, p);
             // Horner evaluation
             let mut acc = 0u64;
             for &c in coeffs.iter().rev() {
                 acc = add_mod(mul_mod(acc, point, p), c, p);
             }
-            assert_eq!(a[j], acc, "slot {j}");
+            assert_eq!(aj, acc, "slot {j}");
         }
     }
 

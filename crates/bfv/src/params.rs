@@ -25,7 +25,10 @@ impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParamError::BadDegree(n) => {
-                write!(f, "polynomial degree {n} must be a power of two in [16, 32768]")
+                write!(
+                    f,
+                    "polynomial degree {n} must be a power of two in [16, 32768]"
+                )
             }
             ParamError::BadPlainModulus(t) => write!(
                 f,
@@ -34,10 +37,9 @@ impl fmt::Display for ParamError {
             ParamError::BadPrime(p) => {
                 write!(f, "ciphertext modulus prime {p} must be prime and 1 mod 2N")
             }
-            ParamError::TooFewPrimes(k) => write!(
-                f,
-                "need at least 2 RNS primes for key switching, got {k}"
-            ),
+            ParamError::TooFewPrimes(k) => {
+                write!(f, "need at least 2 RNS primes for key switching, got {k}")
+            }
         }
     }
 }
@@ -78,7 +80,7 @@ impl BfvParams {
         bits: u32,
         count: usize,
     ) -> Result<Self, ParamError> {
-        if !poly_degree.is_power_of_two() || poly_degree < 16 || poly_degree > 32768 {
+        if !poly_degree.is_power_of_two() || !(16..=32768).contains(&poly_degree) {
             return Err(ParamError::BadDegree(poly_degree));
         }
         let moduli = zq::ntt_primes(bits, 2 * poly_degree as u64, count, &[plain_modulus]);
@@ -120,12 +122,12 @@ impl BfvParams {
     /// Returns the first violated requirement.
     pub fn validate(&self) -> Result<(), ParamError> {
         let n = self.poly_degree;
-        if !n.is_power_of_two() || n < 16 || n > 32768 {
+        if !n.is_power_of_two() || !(16..=32768).contains(&n) {
             return Err(ParamError::BadDegree(n));
         }
         let two_n = 2 * n as u64;
         let t = self.plain_modulus;
-        if !zq::is_prime(t) || (t - 1) % two_n != 0 {
+        if !zq::is_prime(t) || !(t - 1).is_multiple_of(two_n) {
             return Err(ParamError::BadPlainModulus(t));
         }
         if self.moduli.len() < 2 {
@@ -264,7 +266,10 @@ mod tests {
         let p = BfvParams::secure_128();
         assert!(p.validate().is_ok());
         let total_bits: u32 = p.moduli.iter().map(|&q| 64 - q.leading_zeros()).sum();
-        assert!(total_bits <= 218, "Q must stay under the 128-bit security bound");
+        assert!(
+            total_bits <= 218,
+            "Q must stay under the 128-bit security bound"
+        );
     }
 
     #[test]
@@ -295,7 +300,10 @@ mod tests {
         let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
         let t = ctx.params().plain_modulus;
         // Δ·t + (Q mod t) == Q
-        let recomposed = ctx.delta().mul_u64(t).add(&crate::bigint::BigUint::from_u64(ctx.q_mod_t()));
+        let recomposed = ctx
+            .delta()
+            .mul_u64(t)
+            .add(&crate::bigint::BigUint::from_u64(ctx.q_mod_t()));
         assert_eq!(&recomposed, ctx.ring().modulus());
         // aux base large enough for exact tensoring
         let q_bits = ctx.ring().modulus().bits();

@@ -101,7 +101,7 @@ impl RingContext {
                 coeffs
                     .iter()
                     .map(|&c| {
-                        let r = (c % p as i64) as i64;
+                        let r = c % p as i64;
                         if r < 0 {
                             (r + p as i64) as u64
                         } else {
@@ -132,9 +132,7 @@ impl RingContext {
         let q = self.rns.modulus();
         (0..self.n)
             .map(|c| {
-                let residues: Vec<u64> = (0..self.rns.len())
-                    .map(|i| poly.residues[i][c])
-                    .collect();
+                let residues: Vec<u64> = (0..self.rns.len()).map(|i| poly.residues[i][c]).collect();
                 center(&self.rns.reconstruct(&residues), q)
             })
             .collect()
@@ -255,11 +253,8 @@ impl RingContext {
                     out.residues[i][target as usize] =
                         add_mod(out.residues[i][target as usize], v, p);
                 } else {
-                    out.residues[i][(target - n) as usize] = sub_mod(
-                        out.residues[i][(target - n) as usize],
-                        v,
-                        p,
-                    );
+                    out.residues[i][(target - n) as usize] =
+                        sub_mod(out.residues[i][(target - n) as usize], v, p);
                 }
             }
         }
@@ -385,8 +380,8 @@ mod tests {
         let b = ctx.automorphism(&a, 5); // x^15 = x^15-8 * (x^8=-1) => -x^7
         let lifted = ctx.lift_centered(&b);
         assert_eq!(lifted[7], BigInt::from_i64(-1));
-        for i in 0..7 {
-            assert!(lifted[i].is_zero());
+        for coeff in lifted.iter().take(7) {
+            assert!(coeff.is_zero());
         }
     }
 

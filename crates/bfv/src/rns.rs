@@ -107,12 +107,8 @@ impl RnsContext {
         for i in 0..k {
             let p = self.primes[i];
             let mut acc = 0u64;
-            for j in 0..i {
-                acc = crate::zq::add_mod(
-                    acc,
-                    mul_mod(digits[j] % p, self.partial_mod[j][i], p),
-                    p,
-                );
+            for (j, &digit) in digits.iter().enumerate().take(i) {
+                acc = crate::zq::add_mod(acc, mul_mod(digit % p, self.partial_mod[j][i], p), p);
             }
             let diff = sub_mod(residues[i] % p, acc, p);
             digits[i] = mul_mod(diff, self.garner_inv[i], p);

@@ -54,7 +54,7 @@ pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
 ///
 /// Panics if `a ≡ 0 (mod p)`.
 pub fn inv_mod(a: u64, p: u64) -> u64 {
-    assert!(a % p != 0, "zero has no inverse");
+    assert!(!a.is_multiple_of(p), "zero has no inverse");
     pow_mod(a, p - 2, p)
 }
 
@@ -84,7 +84,7 @@ pub fn is_prime(n: u64) -> bool {
         return false;
     }
     for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
@@ -118,7 +118,7 @@ pub fn is_prime(n: u64) -> bool {
 /// Panics if `bits > 62`, `modulus` is not a power of two, or not enough
 /// primes exist in range (never happens for the sizes used here).
 pub fn ntt_primes(bits: u32, modulus: u64, count: usize, exclude: &[u64]) -> Vec<u64> {
-    assert!(bits >= 20 && bits <= 62, "prime size out of range");
+    assert!((20..=62).contains(&bits), "prime size out of range");
     assert!(modulus.is_power_of_two());
     let mut out = Vec::with_capacity(count);
     // Largest candidate ≡ 1 mod `modulus` below 2^bits.
@@ -154,7 +154,10 @@ pub fn primitive_root(p: u64) -> u64 {
 ///
 /// Panics if `order` does not divide `p - 1`.
 pub fn root_of_unity(order: u64, p: u64) -> u64 {
-    assert!((p - 1) % order == 0, "order {order} must divide p-1 ({p})");
+    assert!(
+        (p - 1).is_multiple_of(order),
+        "order {order} must divide p-1 ({p})"
+    );
     let g = primitive_root(p);
     let root = pow_mod(g, (p - 1) / order, p);
     debug_assert_eq!(pow_mod(root, order, p), 1);
@@ -168,9 +171,9 @@ fn factorize(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }

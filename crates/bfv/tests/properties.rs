@@ -114,28 +114,31 @@ proptest! {
 /// encrypted data agree with plaintext evaluation.
 #[test]
 fn random_homomorphic_circuits_agree_with_plaintext() {
-    use bfv::encoding::BatchEncoder;
-    use bfv::encrypt::{Decryptor, Encryptor};
-    use bfv::evaluator::Evaluator;
-    use bfv::keys::KeyGenerator;
-    use bfv::params::{BfvContext, BfvParams};
-    use rand::{Rng, SeedableRng};
+    use rand::Rng;
+    use test_support::{seeded_rng, small_ctx, HeSession};
 
-    let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
-    let keygen = KeyGenerator::new(&ctx, &mut rng);
-    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
-    let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
-    let encoder = BatchEncoder::new(&ctx);
-    let ev = Evaluator::new(&ctx);
+    let ctx = small_ctx();
+    let mut rng = seeded_rng(0x5EED);
+    let session = HeSession::new(&ctx, &mut rng);
+    let HeSession {
+        keygen,
+        encryptor,
+        decryptor,
+        encoder,
+        evaluator: ev,
+    } = &session;
     let rk = keygen.relin_key(&mut rng);
     let gk = keygen.galois_keys_for_rotations(&[1, 3], false, &mut rng);
 
     let t = ctx.params().plain_modulus;
     let half = encoder.row_size();
     for trial in 0..4 {
-        let va: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
-        let vb: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
+        let va: Vec<u64> = (0..encoder.slot_count())
+            .map(|_| rng.gen_range(0..t))
+            .collect();
+        let vb: Vec<u64> = (0..encoder.slot_count())
+            .map(|_| rng.gen_range(0..t))
+            .collect();
         let mut ct = encryptor.encrypt(&encoder.encode(&va), &mut rng);
         let cb = encryptor.encrypt(&encoder.encode(&vb), &mut rng);
         let mut model = va.clone();
@@ -150,15 +153,12 @@ fn random_homomorphic_circuits_agree_with_plaintext() {
                 }
                 1 => {
                     ct = ev.rotate_rows(&ct, 1, &gk);
-                    let rot = |m: &[u64]| -> Vec<u64> {
-                        let mut out = vec![0u64; m.len()];
-                        for i in 0..half {
-                            out[i] = m[(i + 1) % half];
-                            out[half + i] = m[half + (i + 1) % half];
-                        }
-                        out
-                    };
-                    model = rot(&model);
+                    let mut rotated = vec![0u64; model.len()];
+                    for i in 0..half {
+                        rotated[i] = model[(i + 1) % half];
+                        rotated[half + i] = model[half + (i + 1) % half];
+                    }
+                    model = rotated;
                 }
                 2 => {
                     ct = ev.multiply_relin(&ct, &cb, &rk);
@@ -175,6 +175,10 @@ fn random_homomorphic_circuits_agree_with_plaintext() {
             }
         }
         assert!(decryptor.invariant_noise_budget(&ct) > 0, "trial {trial}");
-        assert_eq!(encoder.decode(&decryptor.decrypt(&ct)), model, "trial {trial}");
+        assert_eq!(
+            encoder.decode(&decryptor.decrypt(&ct)),
+            model,
+            "trial {trial}"
+        );
     }
 }

@@ -143,9 +143,8 @@ pub fn auto_sketch(spec: &KernelSpec) -> Sketch {
     offsets.sort_unstable();
     // Component budget: a tree over the widest slot's terms plus slack for
     // the op-kind diversity.
-    let max_components = (usize::BITS - (max_terms - 1).leading_zeros()) as usize
-        + ops.len().min(3)
-        + 1;
+    let max_components =
+        (usize::BITS - (max_terms - 1).leading_zeros()) as usize + ops.len().min(3) + 1;
 
     Sketch::new(ops, RotationSet::Explicit(offsets), max_components.max(2))
 }
@@ -198,9 +197,7 @@ mod tests {
             let x = &ct[0];
             let n = x.len();
             (0..n)
-                .map(|i| {
-                    x[i].mul(&x[0].from_i64(2)).sub(&x[(i + 1) % n])
-                })
+                .map(|i| x[i].mul(&x[0].from_i64(2)).sub(&x[(i + 1) % n]))
                 .collect()
         }
     }
@@ -215,10 +212,7 @@ mod tests {
     fn infers_offsets_subtraction_and_weights() {
         let sketch = auto_sketch(&stencil_spec());
         assert!(sketch.rotation_amounts.contains(&1));
-        assert!(sketch
-            .ops
-            .iter()
-            .any(|o| matches!(o.op, ArithOp::SubCtCt)));
+        assert!(sketch.ops.iter().any(|o| matches!(o.op, ArithOp::SubCtCt)));
         assert!(sketch
             .ops
             .iter()

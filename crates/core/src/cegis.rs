@@ -168,20 +168,18 @@ pub fn synthesize(
             match searcher.run(num_components) {
                 SearchOutcome::Unsat => break, // try a larger sketch
                 SearchOutcome::Timeout => return Err(SynthesisError::Timeout),
-                SearchOutcome::Found(program) => {
-                    match verify(&program, spec, &mut rng) {
-                        Ok(()) => {
-                            initial = Some((program, num_components));
-                            break 'deepening;
-                        }
-                        Err(failure) => {
-                            let cex = failure
-                                .counter_example
-                                .ok_or(SynthesisError::CounterExampleExtraction)?;
-                            examples.push(cex);
-                        }
+                SearchOutcome::Found(program) => match verify(&program, spec, &mut rng) {
+                    Ok(()) => {
+                        initial = Some((program, num_components));
+                        break 'deepening;
                     }
-                }
+                    Err(failure) => {
+                        let cex = failure
+                            .counter_example
+                            .ok_or(SynthesisError::CounterExampleExtraction)?;
+                        examples.push(cex);
+                    }
+                },
             }
         }
     }

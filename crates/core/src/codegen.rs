@@ -45,10 +45,7 @@ impl<'a> BfvRunner<'a> {
         programs: &[&Program],
         rng: &mut R,
     ) -> Self {
-        let mut steps: Vec<i64> = programs
-            .iter()
-            .flat_map(|p| p.rotation_amounts())
-            .collect();
+        let mut steps: Vec<i64> = programs.iter().flat_map(|p| p.rotation_amounts()).collect();
         steps.sort_unstable();
         steps.dedup();
         let galois = keygen.galois_keys_for_rotations(&steps, false, rng);
@@ -98,8 +95,7 @@ impl<'a> BfvRunner<'a> {
         let splat = |v: i64| -> Plaintext {
             let t = self.ctx.params().plain_modulus as i64;
             let val = v.rem_euclid(t) as u64;
-            self.encoder
-                .encode(&vec![val; self.encoder.slot_count()])
+            self.encoder.encode(&vec![val; self.encoder.slot_count()])
         };
         let get_pt = |p: &PtOperand| -> Plaintext {
             match p {
@@ -168,14 +164,19 @@ pub fn emit_seal_cpp(prog: &Program) -> String {
     let _ = writeln!(out, "    const std::vector<seal::Plaintext> &pt_in,");
     let _ = writeln!(out, "    seal::Ciphertext &result) {{");
 
-    // Pre-encode splat constants.
-    let mut splats: Vec<i64> = prog
+    // Pre-encode splat constants. SEAL's BatchEncoder only accepts values
+    // in [0, t); the emitter does not know t, so negative constants are
+    // encoded by magnitude and compensated at the use site (add ↔ sub;
+    // multiply followed by a negation). Magnitudes are emitted verbatim —
+    // a splat with |v| >= t would be rejected by SEAL at runtime, but
+    // kernel constants are small filter weights, far below any usable t.
+    let mut splats: Vec<u64> = prog
         .instrs
         .iter()
         .filter_map(|i| match i {
             Instr::AddCtPt(_, PtOperand::Splat(v))
             | Instr::SubCtPt(_, PtOperand::Splat(v))
-            | Instr::MulCtPt(_, PtOperand::Splat(v)) => Some(*v),
+            | Instr::MulCtPt(_, PtOperand::Splat(v)) => Some(v.unsigned_abs()),
             _ => None,
         })
         .collect();
@@ -196,10 +197,11 @@ pub fn emit_seal_cpp(prog: &Program) -> String {
             ValRef::Instr(j) => format!("c{j}"),
         }
     };
-    let pt = |p: &PtOperand| -> String {
+    // (operand expression, whether the encoded constant's sign is flipped)
+    let pt = |p: &PtOperand| -> (String, bool) {
         match p {
-            PtOperand::Input(i) => format!("pt_in[{i}]"),
-            PtOperand::Splat(v) => splat_ident(*v),
+            PtOperand::Input(i) => (format!("pt_in[{i}]"), false),
+            PtOperand::Splat(v) => (splat_ident(v.unsigned_abs()), *v < 0),
         }
     };
     for (j, instr) in prog.instrs.iter().enumerate() {
@@ -212,9 +214,25 @@ pub fn emit_seal_cpp(prog: &Program) -> String {
                 val(*a),
                 val(*b)
             ),
-            Instr::AddCtPt(a, p) => format!("ev.add_plain({}, {}, c{j});", val(*a), pt(p)),
-            Instr::SubCtPt(a, p) => format!("ev.sub_plain({}, {}, c{j});", val(*a), pt(p)),
-            Instr::MulCtPt(a, p) => format!("ev.multiply_plain({}, {}, c{j});", val(*a), pt(p)),
+            Instr::AddCtPt(a, p) => {
+                let (operand, negated) = pt(p);
+                let op = if negated { "sub_plain" } else { "add_plain" };
+                format!("ev.{op}({}, {operand}, c{j});", val(*a))
+            }
+            Instr::SubCtPt(a, p) => {
+                let (operand, negated) = pt(p);
+                let op = if negated { "add_plain" } else { "sub_plain" };
+                format!("ev.{op}({}, {operand}, c{j});", val(*a))
+            }
+            Instr::MulCtPt(a, p) => {
+                let (operand, negated) = pt(p);
+                let negate = if negated {
+                    format!("\n    ev.negate_inplace(c{j});")
+                } else {
+                    String::new()
+                };
+                format!("ev.multiply_plain({}, {operand}, c{j});{negate}", val(*a))
+            }
             Instr::RotCt(a, r) => format!("ev.rotate_rows({}, {r}, gal_keys, c{j});", val(*a)),
         };
         let _ = writeln!(out, "    {line}");
@@ -224,55 +242,20 @@ pub fn emit_seal_cpp(prog: &Program) -> String {
     out
 }
 
-fn splat_ident(v: i64) -> String {
-    if v < 0 {
-        format!("splat_m{}", -v)
-    } else {
-        format!("splat_{v}")
-    }
+fn splat_ident(v: u64) -> String {
+    format!("splat_{v}")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bfv::params::BfvParams;
-    use quill::interp;
-    use rand::SeedableRng;
+    use test_support::{assert_backend_matches_interp, seeded_rng, small_ctx};
 
     fn run_and_compare(prog: &Program, model_n: usize, masked: &[usize]) {
-        let ctx = bfv::params::BfvContext::new(BfvParams::test_small()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
-        let keygen = KeyGenerator::new(&ctx, &mut rng);
-        let pk = keygen.public_key(&mut rng);
-        let enc = bfv::encrypt::Encryptor::new(&ctx, pk);
-        let dec = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
-        let runner = BfvRunner::for_programs(&ctx, &keygen, &[prog], &mut rng);
+        let ctx = small_ctx();
+        let mut rng = seeded_rng(0xC0DE);
         let t = ctx.params().plain_modulus;
-
-        // random model inputs in [0, n), zero elsewhere (padded layout)
-        use rand::Rng as _;
-        let ct_model: Vec<Vec<u64>> = (0..prog.num_ct_inputs)
-            .map(|_| (0..model_n).map(|_| rng.gen_range(0..t)).collect())
-            .collect();
-        let pt_model: Vec<Vec<u64>> = (0..prog.num_pt_inputs)
-            .map(|_| (0..model_n).map(|_| rng.gen_range(0..t)).collect())
-            .collect();
-        let expected = interp::eval_concrete(prog, &ct_model, &pt_model, t);
-
-        let encoder = runner.encoder();
-        let cts: Vec<Ciphertext> = ct_model
-            .iter()
-            .map(|v| enc.encrypt(&encoder.encode(v), &mut rng))
-            .collect();
-        let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
-        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
-        let pt_refs: Vec<&Plaintext> = pts.iter().collect();
-        let out = runner.run(prog, &ct_refs, &pt_refs);
-        assert!(dec.invariant_noise_budget(&out) > 0, "budget exhausted");
-        let decoded = encoder.decode(&dec.decrypt(&out));
-        for &slot in masked {
-            assert_eq!(decoded[slot], expected[slot], "slot {slot}");
-        }
+        assert_backend_matches_interp(&ctx, prog, model_n, masked, t, &mut rng);
     }
 
     #[test]
@@ -357,5 +340,34 @@ mod tests {
         assert!(cpp.contains("splat_2"));
         assert!(cpp.contains("ev.sub_plain(c3, pt_in[0], c4);"));
         assert!(cpp.contains("result = c4;"));
+    }
+
+    /// SEAL's `BatchEncoder` rejects values outside `[0, t)`, so negative
+    /// splats must be encoded by magnitude with compensating operations.
+    #[test]
+    fn seal_emission_compensates_negative_splats() {
+        let prog = Program::new(
+            "neg-splats",
+            1,
+            0,
+            vec![
+                Instr::AddCtPt(ValRef::Input(0), PtOperand::Splat(-7)),
+                Instr::SubCtPt(ValRef::Instr(0), PtOperand::Splat(-7)),
+                Instr::MulCtPt(ValRef::Instr(1), PtOperand::Splat(-3)),
+            ],
+            ValRef::Instr(2),
+        );
+        let cpp = emit_seal_cpp(&prog);
+        // Only non-negative magnitudes ever reach encoder.encode.
+        assert!(cpp.contains("encoder.encode(std::vector<uint64_t>(encoder.slot_count(), 7)"));
+        assert!(cpp.contains("encoder.encode(std::vector<uint64_t>(encoder.slot_count(), 3)"));
+        assert!(!cpp.contains("-7"));
+        assert!(!cpp.contains("-3"));
+        // add +(-7) lowers to sub_plain, sub -(-7) to add_plain.
+        assert!(cpp.contains("ev.sub_plain(ct_in[0], splat_7, c0);"));
+        assert!(cpp.contains("ev.add_plain(c0, splat_7, c1);"));
+        // mul by -3 multiplies by the magnitude then negates.
+        assert!(cpp.contains("ev.multiply_plain(c1, splat_3, c2);"));
+        assert!(cpp.contains("ev.negate_inplace(c2);"));
     }
 }

@@ -47,7 +47,13 @@ impl PipelineBuilder {
     /// Starts a pipeline with the given input arities.
     pub fn new(name: impl Into<String>, num_ct_inputs: usize, num_pt_inputs: usize) -> Self {
         PipelineBuilder {
-            prog: Program::new(name, num_ct_inputs, num_pt_inputs, Vec::new(), ValRef::Input(0)),
+            prog: Program::new(
+                name,
+                num_ct_inputs,
+                num_pt_inputs,
+                Vec::new(),
+                ValRef::Input(0),
+            ),
         }
     }
 

@@ -172,17 +172,18 @@ impl<'a> Searcher<'a> {
         let t = self.t as u128;
         match op {
             ArithOp::AddCtCt => zip_mod(lhs, rhs.unwrap(), self.t, |a, b| a + b),
-            ArithOp::SubCtCt => zip_mod(lhs, rhs.unwrap(), self.t, |a, b| {
-                a + self.t as u128 - b
-            }),
+            ArithOp::SubCtCt => zip_mod(lhs, rhs.unwrap(), self.t, |a, b| a + self.t as u128 - b),
             ArithOp::MulCtCt => lhs
                 .iter()
                 .zip(rhs.unwrap())
                 .map(|(&a, &b)| ((a as u128 * b as u128) % t) as u64)
                 .collect(),
-            ArithOp::AddCtPt(_) => {
-                zip_mod(lhs, self.pt_values[op_idx].as_ref().unwrap(), self.t, |a, b| a + b)
-            }
+            ArithOp::AddCtPt(_) => zip_mod(
+                lhs,
+                self.pt_values[op_idx].as_ref().unwrap(),
+                self.t,
+                |a, b| a + b,
+            ),
             ArithOp::SubCtPt(_) => zip_mod(
                 lhs,
                 self.pt_values[op_idx].as_ref().unwrap(),
@@ -275,7 +276,7 @@ impl<'a> Searcher<'a> {
                     .all(|a| a.uses > 0);
                 if all_used {
                     let final_cost = state.latency_sum * (1.0 + state.max_mdepth as f64);
-                    let within = self.cost_bound.map_or(true, |b| final_cost < b);
+                    let within = self.cost_bound.is_none_or(|b| final_cost < b);
                     if within {
                         let prog = self.materialize(comps);
                         comps.pop();
@@ -330,8 +331,16 @@ impl<'a> Searcher<'a> {
         let mut out = Vec::new();
         let explicit = self.sketch.mode == SketchMode::ExplicitRotate;
         for (op_idx, sop) in self.sketch.ops.iter().enumerate() {
-            let lhs_rots = if !explicit && sop.lhs_rot { rotated[0].len() } else { 1 };
-            let rhs_rots = if !explicit && sop.rhs_rot { rotated[0].len() } else { 1 };
+            let lhs_rots = if !explicit && sop.lhs_rot {
+                rotated[0].len()
+            } else {
+                1
+            };
+            let rhs_rots = if !explicit && sop.rhs_rot {
+                rotated[0].len()
+            } else {
+                1
+            };
             if sop.op.binary_ct() {
                 let symmetric_holes = sop.lhs_rot == sop.rhs_rot;
                 for li in 0..state.avail.len() {
@@ -374,8 +383,7 @@ impl<'a> Searcher<'a> {
                 }
             } else {
                 for (li, variants) in rotated.iter().enumerate() {
-                    for lr in 0..lhs_rots {
-                        let lhs = &variants[lr];
+                    for lhs in variants.iter().take(lhs_rots) {
                         let vec = self.apply_op(&sop.op, op_idx, &lhs.1, None);
                         self.consider(
                             state,
@@ -402,7 +410,14 @@ impl<'a> Searcher<'a> {
                 }
                 for &r in &self.sketch.rotation_amounts {
                     let vec = self.rotate_concat(&a.vec, r);
-                    self.consider(state, prev, false, Comp::Rot { val, amount: r }, vec, &mut out);
+                    self.consider(
+                        state,
+                        prev,
+                        false,
+                        Comp::Rot { val, amount: r },
+                        vec,
+                        &mut out,
+                    );
                 }
             }
         }
@@ -460,8 +475,7 @@ impl<'a> Searcher<'a> {
                         };
                         for lhs in lhs_variants {
                             for &ri in &rhs_pool {
-                                let rhs_variants: &[(i64, Vec<u64>)] = if !explicit && sop.rhs_rot
-                                {
+                                let rhs_variants: &[(i64, Vec<u64>)] = if !explicit && sop.rhs_rot {
                                     &rotated[ri]
                                 } else {
                                     &rotated[ri][..1]
@@ -536,7 +550,11 @@ impl<'a> Searcher<'a> {
         }
 
         if explicit && unused.len() <= 1 {
-            let pool: Vec<usize> = if unused.len() == 1 { vec![unused[0]] } else { all };
+            let pool: Vec<usize> = if unused.len() == 1 {
+                vec![unused[0]]
+            } else {
+                all
+            };
             for &val in &pool {
                 if state.avail[val].is_rot_result {
                     continue;
@@ -546,7 +564,14 @@ impl<'a> Searcher<'a> {
                     if !self.matches_target(&vec) {
                         continue;
                     }
-                    self.consider(state, prev, true, Comp::Rot { val, amount: r }, vec, &mut out);
+                    self.consider(
+                        state,
+                        prev,
+                        true,
+                        Comp::Rot { val, amount: r },
+                        vec,
+                        &mut out,
+                    );
                 }
             }
         }
@@ -614,18 +639,17 @@ impl<'a> Searcher<'a> {
         for comp in comps {
             match comp {
                 Comp::Arith { op_idx, lhs, rhs } => {
-                    let mut resolve = |(val, rot): (usize, i64),
-                                       instrs: &mut Vec<Instr>|
-                     -> ValRef {
-                        if rot == 0 {
-                            refs[val]
-                        } else {
-                            *rot_memo.entry((val, rot)).or_insert_with(|| {
-                                instrs.push(Instr::RotCt(refs[val], rot));
-                                ValRef::Instr(instrs.len() - 1)
-                            })
-                        }
-                    };
+                    let mut resolve =
+                        |(val, rot): (usize, i64), instrs: &mut Vec<Instr>| -> ValRef {
+                            if rot == 0 {
+                                refs[val]
+                            } else {
+                                *rot_memo.entry((val, rot)).or_insert_with(|| {
+                                    instrs.push(Instr::RotCt(refs[val], rot));
+                                    ValRef::Instr(instrs.len() - 1)
+                                })
+                            }
+                        };
                     let l = resolve(*lhs, &mut instrs);
                     let r = rhs.map(|rhs| resolve(rhs, &mut instrs));
                     let instr = match &self.sketch.ops[*op_idx].op {
@@ -836,9 +860,7 @@ mod tests {
 
     impl GenericReference for SumAll {
         fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
-            let total = ct[0]
-                .iter()
-                .fold(ct[0][0].from_i64(0), |acc, x| acc.add(x));
+            let total = ct[0].iter().fold(ct[0][0].from_i64(0), |acc, x| acc.add(x));
             vec![total; self.n]
         }
     }
@@ -889,8 +911,7 @@ mod tests {
         let examples = vec![spec.sample_example(&mut rng)];
         let model = LatencyModel::uniform();
         // Any solution costs at least 4 (2 adds + 2 rots, uniform): bound 3 → unsat.
-        let mut searcher =
-            Searcher::new(&spec, &sketch, &examples, &model, None, Some(3.0));
+        let mut searcher = Searcher::new(&spec, &sketch, &examples, &model, None, Some(3.0));
         assert_eq!(searcher.run(2), SearchOutcome::Unsat);
     }
 

@@ -202,7 +202,10 @@ impl Sketch {
     ///
     /// Panics if `ops` is empty or `max_components == 0`.
     pub fn new(ops: Vec<SketchOp>, rotations: RotationSet, max_components: usize) -> Self {
-        assert!(!ops.is_empty(), "sketch needs at least one component choice");
+        assert!(
+            !ops.is_empty(),
+            "sketch needs at least one component choice"
+        );
         assert!(max_components > 0);
         Sketch {
             ops,
@@ -239,7 +242,10 @@ mod tests {
 
     #[test]
     fn window_amounts_cover_3x3() {
-        let r = RotationSet::Window { stride: 5, radius: 1 };
+        let r = RotationSet::Window {
+            stride: 5,
+            radius: 1,
+        };
         let a = r.amounts();
         // offsets −6 −5 −4 −1 1 4 5 6 (0 excluded)
         assert_eq!(a, vec![-6, -5, -4, -1, 1, 4, 5, 6]);

@@ -109,9 +109,8 @@ impl KernelSpec {
     /// Samples one random concrete example: inputs plus the reference's
     /// masked output.
     pub fn sample_example<R: Rng + ?Sized>(&self, rng: &mut R) -> Example {
-        let sample_vec = |rng: &mut R| -> Vec<u64> {
-            (0..self.n).map(|_| rng.gen_range(0..self.t)).collect()
-        };
+        let sample_vec =
+            |rng: &mut R| -> Vec<u64> { (0..self.n).map(|_| rng.gen_range(0..self.t)).collect() };
         let ct_inputs: Vec<Vec<u64>> = (0..self.num_ct_inputs).map(|_| sample_vec(rng)).collect();
         let pt_inputs: Vec<Vec<u64>> = (0..self.num_pt_inputs).map(|_| sample_vec(rng)).collect();
         let output = self.eval_concrete(&ct_inputs, &pt_inputs);
@@ -143,7 +142,11 @@ impl KernelSpec {
         let n = self.n;
         let t = self.t;
         let ct_inputs: Vec<Vec<SymPoly>> = (0..self.num_ct_inputs)
-            .map(|j| (0..n).map(|i| SymPoly::var((j * n + i) as u32, t)).collect())
+            .map(|j| {
+                (0..n)
+                    .map(|i| SymPoly::var((j * n + i) as u32, t))
+                    .collect()
+            })
             .collect();
         let ct_vars = self.num_ct_inputs * n;
         let pt_inputs: Vec<Vec<SymPoly>> = (0..self.num_pt_inputs)
@@ -181,7 +184,15 @@ mod tests {
     }
 
     fn square_spec() -> KernelSpec {
-        KernelSpec::new("square", 4, 1, 0, vec![], 65537, Box::new(ElementwiseSquare))
+        KernelSpec::new(
+            "square",
+            4,
+            1,
+            0,
+            vec![],
+            65537,
+            Box::new(ElementwiseSquare),
+        )
     }
 
     #[test]

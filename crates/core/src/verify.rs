@@ -29,7 +29,11 @@ pub struct VerifyFailure {
 
 impl fmt::Display for VerifyFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "candidate disagrees with the specification at slot {}", self.slot)
+        write!(
+            f,
+            "candidate disagrees with the specification at slot {}",
+            self.slot
+        )
     }
 }
 
@@ -51,8 +55,7 @@ pub fn verify<R: Rng + ?Sized>(
 ) -> Result<(), VerifyFailure> {
     let prog_sym = interp::eval_symbolic(prog, spec.n, spec.t);
     let spec_sym = spec.eval_symbolic();
-    let bad_slot = (0..spec.n)
-        .find(|&i| spec.output_mask[i] && prog_sym[i] != spec_sym[i]);
+    let bad_slot = (0..spec.n).find(|&i| spec.output_mask[i] && prog_sym[i] != spec_sym[i]);
     let slot = match bad_slot {
         None => return Ok(()),
         Some(s) => s,

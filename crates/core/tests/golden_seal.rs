@@ -1,0 +1,50 @@
+//! Golden-snapshot test for SEAL C++ emission: the generated code for a
+//! fixed kernel must match the checked-in snapshot byte-for-byte, so any
+//! change to `emit_seal_cpp` is a deliberate, reviewed diff of
+//! `tests/golden/mixed_kernel.golden`.
+
+use porcupine::codegen::emit_seal_cpp;
+use quill::program::{Instr, Program, PtOperand, ValRef};
+
+/// A small hand-built kernel covering every instruction form the emitter
+/// handles: rotation (positive and negative), ct±ct, ct×ct (with the
+/// inserted relinearization), ct·pt with both splat and input operands.
+fn mixed_kernel() -> Program {
+    Program::new(
+        "mixed-kernel",
+        2,
+        1,
+        vec![
+            Instr::RotCt(ValRef::Input(0), 1),
+            Instr::RotCt(ValRef::Input(1), -2),
+            Instr::AddCtCt(ValRef::Instr(0), ValRef::Instr(1)),
+            Instr::MulCtCt(ValRef::Instr(2), ValRef::Input(0)),
+            Instr::MulCtPt(ValRef::Instr(3), PtOperand::Splat(3)),
+            Instr::AddCtPt(ValRef::Instr(4), PtOperand::Splat(-2)),
+            Instr::SubCtPt(ValRef::Instr(5), PtOperand::Input(0)),
+            Instr::SubCtCt(ValRef::Instr(6), ValRef::Instr(0)),
+        ],
+        ValRef::Instr(7),
+    )
+}
+
+#[test]
+fn seal_emission_matches_golden_snapshot() {
+    let prog = mixed_kernel();
+    prog.validate().expect("golden kernel is well-formed");
+    let actual = emit_seal_cpp(&prog);
+    let expected = include_str!("golden/mixed_kernel.golden");
+    if actual != expected {
+        // Write the new output next to the target dir so a deliberate
+        // update is one `cp` away, then fail with a readable diff hint.
+        let out = std::env::temp_dir().join("mixed_kernel.golden.actual");
+        std::fs::write(&out, &actual).ok();
+        panic!(
+            "emit_seal_cpp output diverged from tests/golden/mixed_kernel.golden.\n\
+             New output written to {}.\n\
+             If the change is intentional, copy it over the golden file.\n\
+             --- actual ---\n{actual}",
+            out.display()
+        );
+    }
+}

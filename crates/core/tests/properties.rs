@@ -2,18 +2,15 @@
 //! verify, lift, and respect the sketch's vocabulary; the verifier must
 //! never accept a program that disagrees with its spec on sampled inputs.
 
-use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::cegis::synthesize;
 use porcupine::lift::check_padding_stable;
 use porcupine::sketch::{ArithOp, RotationSet, Sketch, SketchOp};
 use porcupine::spec::{GenericReference, KernelSpec};
 use porcupine::verify::verify;
 use proptest::prelude::*;
-use quill::cost::LatencyModel;
 use quill::interp;
 use quill::ring::Ring;
-use std::time::Duration;
-
-const T: u64 = 65537;
+use test_support::{quick_synthesis_options, seeded_rng, T};
 
 /// A weighted two-tap stencil `out[i] = w0·x[i] + w1·x[i+off]` — a family
 /// of specs wide enough to exercise the search but always synthesizable.
@@ -53,15 +50,6 @@ fn two_tap_spec(off: isize, w0: i64, w1: i64, n: usize) -> KernelSpec {
     )
 }
 
-fn quick_options(seed: u64) -> SynthesisOptions {
-    SynthesisOptions {
-        timeout: Duration::from_secs(30),
-        optimize: true,
-        latency: LatencyModel::uniform(),
-        seed,
-    }
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -86,16 +74,15 @@ proptest! {
             RotationSet::Explicit(vec![off as i64, -(off as i64), 1, 2]),
             4,
         );
-        let r = synthesize(&spec, &sketch, &quick_options(seed)).expect("two-tap synthesizes");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
-        use rand::SeedableRng;
+        let r = synthesize(&spec, &sketch, &quick_synthesis_options(seed)).expect("two-tap synthesizes");
+        let mut rng = seeded_rng(seed ^ 0xABCD);
         verify(&r.program, &spec, &mut rng).expect("synthesized program verifies");
         check_padding_stable(&r.program, n, &spec.output_mask, T).expect("lifts");
 
         // Fresh concrete cross-check.
         use rand::Rng;
         let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..T)).collect();
-        let got = interp::eval_concrete(&r.program, &[input.clone()], &[], T);
+        let got = interp::eval_concrete(&r.program, std::slice::from_ref(&input), &[], T);
         let want = spec.eval_concrete(&[input], &[]);
         for i in 0..n {
             if spec.output_mask[i] {
@@ -126,8 +113,7 @@ proptest! {
             ],
             ValRef::Instr(1),
         );
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = seeded_rng(seed);
         prop_assert!(verify(&good, &spec, &mut rng).is_ok());
 
         let mutants = vec![
@@ -168,8 +154,13 @@ fn synthesis_is_deterministic() {
         RotationSet::Explicit(vec![1, -1]),
         3,
     );
-    let a = synthesize(&spec, &sketch, &quick_options(99)).unwrap();
-    let b = synthesize(&spec, &sketch, &quick_options(99)).unwrap();
+    let a = synthesize(&spec, &sketch, &quick_synthesis_options(99)).unwrap();
+    let b = synthesize(&spec, &sketch, &quick_synthesis_options(99)).unwrap();
     assert_eq!(a.program, b.program);
     assert_eq!(a.examples_used, b.examples_used);
+    assert_eq!(a.components, b.components);
+    // Costs are computed, not measured, so they must be bit-identical.
+    assert_eq!(a.initial_cost.to_bits(), b.initial_cost.to_bits());
+    assert_eq!(a.final_cost.to_bits(), b.final_cost.to_bits());
+    assert_eq!(a.initial_program, b.initial_program);
 }

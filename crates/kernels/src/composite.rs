@@ -85,11 +85,25 @@ pub fn sobel_spec(img: PaddedImage) -> KernelSpec {
             let w = self.w;
             let gx = stencil_taps(
                 &ct[0],
-                &[(-w - 1, -1), (-w + 1, 1), (-1, -2), (1, 2), (w - 1, -1), (w + 1, 1)],
+                &[
+                    (-w - 1, -1),
+                    (-w + 1, 1),
+                    (-1, -2),
+                    (1, 2),
+                    (w - 1, -1),
+                    (w + 1, 1),
+                ],
             );
             let gy = stencil_taps(
                 &ct[0],
-                &[(-w - 1, -1), (-w, -2), (-w + 1, -1), (w - 1, 1), (w, 2), (w + 1, 1)],
+                &[
+                    (-w - 1, -1),
+                    (-w, -2),
+                    (-w + 1, -1),
+                    (w - 1, 1),
+                    (w, 2),
+                    (w + 1, 1),
+                ],
             );
             gx.iter()
                 .zip(&gy)
@@ -283,11 +297,25 @@ pub fn harris_spec(img: PaddedImage) -> KernelSpec {
             let w = self.w;
             let gx = stencil_taps(
                 &ct[0],
-                &[(-w - 1, -1), (-w + 1, 1), (-1, -2), (1, 2), (w - 1, -1), (w + 1, 1)],
+                &[
+                    (-w - 1, -1),
+                    (-w + 1, 1),
+                    (-1, -2),
+                    (1, 2),
+                    (w - 1, -1),
+                    (w + 1, 1),
+                ],
             );
             let gy = stencil_taps(
                 &ct[0],
-                &[(-w - 1, -1), (-w, -2), (-w + 1, -1), (w - 1, 1), (w, 2), (w + 1, 1)],
+                &[
+                    (-w - 1, -1),
+                    (-w, -2),
+                    (-w + 1, -1),
+                    (w - 1, 1),
+                    (w, 2),
+                    (w + 1, 1),
+                ],
             );
             let n = gx.len();
             let ixx: Vec<R> = gx.iter().map(|a| a.mul(a)).collect();

@@ -72,12 +72,7 @@ impl GenericReference for PolynomialRegression {
         let x = &ct[0];
         let (a, b, c) = (&pt[0], &pt[1], &pt[2]);
         (0..x.len())
-            .map(|i| {
-                a[i].mul(&x[i])
-                    .mul(&x[i])
-                    .add(&b[i].mul(&x[i]))
-                    .add(&c[i])
-            })
+            .map(|i| a[i].mul(&x[i]).mul(&x[i]).add(&b[i].mul(&x[i])).add(&c[i]))
             .collect()
     }
 }
@@ -171,10 +166,9 @@ mod tests {
         assert_eq!(out, vec![3 * 2 + 5 * 10 + 1, 4 * 2 + 6 * 10 + 1]);
 
         let poly = polynomial_regression(2);
-        let out = poly.spec.eval_concrete(
-            &[vec![3, 5]],
-            &[vec![2, 2], vec![7, 7], vec![11, 11]],
-        );
+        let out = poly
+            .spec
+            .eval_concrete(&[vec![3, 5]], &[vec![2, 2], vec![7, 7], vec![11, 11]]);
         assert_eq!(out, vec![2 * 9 + 7 * 3 + 11, 2 * 25 + 7 * 5 + 11]);
     }
 }

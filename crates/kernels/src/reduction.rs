@@ -154,7 +154,10 @@ fn reduction_baseline(
     let mut step = len / 2;
     while step >= 1 {
         src.push_str(&format!("  (let c{next} (rot-ct c{acc} {step}))\n"));
-        src.push_str(&format!("  (let c{} (add-ct-ct c{acc} c{next}))\n", next + 1));
+        src.push_str(&format!(
+            "  (let c{} (add-ct-ct c{acc} c{next}))\n",
+            next + 1
+        ));
         acc = next + 1;
         next += 2;
         step /= 2;
@@ -173,7 +176,10 @@ fn hamming_l2_baseline(name: &str, len: usize) -> quill::program::Program {
     let mut step = len / 2;
     while step >= 1 {
         src.push_str(&format!("  (let c{next} (rot-ct c{acc} {step}))\n"));
-        src.push_str(&format!("  (let c{} (add-ct-ct c{acc} c{next}))\n", next + 1));
+        src.push_str(&format!(
+            "  (let c{} (add-ct-ct c{acc} c{next}))\n",
+            next + 1
+        ));
         acc = next + 1;
         next += 2;
         step /= 2;

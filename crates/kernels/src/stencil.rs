@@ -167,8 +167,8 @@ fn gradient_sketch(stride: isize) -> Sketch {
 /// combine in a balanced tree. `offsets` lists the six taps in the order
 /// (−1-weight, +1-weight) × 3 pairs, centre pair in the middle.
 fn gradient_baseline(name: &str, offsets: &[isize; 6]) -> quill::program::Program {
-    let src = format!
-        ("(kernel {name} (inputs (ct 1) (pt 0))
+    let src = format!(
+        "(kernel {name} (inputs (ct 1) (pt 0))
            (let c1 (rot-ct c0 {o0}))
            (let c2 (rot-ct c0 {o1}))
            (let c3 (rot-ct c0 {o2}))

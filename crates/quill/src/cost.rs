@@ -126,6 +126,66 @@ mod tests {
         assert!(m.rot_ct < m.mul_ct_ct);
     }
 
+    /// Single-instruction kernels must rank add ≤ rotate ≤ multiply under
+    /// both shipped models — rotation and ct×ct multiply key-switch, so any
+    /// calibration that inverts this ordering would steer the synthesizer
+    /// toward expensive programs. The uniform model ties on raw latency but
+    /// still ranks multiplies last through the depth penalty.
+    #[test]
+    fn uniform_and_profiled_agree_on_add_rotate_multiply_ordering() {
+        let single = |instr: Instr| Program::new("one", 2, 0, vec![instr], ValRef::Instr(0));
+        let add = single(Instr::AddCtCt(ValRef::Input(0), ValRef::Input(1)));
+        let rot = single(Instr::RotCt(ValRef::Input(0), 1));
+        let mul = single(Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)));
+        for m in [LatencyModel::uniform(), LatencyModel::profiled_default()] {
+            assert!(cost(&add, &m) <= cost(&rot, &m));
+            assert!(cost(&rot, &m) <= cost(&mul, &m));
+        }
+        // The profiled model separates them strictly.
+        let p = LatencyModel::profiled_default();
+        assert!(cost(&add, &p) < cost(&rot, &p));
+        assert!(cost(&rot, &p) < cost(&mul, &p));
+    }
+
+    /// Appending any instruction can only increase the objective: latency is
+    /// a sum of positive terms and multiplicative depth never decreases.
+    #[test]
+    fn cost_is_monotone_under_instruction_append() {
+        let base = Program::new(
+            "base",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        let appendables = [
+            Instr::AddCtCt(ValRef::Instr(1), ValRef::Instr(0)),
+            Instr::SubCtCt(ValRef::Instr(1), ValRef::Instr(0)),
+            Instr::MulCtCt(ValRef::Instr(1), ValRef::Instr(0)),
+            Instr::AddCtPt(ValRef::Instr(1), PtOperand::Splat(3)),
+            Instr::SubCtPt(ValRef::Instr(1), PtOperand::Splat(3)),
+            Instr::MulCtPt(ValRef::Instr(1), PtOperand::Splat(3)),
+            Instr::RotCt(ValRef::Instr(1), 2),
+        ];
+        for m in [LatencyModel::uniform(), LatencyModel::profiled_default()] {
+            let before = cost(&base, &m);
+            for extra in &appendables {
+                let mut instrs = base.instrs.clone();
+                instrs.push(extra.clone());
+                let last = instrs.len() - 1;
+                let longer = Program::new("longer", 1, 0, instrs, ValRef::Instr(last));
+                longer.validate().expect("appended program stays valid");
+                assert!(
+                    cost(&longer, &m) > before,
+                    "appending {extra:?} must increase cost under {m:?}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn program_latency_sums_instructions() {
         let m = LatencyModel::uniform();

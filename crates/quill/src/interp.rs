@@ -186,7 +186,7 @@ mod tests {
         let n = 4;
         let sym = eval_symbolic(&prog, n, T);
         let x = vec![7u64, 11, 13, 17];
-        let conc = eval_concrete(&prog, &[x.clone()], &[], T);
+        let conc = eval_concrete(&prog, std::slice::from_ref(&x), &[], T);
         for (slot, poly) in sym.iter().enumerate() {
             let v = poly.eval(&|var| x[var as usize % n]);
             assert_eq!(v, conc[slot], "slot {slot}");
@@ -200,15 +200,14 @@ mod tests {
             "rot-n",
             1,
             0,
-            vec![Instr::RotCt(ValRef::Input(0), 2), Instr::RotCt(ValRef::Instr(0), 2)],
+            vec![
+                Instr::RotCt(ValRef::Input(0), 2),
+                Instr::RotCt(ValRef::Instr(0), 2),
+            ],
             ValRef::Instr(1),
         );
         let sym = eval_symbolic(&prog, 4, T);
-        let id = eval_symbolic(
-            &Program::new("id", 1, 0, vec![], ValRef::Input(0)),
-            4,
-            T,
-        );
+        let id = eval_symbolic(&Program::new("id", 1, 0, vec![], ValRef::Input(0)), 4, T);
         assert_eq!(sym, id);
     }
 

@@ -244,13 +244,9 @@ impl Program {
         };
         for (i, instr) in self.instrs.iter().enumerate() {
             noise[i] = match instr {
-                Instr::AddCtCt(a, b) | Instr::SubCtCt(a, b) => {
-                    get(a, &noise).max(get(b, &noise))
-                }
+                Instr::AddCtCt(a, b) | Instr::SubCtCt(a, b) => get(a, &noise).max(get(b, &noise)),
                 Instr::MulCtCt(a, b) => get(a, &noise).max(get(b, &noise)) + 1,
-                Instr::AddCtPt(a, _) | Instr::SubCtPt(a, _) | Instr::RotCt(a, _) => {
-                    get(a, &noise)
-                }
+                Instr::AddCtPt(a, _) | Instr::SubCtPt(a, _) | Instr::RotCt(a, _) => get(a, &noise),
                 Instr::MulCtPt(a, _) => get(a, &noise) + 1,
             };
         }
@@ -362,7 +358,12 @@ impl Program {
     ///
     /// Panics if a binding list has the wrong length or refers to a
     /// nonexistent value.
-    pub fn append(&mut self, other: &Program, ct_binding: &[ValRef], pt_binding: &[usize]) -> ValRef {
+    pub fn append(
+        &mut self,
+        other: &Program,
+        ct_binding: &[ValRef],
+        pt_binding: &[usize],
+    ) -> ValRef {
         assert_eq!(ct_binding.len(), other.num_ct_inputs, "ct binding arity");
         assert_eq!(pt_binding.len(), other.num_pt_inputs, "pt binding arity");
         for r in ct_binding {
@@ -497,7 +498,10 @@ mod tests {
             "bad",
             1,
             0,
-            vec![Instr::AddCtCt(ValRef::Instr(1), ValRef::Input(0)), Instr::RotCt(ValRef::Input(0), 1)],
+            vec![
+                Instr::AddCtCt(ValRef::Instr(1), ValRef::Input(0)),
+                Instr::RotCt(ValRef::Input(0), 1),
+            ],
             ValRef::Instr(0),
         );
         assert_eq!(
@@ -508,9 +512,21 @@ mod tests {
 
     #[test]
     fn rejects_zero_rotation_and_bad_refs() {
-        let p = Program::new("bad", 1, 0, vec![Instr::RotCt(ValRef::Input(0), 0)], ValRef::Instr(0));
+        let p = Program::new(
+            "bad",
+            1,
+            0,
+            vec![Instr::RotCt(ValRef::Input(0), 0)],
+            ValRef::Instr(0),
+        );
         assert_eq!(p.validate(), Err(ProgramError::ZeroRotation(0)));
-        let p = Program::new("bad", 1, 0, vec![Instr::RotCt(ValRef::Input(2), 1)], ValRef::Instr(0));
+        let p = Program::new(
+            "bad",
+            1,
+            0,
+            vec![Instr::RotCt(ValRef::Input(2), 1)],
+            ValRef::Instr(0),
+        );
         assert_eq!(p.validate(), Err(ProgramError::BadInput(2)));
         let p = Program::new(
             "bad",
@@ -573,7 +589,7 @@ mod tests {
             1,
             0,
             vec![
-                Instr::RotCt(ValRef::Input(0), 1),          // dead
+                Instr::RotCt(ValRef::Input(0), 1), // dead
                 Instr::AddCtCt(ValRef::Input(0), ValRef::Input(0)),
                 Instr::RotCt(ValRef::Instr(1), 2),
             ],

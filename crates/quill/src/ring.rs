@@ -22,7 +22,9 @@ pub trait Ring: Clone + Debug + PartialEq {
     fn mul(&self, other: &Self) -> Self;
     /// Additive inverse.
     fn neg(&self) -> Self;
-    /// A constant in the same context as `self`.
+    /// A constant in the same context as `self` (`&self` supplies the
+    /// modulus, so this deliberately breaks the `from_*` convention).
+    #[allow(clippy::wrong_self_convention)]
     fn from_i64(&self, v: i64) -> Self;
     /// Whether this is the additive identity.
     fn is_zero(&self) -> bool;

@@ -151,9 +151,7 @@ fn parse_pt_operand(s: &Sexp) -> Result<PtOperand, ParseError> {
         }
         Sexp::List(items, o) => {
             if items.len() == 2 {
-                if let (Ok(("splat", _)), Sexp::Atom(v, vo)) =
-                    (expect_atom(&items[0]), &items[1])
-                {
+                if let (Ok(("splat", _)), Sexp::Atom(v, vo)) = (expect_atom(&items[0]), &items[1]) {
                     let value: i64 = v
                         .parse()
                         .map_err(|_| err(*vo, format!("bad splat value '{v}'")))?;

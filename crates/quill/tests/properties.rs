@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use quill::interp;
 use quill::program::{Instr, Program, PtOperand, ValRef};
 use quill::sexpr::{parse_program, to_string};
+use test_support::T;
 
-const T: u64 = 65537;
 const N: usize = 6;
 
 /// Strategy: a random valid straight-line program over one ct input.
@@ -55,7 +55,7 @@ proptest! {
     fn symbolic_predicts_concrete(prog in arb_program(6),
                                   input in prop::collection::vec(0u64..T, N)) {
         let sym = interp::eval_symbolic(&prog, N, T);
-        let conc = interp::eval_concrete(&prog, &[input.clone()], &[], T);
+        let conc = interp::eval_concrete(&prog, std::slice::from_ref(&input), &[], T);
         for (slot, poly) in sym.iter().enumerate() {
             let v = poly.eval(&|var| input[var as usize % N]);
             prop_assert_eq!(v, conc[slot], "slot {}", slot);
@@ -75,7 +75,7 @@ proptest! {
         let clean = prog.eliminate_dead_code();
         prop_assert!(clean.validate().is_ok());
         prop_assert!(clean.len() <= prog.len());
-        let before = interp::eval_concrete(&prog, &[input.clone()], &[], T);
+        let before = interp::eval_concrete(&prog, std::slice::from_ref(&input), &[], T);
         let after = interp::eval_concrete(&clean, &[input], &[], T);
         prop_assert_eq!(before, after);
     }
@@ -86,7 +86,7 @@ proptest! {
         let merged = prog.cse();
         prop_assert!(merged.validate().is_ok());
         prop_assert!(merged.len() <= prog.len());
-        let before = interp::eval_concrete(&prog, &[input.clone()], &[], T);
+        let before = interp::eval_concrete(&prog, std::slice::from_ref(&input), &[], T);
         let after = interp::eval_concrete(&merged, &[input], &[], T);
         prop_assert_eq!(before, after);
     }

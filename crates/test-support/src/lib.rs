@@ -1,0 +1,211 @@
+//! # test-support — shared fixtures for the workspace test suites
+//!
+//! The per-crate `properties.rs` suites, the root integration tests, and the
+//! codegen unit tests all need the same scaffolding: a seeded deterministic
+//! RNG, a small BFV context that keeps key generation fast, a full
+//! encrypt/evaluate/decrypt session, and "run this Quill program on the BFV
+//! backend and compare slots against the interpreter" plumbing. This crate
+//! centralizes those so each suite states only what it actually tests.
+//!
+//! Everything here is deterministic: the same seed always produces the same
+//! inputs, keys, and ciphertexts.
+
+use bfv::encoding::{BatchEncoder, Plaintext};
+use bfv::encrypt::{Ciphertext, Decryptor, Encryptor};
+use bfv::evaluator::Evaluator;
+use bfv::keys::KeyGenerator;
+use bfv::params::{BfvContext, BfvParams};
+use porcupine::cegis::SynthesisOptions;
+use porcupine::codegen::BfvRunner;
+use porcupine::spec::KernelSpec;
+use quill::cost::LatencyModel;
+use quill::interp;
+use quill::program::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// The plaintext modulus every suite models with (SEAL's 65537 default).
+pub const T: u64 = 65537;
+
+/// A deterministic RNG for a test, named so intent is visible at call sites.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A small BFV context (the `test_small` preset) that keeps key generation
+/// and homomorphic evaluation fast enough for unit tests.
+pub fn small_ctx() -> BfvContext {
+    BfvContext::new(BfvParams::test_small()).expect("test_small parameters are valid")
+}
+
+/// Synthesis options for property tests: uniform latency model and a budget
+/// far below tier-1's patience.
+pub fn quick_synthesis_options(seed: u64) -> SynthesisOptions {
+    SynthesisOptions {
+        timeout: Duration::from_secs(30),
+        optimize: true,
+        latency: LatencyModel::uniform(),
+        seed,
+    }
+}
+
+/// Synthesis options for the end-to-end kernel tests: the paper's profiled
+/// latency model with a generous (but bounded) budget.
+pub fn fast_synthesis_options() -> SynthesisOptions {
+    SynthesisOptions {
+        timeout: Duration::from_secs(300),
+        optimize: true,
+        latency: LatencyModel::profiled_default(),
+        seed: 1,
+    }
+}
+
+/// One full homomorphic session: keys, encoder, encryptor, decryptor, and
+/// evaluator over a borrowed context.
+pub struct HeSession<'a> {
+    pub keygen: KeyGenerator<'a>,
+    pub encryptor: Encryptor<'a>,
+    pub decryptor: Decryptor<'a>,
+    pub encoder: BatchEncoder<'a>,
+    pub evaluator: Evaluator<'a>,
+}
+
+impl<'a> HeSession<'a> {
+    pub fn new(ctx: &'a BfvContext, rng: &mut StdRng) -> Self {
+        let keygen = KeyGenerator::new(ctx, rng);
+        let encryptor = Encryptor::new(ctx, keygen.public_key(rng));
+        let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
+        HeSession {
+            encryptor,
+            decryptor,
+            encoder: BatchEncoder::new(ctx),
+            evaluator: Evaluator::new(ctx),
+            keygen,
+        }
+    }
+}
+
+/// Samples `count` model vectors of `n` slots with entries in `[0, bound)`.
+pub fn sample_model_inputs(count: usize, n: usize, bound: u64, rng: &mut StdRng) -> Vec<Vec<u64>> {
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..bound)).collect())
+        .collect()
+}
+
+/// Asserts `got` equals `want` on every masked slot.
+pub fn assert_masked_slots_eq(got: &[u64], want: &[u64], mask: &[bool], label: &str) {
+    for (i, &on) in mask.iter().enumerate() {
+        if on {
+            assert_eq!(got[i], want[i], "{label}: slot {i}");
+        }
+    }
+}
+
+/// Runs `prog` on random `[0, input_bound)` inputs through both the Quill
+/// interpreter and the encrypted BFV backend, asserting the given output
+/// `slots` agree and that the ciphertext retains noise budget.
+pub fn assert_backend_matches_interp(
+    ctx: &BfvContext,
+    prog: &Program,
+    model_n: usize,
+    slots: &[usize],
+    input_bound: u64,
+    rng: &mut StdRng,
+) {
+    let session = HeSession::new(ctx, rng);
+    let runner = BfvRunner::for_programs(ctx, &session.keygen, &[prog], rng);
+    let t = ctx.params().plain_modulus;
+
+    let ct_model = sample_model_inputs(prog.num_ct_inputs, model_n, input_bound, rng);
+    let pt_model = sample_model_inputs(prog.num_pt_inputs, model_n, input_bound, rng);
+    let expected = interp::eval_concrete(prog, &ct_model, &pt_model, t);
+
+    let encoder = runner.encoder();
+    let cts: Vec<Ciphertext> = ct_model
+        .iter()
+        .map(|v| session.encryptor.encrypt(&encoder.encode(v), rng))
+        .collect();
+    let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
+    let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
+    let pt_refs: Vec<&Plaintext> = pts.iter().collect();
+    let out = runner.run(prog, &ct_refs, &pt_refs);
+
+    let budget = session.decryptor.invariant_noise_budget(&out);
+    assert!(
+        budget > 0,
+        "{}: noise budget exhausted ({budget})",
+        prog.name
+    );
+    let decoded = encoder.decode(&session.decryptor.decrypt(&out));
+    let mut mask = vec![false; expected.len()];
+    for &slot in slots {
+        mask[slot] = true;
+    }
+    assert_masked_slots_eq(&decoded, &expected, &mask, &prog.name);
+}
+
+/// Like [`assert_backend_matches_interp`] but takes the slots to compare
+/// from a spec's output mask (the integration-test shape).
+pub fn assert_backend_matches_spec_mask(
+    ctx: &BfvContext,
+    prog: &Program,
+    spec: &KernelSpec,
+    input_bound: u64,
+    rng: &mut StdRng,
+) {
+    let slots: Vec<usize> = spec
+        .output_mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &on)| on.then_some(i))
+        .collect();
+    assert_backend_matches_interp(ctx, prog, spec.n, &slots, input_bound, rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quill::program::{Instr, ValRef};
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(9);
+        let mut b = seeded_rng(9);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn session_roundtrips_a_plaintext() {
+        let ctx = small_ctx();
+        let mut rng = seeded_rng(17);
+        let s = HeSession::new(&ctx, &mut rng);
+        let v: Vec<u64> = (0..s.encoder.slot_count() as u64).collect();
+        let ct = s.encryptor.encrypt(&s.encoder.encode(&v), &mut rng);
+        assert_eq!(s.encoder.decode(&s.decryptor.decrypt(&ct)), v);
+    }
+
+    #[test]
+    fn backend_helper_accepts_a_correct_program() {
+        let ctx = small_ctx();
+        let mut rng = seeded_rng(23);
+        let prog = Program::new(
+            "pairsum",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        // slot i reads i and i+1; stay clear of the row wrap.
+        assert_backend_matches_interp(&ctx, &prog, 8, &[0, 1, 2], 64, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 0")]
+    fn masked_slot_comparison_reports_mismatches() {
+        assert_masked_slots_eq(&[1, 2], &[3, 2], &[true, true], "demo");
+    }
+}

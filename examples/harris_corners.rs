@@ -23,8 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stages = composite::HarrisStages {
         gx: synthesize(&stencil::gx(img).spec, &stencil::gx(img).sketch, &options)?.program,
         gy: synthesize(&stencil::gy(img).spec, &stencil::gy(img).sketch, &options)?.program,
-        blur: synthesize(&stencil::box_blur(img).spec, &stencil::box_blur(img).sketch, &options)?
-            .program,
+        blur: synthesize(
+            &stencil::box_blur(img).spec,
+            &stencil::box_blur(img).sketch,
+            &options,
+        )?
+        .program,
         det: synthesize(
             &composite::harris_det(img.slots()).spec,
             &composite::harris_det(img.slots()).sketch,
@@ -61,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let encoder = runner.encoder();
     let ct = encryptor.encrypt(&encoder.encode(&slots), &mut rng);
-    println!("running encrypted Harris pipeline ({} HE instructions)…", harris.len());
+    println!(
+        "running encrypted Harris pipeline ({} HE instructions)…",
+        harris.len()
+    );
     let out = runner.run(&harris, &[&ct], &[]);
     let budget = decryptor.invariant_noise_budget(&out);
     println!("noise budget after pipeline: {budget} bits");
@@ -70,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decoded = encoder.decode(&decryptor.decrypt(&out));
     // Client-side: compare the response at the corner against the spec.
     let spec = composite::harris_spec(img);
-    let expected = spec.eval_concrete(&[slots.clone()], &[]);
+    let expected = spec.eval_concrete(std::slice::from_ref(&slots), &[]);
     let center = img.index(1, 1);
     println!(
         "response at interior centre: {} (plaintext reference: {})",

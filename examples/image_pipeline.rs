@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let img = PaddedImage::new(6, 6, 1);
     let options = SynthesisOptions::default();
 
-    println!("== synthesizing gradient kernels for stride {} ==", img.stride());
+    println!(
+        "== synthesizing gradient kernels for stride {} ==",
+        img.stride()
+    );
     let gx = synthesize(&stencil::gx(img).spec, &stencil::gx(img).sketch, &options)?;
     let gy = synthesize(&stencil::gy(img).spec, &stencil::gy(img).sketch, &options)?;
     let combine_k = composite::sobel_combine(img.slots());
@@ -32,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         combine.program.len()
     );
     let sobel = composite::sobel_from(&gx.program, &gy.program, &combine.program);
-    println!("composed sobel: {} instructions, mult depth {}\n", sobel.len(), sobel.mult_depth());
+    println!(
+        "composed sobel: {} instructions, mult depth {}\n",
+        sobel.len(),
+        sobel.mult_depth()
+    );
 
     // A vertical bright bar on dark background.
     #[rustfmt::skip]

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         poly.program.len(),
         poly_k.baseline.len()
     );
-    println!("-- synthesized quadratic (note the factored form) --\n{}", poly.program);
+    println!(
+        "-- synthesized quadratic (note the factored form) --\n{}",
+        poly.program
+    );
 
     let ctx = BfvContext::new(BfvParams::fast_4096())?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -47,8 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Server: model parameters stay in plaintext on the server.
     let theta = [3u64, 5, 40]; // y = 3·x1 + 5·x2 + 40
-    let pts: Vec<_> = theta.iter().map(|&v| encoder.encode(&vec![v; batch])).collect();
-    let out = runner.run(&lin.program, &[&ct_x1, &ct_x2], &[&pts[0], &pts[1], &pts[2]]);
+    let pts: Vec<_> = theta
+        .iter()
+        .map(|&v| encoder.encode(&vec![v; batch]))
+        .collect();
+    let out = runner.run(
+        &lin.program,
+        &[&ct_x1, &ct_x2],
+        &[&pts[0], &pts[1], &pts[2]],
+    );
     let y = encoder.decode(&decryptor.decrypt(&out));
     println!("\nlinear predictions:    {:?}", &y[..batch]);
     for i in 0..batch {
@@ -57,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Quadratic model y = 2·x² + 7·x + 11 on the first feature.
     let abc = [2u64, 7, 11];
-    let pts: Vec<_> = abc.iter().map(|&v| encoder.encode(&vec![v; batch])).collect();
+    let pts: Vec<_> = abc
+        .iter()
+        .map(|&v| encoder.encode(&vec![v; batch]))
+        .collect();
     let out = runner.run(&poly.program, &[&ct_x1], &[&pts[0], &pts[1], &pts[2]]);
     let y = encoder.decode(&decryptor.decrypt(&out));
     println!("quadratic predictions: {:?}", &y[..batch]);

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.components, result.time_total, result.examples_used, result.proved_optimal
     );
     println!("-- synthesized Quill kernel --\n{}", result.program);
-    println!("-- generated SEAL C++ --\n{}", emit_seal_cpp(&result.program));
+    println!(
+        "-- generated SEAL C++ --\n{}",
+        emit_seal_cpp(&result.program)
+    );
 
     // 2. Run it for real: encrypt a client vector, evaluate homomorphically,
     //    decrypt.
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let decoded = encoder.decode(&decryptor.decrypt(&out));
     let expected: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
-    println!("encrypted dot product = {} (expected {})", decoded[0], expected);
+    println!(
+        "encrypted dot product = {} (expected {})",
+        decoded[0], expected
+    );
     println!(
         "remaining noise budget: {} bits",
         decryptor.invariant_noise_budget(&out)

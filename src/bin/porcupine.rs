@@ -30,7 +30,11 @@ fn find_kernel(name: &str) -> Option<PaperKernel> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `porcupine dot-product` is shorthand for `porcupine synth dot-product`.
+    if args.first().is_some_and(|a| find_kernel(a).is_some()) {
+        args.insert(0, "synth".to_string());
+    }
     let model = LatencyModel::profiled_default();
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -51,7 +55,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("baseline") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(k) = find_kernel(name) else {
                 eprintln!("unknown kernel '{name}' (try `porcupine list`)");
                 return ExitCode::FAILURE;
@@ -64,7 +70,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("synth") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(k) = find_kernel(name) else {
                 eprintln!("unknown kernel '{name}' (try `porcupine list`)");
                 return ExitCode::FAILURE;

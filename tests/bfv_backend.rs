@@ -2,87 +2,49 @@
 //! executed homomorphically on the BFV backend, must agree on the masked
 //! output slots, with noise budget to spare.
 
-use bfv::encoding::Plaintext;
-use bfv::encrypt::{Ciphertext, Decryptor, Encryptor};
-use bfv::keys::KeyGenerator;
-use bfv::params::{BfvContext, BfvParams};
-use porcupine::codegen::BfvRunner;
 use porcupine_kernels::{all_direct, composite, stencil};
-use quill::interp;
-use rand::{Rng, SeedableRng};
-
-struct Session {
-    ctx: BfvContext,
-}
-
-impl Session {
-    fn new() -> Self {
-        Session {
-            ctx: BfvContext::new(BfvParams::test_small()).expect("valid parameters"),
-        }
-    }
-
-    fn check(&self, prog: &quill::Program, spec: &porcupine::KernelSpec, seed: u64) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let keygen = KeyGenerator::new(&self.ctx, &mut rng);
-        let encryptor = Encryptor::new(&self.ctx, keygen.public_key(&mut rng));
-        let decryptor = Decryptor::new(&self.ctx, keygen.secret_key().clone());
-        let runner = BfvRunner::for_programs(&self.ctx, &keygen, &[prog], &mut rng);
-
-        let ct_model: Vec<Vec<u64>> = (0..spec.num_ct_inputs)
-            .map(|_| (0..spec.n).map(|_| rng.gen_range(0..64)).collect())
-            .collect();
-        let pt_model: Vec<Vec<u64>> = (0..spec.num_pt_inputs)
-            .map(|_| (0..spec.n).map(|_| rng.gen_range(0..64)).collect())
-            .collect();
-        let expected = interp::eval_concrete(prog, &ct_model, &pt_model, spec.t);
-
-        let encoder = runner.encoder();
-        let cts: Vec<Ciphertext> = ct_model
-            .iter()
-            .map(|v| encryptor.encrypt(&encoder.encode(v), &mut rng))
-            .collect();
-        let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
-        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
-        let pt_refs: Vec<&Plaintext> = pts.iter().collect();
-        let out = runner.run(prog, &ct_refs, &pt_refs);
-
-        let budget = decryptor.invariant_noise_budget(&out);
-        assert!(budget > 0, "{}: noise budget exhausted ({budget})", prog.name);
-        let decoded = encoder.decode(&decryptor.decrypt(&out));
-        for i in 0..spec.n {
-            if spec.output_mask[i] {
-                assert_eq!(decoded[i], expected[i], "{}: slot {i}", prog.name);
-            }
-        }
-    }
-}
+use test_support::{assert_backend_matches_spec_mask, seeded_rng, small_ctx};
 
 #[test]
 fn all_baselines_execute_correctly_under_encryption() {
-    let s = Session::new();
+    let ctx = small_ctx();
     for (i, k) in all_direct().into_iter().enumerate() {
-        s.check(&k.baseline, &k.spec, 100 + i as u64);
+        let mut rng = seeded_rng(100 + i as u64);
+        assert_backend_matches_spec_mask(&ctx, &k.baseline, &k.spec, 64, &mut rng);
     }
 }
 
 #[test]
 fn sobel_baseline_executes_correctly_under_encryption() {
-    let s = Session::new();
+    let ctx = small_ctx();
     let img = stencil::default_image();
-    s.check(&composite::sobel_baseline(img), &composite::sobel_spec(img), 7);
+    let mut rng = seeded_rng(7);
+    assert_backend_matches_spec_mask(
+        &ctx,
+        &composite::sobel_baseline(img),
+        &composite::sobel_spec(img),
+        64,
+        &mut rng,
+    );
 }
 
 #[test]
 fn harris_baseline_executes_correctly_under_encryption() {
-    let s = Session::new();
+    let ctx = small_ctx();
     let img = stencil::default_image();
-    s.check(&composite::harris_baseline(img), &composite::harris_spec(img), 8);
+    let mut rng = seeded_rng(8);
+    assert_backend_matches_spec_mask(
+        &ctx,
+        &composite::harris_baseline(img),
+        &composite::harris_spec(img),
+        64,
+        &mut rng,
+    );
 }
 
 #[test]
 fn figure_6a_gx_executes_correctly_under_encryption() {
-    let s = Session::new();
+    let ctx = small_ctx();
     let prog = quill::sexpr::parse_program(
         "(kernel gx (inputs (ct 1) (pt 0))
            (let c1 (rot-ct c0 -5))
@@ -96,5 +58,6 @@ fn figure_6a_gx_executes_correctly_under_encryption() {
     )
     .expect("Figure 6a parses");
     let k = stencil::gx(stencil::default_image());
-    s.check(&prog, &k.spec, 9);
+    let mut rng = seeded_rng(9);
+    assert_backend_matches_spec_mask(&ctx, &prog, &k.spec, 64, &mut rng);
 }

@@ -4,27 +4,18 @@
 //! stability. (The slow kernels, L2 and Roberts cross, are exercised by the
 //! bench harness with longer budgets.)
 
-use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::cegis::synthesize;
 use porcupine::lift::check_padding_stable;
 use porcupine::verify::verify;
 use porcupine_kernels::{pointwise, reduction, stencil};
 use quill::cost::{cost, LatencyModel};
-use rand::SeedableRng;
-use std::time::Duration;
-
-fn fast_options() -> SynthesisOptions {
-    SynthesisOptions {
-        timeout: Duration::from_secs(300),
-        optimize: true,
-        latency: LatencyModel::profiled_default(),
-        seed: 1,
-    }
-}
+use test_support::{fast_synthesis_options, seeded_rng};
 
 #[test]
 fn box_blur_matches_figure_5() {
     let k = stencil::box_blur(stencil::default_image());
-    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("box blur synthesizes");
+    let r =
+        synthesize(&k.spec, &k.sketch, &fast_synthesis_options()).expect("box blur synthesizes");
     // Figure 5(a): 4 instructions (2 adds + 2 rotations) vs baseline 6.
     assert_eq!(r.program.len(), 4, "\n{}", r.program);
     assert_eq!(r.components, 2);
@@ -41,11 +32,11 @@ fn box_blur_matches_figure_5() {
 #[test]
 fn gx_matches_table_2() {
     let k = stencil::gx(stencil::default_image());
-    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("gx synthesizes");
+    let r = synthesize(&k.spec, &k.sketch, &fast_synthesis_options()).expect("gx synthesizes");
     // Table 2: synthesized Gx has 7 instructions (3 arith + 4 rotations).
     assert_eq!(r.program.len(), 7, "\n{}", r.program);
     assert_eq!(r.components, 3);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = seeded_rng(2);
     verify(&r.program, &k.spec, &mut rng).expect("synthesized gx verifies");
     check_padding_stable(&r.program, k.spec.n, &k.spec.output_mask, k.spec.t)
         .expect("synthesized gx lifts");
@@ -54,7 +45,8 @@ fn gx_matches_table_2() {
 #[test]
 fn dot_product_matches_table_2() {
     let k = reduction::dot_product(8);
-    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("dot product synthesizes");
+    let r =
+        synthesize(&k.spec, &k.sketch, &fast_synthesis_options()).expect("dot product synthesizes");
     // Table 2: 7 instructions for both baseline and synthesized, depth 7.
     assert_eq!(r.program.len(), 7);
     assert_eq!(r.program.len(), k.baseline.len());
@@ -64,7 +56,7 @@ fn dot_product_matches_table_2() {
 #[test]
 fn hamming_distance_matches_table_2() {
     let k = reduction::hamming_distance(4);
-    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("hamming synthesizes");
+    let r = synthesize(&k.spec, &k.sketch, &fast_synthesis_options()).expect("hamming synthesizes");
     assert_eq!(r.program.len(), 6, "\n{}", r.program);
     assert_eq!(r.program.logic_depth(), 6);
     // Single-value outputs need more counter-examples (§7.4).
@@ -74,7 +66,8 @@ fn hamming_distance_matches_table_2() {
 #[test]
 fn polynomial_regression_discovers_factorization() {
     let k = pointwise::polynomial_regression(8);
-    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("poly reg synthesizes");
+    let r =
+        synthesize(&k.spec, &k.sketch, &fast_synthesis_options()).expect("poly reg synthesizes");
     // The factored form (a·x + b)·x + c: 4 instructions vs 5 in the
     // baseline, and one fewer plaintext multiply (§7.2's algebraic
     // optimization).
@@ -99,15 +92,54 @@ fn polynomial_regression_discovers_factorization() {
 #[test]
 fn linear_regression_matches_baseline() {
     let k = pointwise::linear_regression(8);
-    let r = synthesize(&k.spec, &k.sketch, &fast_options()).expect("lin reg synthesizes");
+    let r = synthesize(&k.spec, &k.sketch, &fast_synthesis_options()).expect("lin reg synthesizes");
     // Paper: baseline and synthesized coincide (4 instructions).
     assert_eq!(r.program.len(), 4);
     assert!(r.proved_optimal);
 }
 
+/// The §7.4 ablation: box blur with *explicit* rotation components instead
+/// of the local-rotate sketch. The search space explodes (the paper reports
+/// minutes instead of seconds) and routinely blows the tier-1 wall-clock
+/// budget, so this runs only on demand via `cargo test -- --ignored`.
+#[test]
+#[ignore = "explicit-rotation full search exceeds the 60 s tier-1 budget (run with --ignored)"]
+fn box_blur_synthesizes_with_explicit_rotation_sketch() {
+    let k = stencil::box_blur(stencil::default_image());
+    let mut sketch = k.sketch.clone().with_explicit_rotations();
+    sketch.max_components += 4; // room for materialized rotations
+    let mut options = fast_synthesis_options();
+    options.timeout = std::time::Duration::from_secs(1800);
+    let r = synthesize(&k.spec, &sketch, &options).expect("explicit box blur synthesizes");
+    let mut rng = seeded_rng(4);
+    verify(&r.program, &k.spec, &mut rng).expect("explicit box blur verifies");
+}
+
+/// Guard for future parallel-search work: with a fixed seed and options,
+/// `synthesize` is a pure function of the spec and sketch — two runs on a
+/// real paper kernel return identical programs and identical costs.
+#[test]
+fn synthesis_of_paper_kernels_is_deterministic() {
+    for k in [reduction::dot_product(8), reduction::hamming_distance(4)] {
+        let a = synthesize(&k.spec, &k.sketch, &fast_synthesis_options())
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let b = synthesize(&k.spec, &k.sketch, &fast_synthesis_options())
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert_eq!(a.program, b.program, "{}: program differs", k.name);
+        assert_eq!(
+            a.final_cost.to_bits(),
+            b.final_cost.to_bits(),
+            "{}: cost differs",
+            k.name
+        );
+        assert_eq!(a.components, b.components, "{}", k.name);
+        assert_eq!(a.examples_used, b.examples_used, "{}", k.name);
+    }
+}
+
 #[test]
 fn synthesized_kernels_are_all_verified_and_liftable() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = seeded_rng(3);
     let img = stencil::default_image();
     for k in [
         stencil::box_blur(img),
@@ -116,7 +148,7 @@ fn synthesized_kernels_are_all_verified_and_liftable() {
         reduction::dot_product(8),
         reduction::hamming_distance(4),
     ] {
-        let r = synthesize(&k.spec, &k.sketch, &fast_options())
+        let r = synthesize(&k.spec, &k.sketch, &fast_synthesis_options())
             .unwrap_or_else(|e| panic!("{}: {e}", k.name));
         verify(&r.program, &k.spec, &mut rng).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         check_padding_stable(&r.program, k.spec.n, &k.spec.output_mask, k.spec.t)

@@ -3,19 +3,14 @@
 //! specifications and beat (or match) the monolithic baselines on
 //! instruction count.
 
-use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::cegis::synthesize;
 use porcupine::verify::verify;
 use porcupine_kernels::{composite, stencil};
 use quill::Program;
-use rand::SeedableRng;
-use std::time::Duration;
+use test_support::{fast_synthesis_options, seeded_rng};
 
 fn synth(k: &porcupine_kernels::PaperKernel) -> Program {
-    let options = SynthesisOptions {
-        timeout: Duration::from_secs(300),
-        ..SynthesisOptions::default()
-    };
-    synthesize(&k.spec, &k.sketch, &options)
+    synthesize(&k.spec, &k.sketch, &fast_synthesis_options())
         .unwrap_or_else(|e| panic!("{}: {e}", k.name))
         .program
 }
@@ -28,7 +23,7 @@ fn sobel_composed_from_synthesized_stages_verifies() {
     let combine = synth(&composite::sobel_combine(img.slots()));
     let sobel = composite::sobel_from(&gx, &gy, &combine);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng = seeded_rng(21);
     verify(&sobel, &composite::sobel_spec(img), &mut rng).expect("sobel verifies");
 
     let baseline = composite::sobel_baseline(img);
@@ -52,7 +47,7 @@ fn harris_composed_from_synthesized_stages_verifies() {
     };
     let harris = composite::harris_from(&stages);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+    let mut rng = seeded_rng(22);
     verify(&harris, &composite::harris_spec(img), &mut rng).expect("harris verifies");
 
     let baseline = composite::harris_baseline(img);

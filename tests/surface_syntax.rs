@@ -10,8 +10,8 @@ use quill::sexpr::{parse_program, to_string};
 fn all_baselines_roundtrip_through_sexpr() {
     for k in all_direct() {
         let printed = to_string(&k.baseline);
-        let reparsed = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", k.name));
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", k.name));
         assert_eq!(reparsed, k.baseline, "{}", k.name);
     }
 }

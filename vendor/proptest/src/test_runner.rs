@@ -1,0 +1,192 @@
+//! The case-driving runner: deterministic per-test seeding, rejection
+//! (`prop_assume!`) handling, and failure reporting with the case seed.
+
+use crate::strategy::Strategy;
+
+/// The RNG handed to strategies. Deterministic per test and per case.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!`; draw a replacement.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Result type property bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is meaningful in this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Drives a strategy through `config.cases` cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            base_seed: 0x5EED_CAFE,
+            name: "<property>",
+        }
+    }
+
+    /// Seeds the case stream from the test's fully-qualified name so distinct
+    /// tests explore distinct inputs but each test is reproducible.
+    pub fn new_for_test(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            base_seed: seed,
+            name,
+        }
+    }
+
+    /// Runs `body` on `config.cases` generated inputs, panicking (so the
+    /// surrounding `#[test]` fails) on the first `TestCaseError::Fail`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        use rand::SeedableRng;
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while passed < self.config.cases {
+            let case_seed = self.base_seed.wrapping_add(case_index);
+            case_index += 1;
+            let mut rng = TestRng::seed_from_u64(case_seed);
+            let value = strategy.new_value(&mut rng);
+            match body(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "{}: too many inputs rejected by prop_assume! \
+                             ({rejected} rejects for {passed} passes)",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "{}: property failed after {} passing case(s) \
+                         [case seed {case_seed:#x}]\n{message}",
+                        self.name, passed
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        let mut seen = 0;
+        runner.run(&(any::<u64>(),), |(_v,)| {
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run(&(0u64..100,), |(v,)| {
+            if v < 1000 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_draw_replacements() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5));
+        let mut passed = 0;
+        runner.run(&(any::<u64>(),), |(v,)| {
+            if v % 2 == 0 {
+                Err(TestCaseError::reject("odd only"))
+            } else {
+                passed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(passed, 5);
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0u64..10).prop_map(|v| v * 2);
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(20));
+        runner.run(&(strat,), |(v,)| {
+            assert!(v % 2 == 0 && v < 20);
+            Ok(())
+        });
+    }
+}

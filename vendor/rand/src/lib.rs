@@ -1,0 +1,238 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! re-implements exactly the slice of the rand 0.8 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension trait with `gen_range` over integer ranges and `gen::<T>()`.
+//!
+//! `StdRng` here is xoshiro256** seeded via SplitMix64 — statistically solid
+//! for test-input generation and fully deterministic for a given seed, which
+//! is all the synthesizer and test suites require. It is **not** a CSPRNG;
+//! the workspace's own `bfv` crate already carries the matching caveat.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen` can produce.
+pub trait Generatable: Sized {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_generatable_uint {
+    ($($ty:ty),*) => {$(
+        impl Generatable for $ty {
+            fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_generatable_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Generatable for u128 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Generatable for i128 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::generate(rng) as i128
+    }
+}
+
+impl Generatable for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty => $wide:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                let draw = <$wide as SampleBelow>::sample_below(rng, span);
+                (self.start as $wide).wrapping_add(draw) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                // span == 0 means the range covers the whole type.
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                let draw = <$wide as SampleBelow>::sample_below(rng, span);
+                (lo as $wide).wrapping_add(draw) as $ty
+            }
+        }
+    )*};
+}
+
+/// Unbiased draw from `[0, span)` by rejection sampling — a plain `% span`
+/// would overrepresent small residues, which matters because the BFV
+/// backend samples key material through `gen_range`. `span == 0` denotes
+/// the full type range.
+trait SampleBelow: Generatable {
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: Self) -> Self;
+}
+
+macro_rules! impl_sample_below {
+    ($($wide:ty),*) => {$(
+        impl SampleBelow for $wide {
+            fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: $wide) -> $wide {
+                if span == 0 {
+                    return <$wide>::generate(rng);
+                }
+                // Largest multiple of span: draws at or above it would wrap
+                // unevenly, so redraw (at most span-1 of 2^N values reject).
+                let zone = (<$wide>::MAX / span) * span;
+                loop {
+                    let draw = <$wide>::generate(rng);
+                    if draw < zone {
+                        return draw % span;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_below!(u64, u128);
+
+impl_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64, u128 => u128,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64, i128 => u128
+);
+
+/// User-facing extension trait, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen<T: Generatable>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for rand's `StdRng`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(0..17);
+            assert!(v < 17);
+            let s: i64 = rng.gen_range(-1..=1);
+            assert!((-1..=1).contains(&s));
+            let w: u128 = rng.gen_range(1..=u128::MAX);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v: i64 = rng.gen_range(-1..=1);
+            seen[(v + 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn works_through_dyn_style_generics() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample(&mut rng) < 100);
+    }
+}
