@@ -3,21 +3,21 @@
 //! unrestricted set (any amount in `1..n`).
 //!
 //! ```text
-//! cargo run -p porcupine-bench --release --bin ablation_rotations [timeout_secs]
+//! cargo run -p porcupine-bench --release --bin ablation_rotations [timeout_secs] [--jobs N]
 //! ```
 
 use porcupine::cegis::{synthesize, SynthesisOptions};
 use porcupine::sketch::{RotationSet, Sketch};
+use porcupine_bench::parse_jobs;
 use porcupine_kernels::{reduction, stencil};
 use std::time::Duration;
 
 fn main() {
-    let timeout = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120u64);
+    let (jobs, args) = parse_jobs(std::env::args().collect());
+    let timeout = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120u64);
     let options = SynthesisOptions {
         timeout: Duration::from_secs(timeout),
+        parallelism: jobs,
         ..SynthesisOptions::default()
     };
     println!("# §6.1 ablation: restricted vs unrestricted rotation sets (timeout {timeout}s)");

@@ -9,11 +9,12 @@
 //! smaller absolute times.
 //!
 //! ```text
-//! cargo run -p porcupine-bench --release --bin ablation_sketch [timeout_secs]
+//! cargo run -p porcupine-bench --release --bin ablation_sketch [timeout_secs] [--jobs N]
 //! ```
 
 use porcupine::cegis::{synthesize, SynthesisOptions};
 use porcupine::sketch::Sketch;
+use porcupine_bench::parse_jobs;
 use porcupine_kernels::{stencil, PaperKernel};
 use std::time::Duration;
 
@@ -32,12 +33,11 @@ fn run(name: &str, kernel: &PaperKernel, sketch: &Sketch, options: &SynthesisOpt
 }
 
 fn main() {
-    let timeout = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120u64);
+    let (jobs, args) = parse_jobs(std::env::args().collect());
+    let timeout = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120u64);
     let options = SynthesisOptions {
         timeout: Duration::from_secs(timeout),
+        parallelism: jobs,
         ..SynthesisOptions::default()
     };
     println!("# §7.4 ablation: local-rotate vs explicit-rotation sketches (timeout {timeout}s)");

@@ -4,16 +4,21 @@
 //! as addition), plus the emitted SEAL-style C++ (Figure 3f).
 //!
 //! ```text
-//! cargo run -p porcupine-bench --release --bin case_studies
+//! cargo run -p porcupine-bench --release --bin case_studies [--jobs N]
 //! ```
 
 use porcupine::cegis::{synthesize, SynthesisOptions};
 use porcupine::codegen::emit_seal_cpp;
+use porcupine_bench::parse_jobs;
 use porcupine_kernels::stencil;
 use quill::cost::{cost, LatencyModel};
 
 fn main() {
-    let options = SynthesisOptions::default();
+    let (jobs, _args) = parse_jobs(std::env::args().collect());
+    let options = SynthesisOptions {
+        parallelism: jobs,
+        ..SynthesisOptions::default()
+    };
     let model = LatencyModel::profiled_default();
     let img = stencil::default_image();
 

@@ -5,7 +5,7 @@
 //! being timed.
 //!
 //! ```text
-//! cargo run -p porcupine-bench --release --bin fig4_speedup [runs] [synth_timeout_s] [--secure]
+//! cargo run -p porcupine-bench --release --bin fig4_speedup [runs] [synth_timeout_s] [--secure] [--jobs N]
 //! ```
 //!
 //! Defaults: 10 timed runs per version over the `fast_4096` parameter set;
@@ -37,7 +37,7 @@ fn median(mut v: Vec<f64>) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (jobs, args) = porcupine_bench::parse_jobs(std::env::args().collect());
     let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let synth_timeout: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120);
     let secure = args.iter().any(|a| a == "--secure");
@@ -54,6 +54,7 @@ fn main() {
     let ctx = BfvContext::new(params).expect("valid parameters");
     let options = SynthesisOptions {
         timeout: Duration::from_secs(synth_timeout),
+        parallelism: jobs,
         ..SynthesisOptions::default()
     };
 

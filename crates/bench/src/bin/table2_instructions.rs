@@ -3,10 +3,11 @@
 //! tracks).
 //!
 //! ```text
-//! cargo run -p porcupine-bench --release --bin table2_instructions [timeout_secs]
+//! cargo run -p porcupine-bench --release --bin table2_instructions [timeout_secs] [--jobs N]
 //! ```
 
 use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine_bench::parse_jobs;
 use porcupine_kernels::{all_direct, composite, stencil};
 use quill::program::Program;
 use std::time::Duration;
@@ -25,12 +26,11 @@ fn row(name: &str, baseline: &Program, synthesized: &Program) {
 }
 
 fn main() {
-    let timeout = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120u64);
+    let (jobs, args) = parse_jobs(std::env::args().collect());
+    let timeout = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120u64);
     let options = SynthesisOptions {
         timeout: Duration::from_secs(timeout),
+        parallelism: jobs,
         ..SynthesisOptions::default()
     };
 

@@ -1,9 +1,19 @@
 //! Regenerates **Table 3**: synthesis time, example count, and
-//! initial/final cost for each kernel.
+//! initial/final cost for each kernel — and measures the parallel-search
+//! speedup by synthesizing every kernel twice, at jobs = 1 and jobs = N.
 //!
 //! ```text
-//! cargo run -p porcupine-bench --release --bin table3_synthesis [timeout_secs] [kernel-name]
+//! cargo run -p porcupine-bench --release --bin table3_synthesis [timeout_secs] [kernel-name] [--jobs N]
 //! ```
+//!
+//! `--jobs` defaults to `PORCUPINE_JOBS` or the machine's available
+//! parallelism. A `BENCH_synthesis.json` summary (per-kernel wall-clock at
+//! both thread counts plus the speedup) is written to the current
+//! directory — run from the repo root to land it there. For every kernel
+//! whose optimization completes at both thread counts, the binary asserts
+//! the two runs returned bit-identical programs (the determinism
+//! contract); kernels that hit the per-kernel timeout carry best-so-far
+//! programs, which are legitimately timing-dependent and are not compared.
 //!
 //! Paper columns for reference (median of 3 runs on their machine, with
 //! Rosette/Boolector): the absolute times differ from ours by construction —
@@ -12,12 +22,21 @@
 //! should reproduce.
 
 use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine_bench::parse_jobs;
 use porcupine_kernels::{all_direct, composite, stencil, PaperKernel};
 use quill::cost::LatencyModel;
-use std::time::Duration;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+struct Row {
+    name: String,
+    secs_seq: f64,
+    secs_par: f64,
+    speedup: f64,
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (jobs, args) = parse_jobs(std::env::args().collect());
     let timeout = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600u64);
     let filter = args.get(2).cloned();
 
@@ -27,47 +46,123 @@ fn main() {
     kernels.push(composite::harris_det(n));
     kernels.push(composite::harris_trace(n));
 
-    println!("# Table 3: synthesis time and examples (timeout {timeout}s per kernel)");
     println!(
-        "{:<24} {:>4} {:>9} {:>12} {:>12} {:>13} {:>12} {:>8} {:>7}",
+        "# Table 3: synthesis time and examples (timeout {timeout}s per kernel, jobs 1 vs {jobs})"
+    );
+    println!(
+        "{:<24} {:>4} {:>9} {:>12} {:>12} {:>12} {:>8} {:>13} {:>12} {:>8} {:>7}",
         "kernel",
         "L",
         "examples",
         "initial(s)",
-        "total(s)",
+        "seq(s)",
+        "par(s)",
+        "speedup",
         "initial-cost",
         "final-cost",
         "optimal",
         "instrs"
     );
+    let mut rows: Vec<Row> = Vec::new();
     for k in kernels {
         if let Some(f) = &filter {
             if k.name != f {
                 continue;
             }
         }
-        let options = SynthesisOptions {
+        let options = |parallelism: NonZeroUsize| SynthesisOptions {
             timeout: Duration::from_secs(timeout),
             optimize: true,
             latency: LatencyModel::profiled_default(),
             seed: 42,
+            parallelism,
         };
-        match synthesize(&k.spec, &k.sketch, &options) {
-            Ok(r) => {
+        let t0 = Instant::now();
+        let seq = synthesize(&k.spec, &k.sketch, &options(NonZeroUsize::MIN));
+        let secs_seq = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let par = synthesize(&k.spec, &k.sketch, &options(jobs));
+        let secs_par = t1.elapsed().as_secs_f64();
+        match (seq, par) {
+            (Ok(seq), Ok(par)) => {
+                // The determinism contract holds for completed searches; a
+                // run that hit the deadline mid-optimization keeps its best
+                // program so far, which is legitimately timing-dependent.
+                if seq.proved_optimal && par.proved_optimal {
+                    assert_eq!(
+                        seq.program, par.program,
+                        "{}: determinism contract violated (jobs 1 vs {jobs})",
+                        k.name
+                    );
+                    assert_eq!(
+                        seq.final_cost.to_bits(),
+                        par.final_cost.to_bits(),
+                        "{}",
+                        k.name
+                    );
+                }
+                let speedup = secs_seq / secs_par.max(1e-9);
                 println!(
-                    "{:<24} {:>4} {:>9} {:>12.2} {:>12.2} {:>13.0} {:>12.0} {:>8} {:>7}",
+                    "{:<24} {:>4} {:>9} {:>12.2} {:>12.2} {:>12.2} {:>7.2}x {:>13.0} {:>12.0} {:>8} {:>7}",
                     k.name,
-                    r.components,
-                    r.examples_used,
-                    r.time_to_initial.as_secs_f64(),
-                    r.time_total.as_secs_f64(),
-                    r.initial_cost,
-                    r.final_cost,
-                    r.proved_optimal,
-                    r.program.len(),
+                    seq.components,
+                    seq.examples_used,
+                    seq.time_to_initial.as_secs_f64(),
+                    secs_seq,
+                    secs_par,
+                    speedup,
+                    seq.initial_cost,
+                    seq.final_cost,
+                    seq.proved_optimal,
+                    seq.program.len(),
                 );
+                rows.push(Row {
+                    name: k.name.to_string(),
+                    secs_seq,
+                    secs_par,
+                    speedup,
+                });
             }
-            Err(e) => println!("{:<24} failed: {e}", k.name),
+            (Err(e), _) | (_, Err(e)) => println!("{:<24} failed: {e}", k.name),
         }
     }
+
+    if !rows.is_empty() {
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+            .unwrap();
+        let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+        let path = "BENCH_synthesis.json";
+        std::fs::write(path, summary_json(jobs.get(), &rows, best, geomean))
+            .expect("write BENCH_synthesis.json");
+        println!(
+            "\nwrote {path}: best speedup {:.2}x ({}) at {jobs} jobs, geomean {:.2}x",
+            best.speedup, best.name, geomean,
+        );
+    }
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde). Kernel names are
+/// ASCII identifiers, so no string escaping is needed.
+fn summary_json(jobs: usize, rows: &[Row], best: &Row, geomean: f64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seq_secs\": {:.4}, \"par_secs\": {:.4}, \"speedup\": {:.4}}}{}\n",
+            r.name,
+            r.secs_seq,
+            r.secs_par,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"max_speedup\": {:.4},\n  \"max_speedup_kernel\": \"{}\",\n  \"geomean_speedup\": {:.4}\n}}\n",
+        best.speedup, best.name, geomean
+    ));
+    s
 }

@@ -15,6 +15,31 @@
 //!
 //! Results are recorded in the repository's `EXPERIMENTS.md`.
 
+/// Extracts a `--jobs N` flag from a binary's argument list, falling back
+/// to `PORCUPINE_JOBS` / the machine's available parallelism, and returns
+/// the remaining arguments with the flag and its value removed — so
+/// positional arguments keep their indices wherever the flag appears.
+/// Every synthesis binary accepts this flag; results are identical at any
+/// value (the search's determinism contract) — only wall-clock changes.
+///
+/// A `--jobs` without a positive-integer value terminates the process with
+/// an error: a benchmark silently falling back to a different thread count
+/// would corrupt the very measurement it was asked to make.
+pub fn parse_jobs(mut args: Vec<String>) -> (std::num::NonZeroUsize, Vec<String>) {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return (porcupine::cegis::default_parallelism(), args);
+    };
+    let Some(jobs) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+        eprintln!(
+            "--jobs requires a positive integer, got {:?}",
+            args.get(i + 1).map(String::as_str).unwrap_or("nothing")
+        );
+        std::process::exit(2);
+    };
+    args.drain(i..i + 2);
+    (jobs, args)
+}
+
 /// Formats a microsecond latency with a stable width for table output.
 pub fn fmt_us(us: f64) -> String {
     if us >= 1_000_000.0 {
@@ -29,6 +54,27 @@ pub fn fmt_us(us: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_jobs_strips_the_flag_wherever_it_appears() {
+        let (jobs, rest) = parse_jobs(strings(&["bin", "--jobs", "4", "60", "gx"]));
+        assert_eq!(jobs.get(), 4);
+        assert_eq!(rest, strings(&["bin", "60", "gx"]));
+
+        let (jobs, rest) = parse_jobs(strings(&["bin", "60", "--jobs", "2"]));
+        assert_eq!(jobs.get(), 2);
+        assert_eq!(rest, strings(&["bin", "60"]));
+
+        // No flag: positionals pass through untouched.
+        let (_, rest) = parse_jobs(strings(&["bin", "60"]));
+        assert_eq!(rest, strings(&["bin", "60"]));
+        // (A dangling or non-numeric `--jobs` exits the process with an
+        // error rather than silently changing the thread count.)
+    }
 
     #[test]
     fn formats_latencies() {

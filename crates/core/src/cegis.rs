@@ -9,7 +9,7 @@
 //!    `cost < cost(best)` until the search proves no cheaper program exists
 //!    (yielding the optimum within the sketch) or the timeout fires.
 
-use crate::search::{SearchOutcome, Searcher};
+use crate::search::{SearchContext, SearchOutcome};
 use crate::sketch::Sketch;
 use crate::spec::{Example, KernelSpec};
 use crate::verify::verify;
@@ -19,7 +19,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
+
+/// The default worker-thread count for the enumerative search: the
+/// `PORCUPINE_JOBS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`], otherwise 1.
+pub fn default_parallelism() -> NonZeroUsize {
+    std::env::var("PORCUPINE_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<NonZeroUsize>().ok())
+        .or_else(|| std::thread::available_parallelism().ok())
+        .unwrap_or(NonZeroUsize::MIN)
+}
 
 /// Knobs for one synthesis run.
 #[derive(Debug, Clone)]
@@ -34,6 +46,10 @@ pub struct SynthesisOptions {
     /// RNG seed (examples and counter-example sampling are deterministic
     /// given the seed).
     pub seed: u64,
+    /// Worker threads for the search. The synthesized program and its cost
+    /// are identical at every value (the determinism contract of
+    /// [`crate::search`]); parallelism only changes wall-clock time.
+    pub parallelism: NonZeroUsize,
 }
 
 impl Default for SynthesisOptions {
@@ -43,6 +59,7 @@ impl Default for SynthesisOptions {
             optimize: true,
             latency: LatencyModel::profiled_default(),
             seed: 0x9E3779B9,
+            parallelism: default_parallelism(),
         }
     }
 }
@@ -157,7 +174,7 @@ pub fn synthesize(
             if Instant::now() >= deadline {
                 return Err(SynthesisError::Timeout);
             }
-            let mut searcher = Searcher::new(
+            let searcher = SearchContext::new(
                 spec,
                 sketch,
                 &examples,
@@ -165,9 +182,19 @@ pub fn synthesize(
                 Some(deadline),
                 None,
             );
-            match searcher.run(num_components) {
+            match searcher.run(num_components, options.parallelism) {
                 SearchOutcome::Unsat => break, // try a larger sketch
-                SearchOutcome::Timeout => return Err(SynthesisError::Timeout),
+                SearchOutcome::Timeout { best } => {
+                    // Salvage partial progress: a program found just before
+                    // the deadline still counts if it verifies.
+                    if let Some(program) = best {
+                        if verify(&program, spec, &mut rng).is_ok() {
+                            initial = Some((program, num_components));
+                            break 'deepening;
+                        }
+                    }
+                    return Err(SynthesisError::Timeout);
+                }
                 SearchOutcome::Found(program) => match verify(&program, spec, &mut rng) {
                     Ok(()) => {
                         initial = Some((program, num_components));
@@ -198,7 +225,7 @@ pub fn synthesize(
             if Instant::now() >= deadline {
                 break;
             }
-            let mut searcher = Searcher::new(
+            let searcher = SearchContext::new(
                 spec,
                 sketch,
                 &examples,
@@ -206,16 +233,35 @@ pub fn synthesize(
                 Some(deadline),
                 Some(best_cost),
             );
-            match searcher.run(components) {
+            match searcher.run(components, options.parallelism) {
                 SearchOutcome::Unsat => {
                     proved_optimal = true;
                     break;
                 }
-                SearchOutcome::Timeout => break,
+                SearchOutcome::Timeout { best: partial } => {
+                    // Keep the best program the interrupted search saw
+                    // instead of discarding the optimization progress.
+                    if let Some(program) = partial {
+                        if verify(&program, spec, &mut rng).is_ok() {
+                            let c = cost(&program, &options.latency);
+                            if c < best_cost {
+                                best_cost = c;
+                                best = program;
+                            }
+                        }
+                    }
+                    break;
+                }
+                // With a cost bound the search is exhaustive: `Found` is the
+                // cheapest example-satisfying program under the bound, so a
+                // verified result is optimal within the sketch (every
+                // spec-correct program also satisfies the examples).
                 SearchOutcome::Found(program) => match verify(&program, spec, &mut rng) {
                     Ok(()) => {
                         best_cost = cost(&program, &options.latency);
                         best = program;
+                        proved_optimal = true;
+                        break;
                     }
                     Err(failure) => {
                         let cex = failure
@@ -274,6 +320,7 @@ mod tests {
             optimize: true,
             latency: LatencyModel::uniform(),
             seed: 17,
+            parallelism: default_parallelism(),
         }
     }
 

@@ -65,7 +65,9 @@ pub mod sketch;
 pub mod spec;
 pub mod verify;
 
-pub use autosketch::auto_sketch;
-pub use cegis::{synthesize, SynthesisError, SynthesisOptions, SynthesisResult};
+pub use autosketch::{auto_sketch, auto_synthesize};
+pub use cegis::{
+    default_parallelism, synthesize, SynthesisError, SynthesisOptions, SynthesisResult,
+};
 pub use sketch::{ArithOp, RotationSet, Sketch, SketchMode, SketchOp};
 pub use spec::{Example, GenericReference, KernelSpec, Reference};

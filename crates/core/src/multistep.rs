@@ -7,6 +7,9 @@
 //! each stage, and stitches the programs back together here — sharing
 //! rotations across stages via CSE.
 
+use crate::cegis::{synthesize, SynthesisError, SynthesisOptions};
+use crate::sketch::Sketch;
+use crate::spec::KernelSpec;
 use quill::program::{Program, ValRef};
 
 /// Builds a pipeline program by appending synthesized stages.
@@ -73,6 +76,26 @@ impl PipelineBuilder {
         self.prog.append(stage, ct_binding, pt_binding)
     }
 
+    /// Synthesizes a stage from its spec and sketch, then appends it — one
+    /// `SynthesisOptions` (timeout, seed, and crucially `parallelism`)
+    /// governs every stage of the pipeline, so a multi-step build inherits
+    /// the same determinism contract as a single kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stage's [`SynthesisError`] unchanged.
+    pub fn synthesize_stage(
+        &mut self,
+        spec: &KernelSpec,
+        sketch: &Sketch,
+        options: &SynthesisOptions,
+        ct_binding: &[ValRef],
+        pt_binding: &[usize],
+    ) -> Result<ValRef, SynthesisError> {
+        let result = synthesize(spec, sketch, options)?;
+        Ok(self.add_stage(&result.program, ct_binding, pt_binding))
+    }
+
     /// Finishes the pipeline with the given output, then runs CSE and dead
     /// code elimination so stages share identical rotations.
     pub fn finish(mut self, output: ValRef) -> Program {
@@ -86,8 +109,11 @@ impl PipelineBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sketch::{ArithOp, RotationSet, SketchOp};
+    use crate::spec::GenericReference;
     use quill::interp;
     use quill::program::Instr;
+    use std::num::NonZeroUsize;
 
     fn shift_sum() -> Program {
         Program::new(
@@ -135,6 +161,47 @@ mod tests {
         assert_eq!(p.len(), 3);
         let out = interp::eval_concrete(&p, &[vec![1, 2, 3, 4]], &[], 65537);
         assert_eq!(out[0], 2 * (1 + 2));
+    }
+
+    /// `synthesize_stage` wires the synthesizer into the builder, and the
+    /// stage result is independent of the `parallelism` knob.
+    #[test]
+    fn synthesized_stages_compose_and_ignore_thread_count() {
+        struct PairSum;
+        impl GenericReference for PairSum {
+            fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+                let x = &ct[0];
+                let n = x.len();
+                (0..n).map(|i| x[i].add(&x[(i + 1) % n])).collect()
+            }
+        }
+        use quill::ring::Ring;
+        let mut mask = vec![true; 4];
+        mask[3] = false;
+        let spec = KernelSpec::new("pairsum", 4, 1, 0, mask, 65537, Box::new(PairSum));
+        let sketch = Sketch::new(
+            vec![SketchOp::rotated(ArithOp::AddCtCt)],
+            RotationSet::Explicit(vec![1]),
+            2,
+        );
+        let build = |jobs: usize| {
+            let options = SynthesisOptions {
+                parallelism: NonZeroUsize::new(jobs).unwrap(),
+                ..SynthesisOptions::default()
+            };
+            let mut b = PipelineBuilder::new("pairsum-twice", 1, 0);
+            let s1 = b
+                .synthesize_stage(&spec, &sketch, &options, &[ValRef::Input(0)], &[])
+                .expect("stage 1 synthesizes");
+            let s2 = b
+                .synthesize_stage(&spec, &sketch, &options, &[s1], &[])
+                .expect("stage 2 synthesizes");
+            b.finish(s2)
+        };
+        let sequential = build(1);
+        assert_eq!(sequential, build(3));
+        let out = interp::eval_concrete(&sequential, &[vec![1, 2, 3, 4]], &[], 65537);
+        assert_eq!(out[0], 1 + 2 + 2 + 3);
     }
 
     #[test]

@@ -23,12 +23,58 @@
 //! Like the SMT query, an exhausted search is a *proof* that no program (of
 //! the given component count, satisfying the examples, under the cost
 //! bound) exists in the sketch.
+//!
+//! # Architecture: `SearchContext` + per-worker state
+//!
+//! The search is split into two layers:
+//!
+//! * [`SearchContext`] — everything immutable for the duration of one
+//!   query: the sketch, the concatenated example values, the masked target,
+//!   plaintext operand values, and the latency table. It is `Sync` and
+//!   shared by reference across worker threads.
+//! * `WorkerState` — the mutable DFS state (placed components, the
+//!   available-value arena, the observational-equivalence map, the running
+//!   cost). Each worker owns one and restores it with snapshots on
+//!   backtrack, exactly as the sequential search always did.
+//!
+//! # Subtree partitioning and the determinism contract
+//!
+//! [`SearchContext::run`] enumerates the candidates for the *first*
+//! component slot once; each candidate roots a disjoint subtree of the
+//! program space. Workers claim subtrees from a shared atomic counter (a
+//! single-queue form of work stealing: an idle worker always takes the next
+//! unexplored subtree) and search them with the ordinary sequential DFS.
+//! Two pieces of shared state let workers prune each other:
+//!
+//! * a shared `AtomicU64` cost bound (bits of the cheapest complete program
+//!   found so far) — prefixes whose lower bound *strictly exceeds* it are
+//!   cut, which can never cut a program tied with the eventual optimum;
+//! * a cancellation word — in first-solution mode, the lowest subtree index
+//!   that found a program; workers on higher-indexed subtrees stop early
+//!   because their result cannot win.
+//!
+//! Results merge with a canonical tie-break — cost first, then the
+//! program's s-expression serialization — so the same query returns the
+//! *identical* program at any thread count:
+//!
+//! * **first-solution mode** (no cost bound): the winner is the first
+//!   program, in DFS order, of the lowest-indexed subtree containing one —
+//!   precisely what the single-threaded DFS returns.
+//! * **cheapest mode** (cost bound set): every subtree is exhausted under
+//!   branch-and-bound and the canonical minimum is returned, a
+//!   partition-independent value.
+//!
+//! Only a deadline expiry ([`SearchOutcome::Timeout`]) may yield a
+//! thread-count-dependent result; it still carries the best program found
+//! so far rather than discarding the partial progress.
 
 use crate::sketch::{ArithOp, Sketch, SketchMode};
 use crate::spec::{Example, KernelSpec};
 use quill::cost::LatencyModel;
 use quill::program::{Instr, Program, PtOperand, ValRef};
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::time::Instant;
 
 /// One placed component.
@@ -48,14 +94,22 @@ pub(crate) enum Comp {
 /// Why the search stopped.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SearchOutcome {
-    /// A satisfying program (cheapest-first is *not* guaranteed; CEGIS
-    /// re-queries with a tightened bound).
+    /// A satisfying program. Without a cost bound this is the first program
+    /// in canonical DFS order; with one, the search space was exhausted and
+    /// this is the cheapest program under the bound (ties broken by
+    /// serialization), so a verified `Found` is optimal within the sketch.
     Found(Program),
     /// The space at this component count is exhausted — a completeness
     /// proof, like `unsat` from the SMT solver.
     Unsat,
-    /// The deadline expired mid-search.
-    Timeout,
+    /// The deadline expired mid-search. `best` carries the best program
+    /// found before the deadline (if any) so callers can salvage partial
+    /// progress; it satisfies the examples but is not an optimality proof,
+    /// and under parallelism it may depend on worker timing.
+    Timeout {
+        /// Best program found before the deadline, if any.
+        best: Option<Program>,
+    },
 }
 
 struct AvailEntry {
@@ -66,7 +120,20 @@ struct AvailEntry {
     is_rot_result: bool,
 }
 
-pub(crate) struct Searcher<'a> {
+/// What the search is asked to produce (derived from the cost bound).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Goal {
+    /// Return the first satisfying program in DFS order (CEGIS phase 1).
+    First,
+    /// Exhaust the space and return the canonical cheapest program under
+    /// the bound (CEGIS optimization phase).
+    Cheapest,
+}
+
+/// The immutable, `Sync` half of the search: everything a worker needs to
+/// read but never writes. Shared by reference across the `thread::scope`
+/// workers of [`SearchContext::run`].
+pub(crate) struct SearchContext<'a> {
     sketch: &'a Sketch,
     examples: &'a [Example],
     n: usize,
@@ -82,15 +149,77 @@ pub(crate) struct Searcher<'a> {
     rot_latency: f64,
     deadline: Option<Instant>,
     cost_bound: Option<f64>,
-    nodes: u64,
-    timed_out: bool,
     name: String,
 }
 
-/// Fixed-size check interval for the deadline.
+/// Deadline/cancellation checks happen every `TIMEOUT_CHECK_MASK + 1`
+/// node expansions (a per-worker counter), not on every node: the DFS hot
+/// loop never calls `Instant::now()` or touches cross-worker cache lines
+/// more than once per ~4096 expansions.
 const TIMEOUT_CHECK_MASK: u64 = 0xFFF;
 
-impl<'a> Searcher<'a> {
+/// Cross-worker state for one parallel query.
+struct SharedSearch {
+    /// Next unclaimed subtree index (the work queue).
+    next: AtomicUsize,
+    /// Lowest subtree index that found a program (first-solution mode);
+    /// doubles as the cancellation flag for higher-indexed subtrees.
+    found_idx: AtomicUsize,
+    /// Bits of the cheapest complete-program cost found so far (cheapest
+    /// mode). Monotonically non-increasing; `f64::to_bits` preserves order
+    /// for the positive finite costs the latency model produces.
+    best_bound: AtomicU64,
+    /// Set once the deadline fires anywhere; every worker stops.
+    timed_out: AtomicBool,
+}
+
+impl SharedSearch {
+    fn new() -> Self {
+        SharedSearch {
+            next: AtomicUsize::new(0),
+            found_idx: AtomicUsize::new(usize::MAX),
+            best_bound: AtomicU64::new(f64::INFINITY.to_bits()),
+            timed_out: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Why a worker abandoned its current subtree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Abort {
+    No,
+    /// A lower-indexed subtree already found a program; this subtree's
+    /// result cannot win the merge, so the work is discarded safely.
+    Superseded,
+    /// The deadline fired.
+    TimedOut,
+}
+
+/// The best complete program a worker has seen, under the canonical
+/// `(cost bits, serialization)` order that makes the merge deterministic.
+struct Best {
+    cost_bits: u64,
+    ser: String,
+    prog: Program,
+}
+
+impl Best {
+    fn beats(&self, cost_bits: u64, ser: &str) -> bool {
+        (self.cost_bits, self.ser.as_str()) <= (cost_bits, ser)
+    }
+}
+
+/// Everything one worker brings back from the subtrees it claimed.
+#[derive(Default)]
+struct WorkerYield {
+    /// First-solution mode: `(subtree index, program)` per subtree that
+    /// found one. The merge keeps the lowest index.
+    firsts: Vec<(usize, Program)>,
+    /// Cheapest mode: the canonical best across this worker's subtrees.
+    best: Option<Best>,
+}
+
+impl<'a> SearchContext<'a> {
     pub(crate) fn new(
         spec: &'a KernelSpec,
         sketch: &'a Sketch,
@@ -134,7 +263,7 @@ impl<'a> Searcher<'a> {
             })
             .collect();
         let min_op_latency = op_latencies.iter().copied().fold(f64::INFINITY, f64::min);
-        Searcher {
+        SearchContext {
             sketch,
             examples,
             n,
@@ -148,10 +277,254 @@ impl<'a> Searcher<'a> {
             rot_latency: latency.rot_ct,
             deadline,
             cost_bound,
-            nodes: 0,
-            timed_out: false,
             name: spec.name.clone(),
         }
+    }
+
+    /// Searches for a program with exactly `num_components` components,
+    /// using up to `jobs` worker threads (capped at the subtree count; one
+    /// worker runs inline without spawning).
+    pub(crate) fn run(&self, num_components: usize, jobs: NonZeroUsize) -> SearchOutcome {
+        assert!(
+            num_components >= 1,
+            "a program needs at least one component"
+        );
+        let goal = if self.cost_bound.is_some() {
+            Goal::Cheapest
+        } else {
+            Goal::First
+        };
+        let mut root = WorkerState::root(self);
+        let subtrees = self.candidates(&root, None, num_components == 1);
+        let shared = SharedSearch::new();
+        let workers = jobs.get().min(subtrees.len()).max(1);
+        let yields: Vec<WorkerYield> = if workers == 1 {
+            vec![self.worker(&shared, &subtrees, num_components, goal, &mut root)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let shared = &shared;
+                        let subtrees = &subtrees;
+                        s.spawn(move || {
+                            let mut state = WorkerState::root(self);
+                            self.worker(shared, subtrees, num_components, goal, &mut state)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+        };
+
+        let timed_out = shared.timed_out.load(Relaxed);
+        let best = match goal {
+            Goal::First => yields
+                .into_iter()
+                .flat_map(|y| y.firsts)
+                .min_by_key(|(i, _)| *i)
+                .map(|(_, p)| p),
+            Goal::Cheapest => yields
+                .into_iter()
+                .filter_map(|y| y.best)
+                .min_by(|a, b| (a.cost_bits, &a.ser).cmp(&(b.cost_bits, &b.ser)))
+                .map(|b| b.prog),
+        };
+        match (timed_out, best) {
+            (true, best) => SearchOutcome::Timeout { best },
+            (false, Some(p)) => SearchOutcome::Found(p),
+            (false, None) => SearchOutcome::Unsat,
+        }
+    }
+
+    /// One worker: claim subtrees off the shared queue until it drains (or
+    /// the deadline fires) and search each with the sequential DFS.
+    fn worker(
+        &self,
+        sh: &SharedSearch,
+        subtrees: &[Candidate],
+        num_components: usize,
+        goal: Goal,
+        state: &mut WorkerState,
+    ) -> WorkerYield {
+        let mut y = WorkerYield::default();
+        let mut comps: Vec<Comp> = Vec::with_capacity(num_components);
+        loop {
+            let i = sh.next.fetch_add(1, Relaxed);
+            if i >= subtrees.len() || sh.timed_out.load(Relaxed) {
+                break;
+            }
+            // A lower-indexed subtree already has a program: ours cannot win.
+            if goal == Goal::First && sh.found_idx.load(Relaxed) < i {
+                continue;
+            }
+            state.abort = Abort::No;
+            let cand = &subtrees[i];
+            let snap = state.push(self, cand);
+            comps.push(cand.comp.clone());
+            let found = if num_components == 1 {
+                self.try_complete(sh, state, &comps, goal, &mut y.best)
+            } else {
+                self.dfs(
+                    sh,
+                    state,
+                    &mut comps,
+                    num_components - 1,
+                    goal,
+                    &mut y.best,
+                    i,
+                )
+            };
+            comps.pop();
+            state.pop(snap);
+            if let Some(p) = found {
+                y.firsts.push((i, p));
+                sh.found_idx.fetch_min(i, Relaxed);
+            }
+            if state.abort == Abort::TimedOut {
+                break;
+            }
+        }
+        y
+    }
+
+    /// Per-node bookkeeping: counts the expansion and, every ~4096 nodes,
+    /// checks the wall clock and the cross-worker cancellation state.
+    /// Returns `true` when the current subtree must be abandoned.
+    fn tick(&self, sh: &SharedSearch, state: &mut WorkerState, goal: Goal, my_idx: usize) -> bool {
+        if state.abort != Abort::No {
+            return true;
+        }
+        state.nodes += 1;
+        if state.nodes & TIMEOUT_CHECK_MASK == 0 {
+            if sh.timed_out.load(Relaxed) {
+                state.abort = Abort::TimedOut;
+            } else if goal == Goal::First && sh.found_idx.load(Relaxed) < my_idx {
+                state.abort = Abort::Superseded;
+            } else if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    sh.timed_out.store(true, Relaxed);
+                    state.abort = Abort::TimedOut;
+                }
+            }
+        }
+        state.abort != Abort::No
+    }
+
+    /// Branch-and-bound (cheapest mode): cut a prefix whose cost lower
+    /// bound cannot beat the caller's bound, or *strictly* exceeds the best
+    /// cost found anywhere so far. The strict comparison keeps programs
+    /// tied with the global optimum alive in every subtree, which is what
+    /// makes the canonical merge partition-independent.
+    fn bnb_cut(&self, sh: &SharedSearch, state: &WorkerState, remaining: usize) -> bool {
+        let Some(bound) = self.cost_bound else {
+            return false;
+        };
+        let lb = (state.latency_sum + remaining as f64 * self.min_op_latency)
+            * (1.0 + state.max_mdepth as f64);
+        lb >= bound || lb > f64::from_bits(sh.best_bound.load(Relaxed))
+    }
+
+    /// Accepts or rejects a fully placed component list. In first-solution
+    /// mode a surviving program is returned to short-circuit the DFS; in
+    /// cheapest mode it is folded into the worker's canonical best and the
+    /// shared bound is tightened.
+    fn try_complete(
+        &self,
+        sh: &SharedSearch,
+        state: &WorkerState,
+        comps: &[Comp],
+        goal: Goal,
+        best: &mut Option<Best>,
+    ) -> Option<Program> {
+        // All components used check: every intermediate except the last
+        // must have a use.
+        let all_used = state
+            .avail
+            .iter()
+            .skip(self.num_inputs)
+            .take(comps.len() - 1)
+            .all(|a| a.uses > 0);
+        if !all_used {
+            return None;
+        }
+        let final_cost = state.latency_sum * (1.0 + state.max_mdepth as f64);
+        match goal {
+            Goal::First => Some(self.materialize(comps)),
+            Goal::Cheapest => {
+                if self.cost_bound.is_some_and(|b| final_cost >= b) {
+                    return None;
+                }
+                let cost_bits = final_cost.to_bits();
+                sh.best_bound.fetch_min(cost_bits, Relaxed);
+                if best.as_ref().is_some_and(|b| b.cost_bits < cost_bits) {
+                    return None; // cheaper program already in hand; skip the serialization
+                }
+                let prog = self.materialize(comps);
+                let ser = prog.to_string();
+                if !best.as_ref().is_some_and(|b| b.beats(cost_bits, &ser)) {
+                    *best = Some(Best {
+                        cost_bits,
+                        ser,
+                        prog,
+                    });
+                }
+                None
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        sh: &SharedSearch,
+        state: &mut WorkerState,
+        comps: &mut Vec<Comp>,
+        remaining: usize,
+        goal: Goal,
+        best: &mut Option<Best>,
+        my_idx: usize,
+    ) -> Option<Program> {
+        if self.tick(sh, state, goal, my_idx) {
+            return None;
+        }
+        // Dead-code bound: every unused intermediate must be consumable by
+        // the remaining components (two ct operands each).
+        let unused = state
+            .avail
+            .iter()
+            .skip(self.num_inputs)
+            .filter(|a| a.uses == 0)
+            .count();
+        if unused > 2 * remaining {
+            return None;
+        }
+        if self.bnb_cut(sh, state, remaining) {
+            return None;
+        }
+
+        let is_last = remaining == 1;
+        let candidates = self.candidates(state, comps.last(), is_last);
+        for cand in candidates {
+            if state.abort != Abort::No {
+                return None;
+            }
+            let snap = state.push(self, &cand);
+            comps.push(cand.comp.clone());
+            let found = if is_last {
+                self.try_complete(sh, state, comps, goal, best)
+            } else {
+                self.dfs(sh, state, comps, remaining - 1, goal, best, my_idx)
+            };
+            comps.pop();
+            state.pop(snap);
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
     }
 
     fn rotate_concat(&self, v: &[u64], r: i64) -> Vec<u64> {
@@ -202,99 +575,13 @@ impl<'a> Searcher<'a> {
         self.mask_idx.iter().all(|&i| v[i] == self.target[i])
     }
 
-    fn check_deadline(&mut self) -> bool {
-        self.nodes += 1;
-        if self.nodes & TIMEOUT_CHECK_MASK == 0 {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.timed_out = true;
-                }
-            }
-        }
-        self.timed_out
-    }
-
-    /// Searches for a program with exactly `num_components` components.
-    pub(crate) fn run(&mut self, num_components: usize) -> SearchOutcome {
-        let mut state = State::new(self);
-        let mut comps = Vec::with_capacity(num_components);
-        match self.dfs(num_components, &mut state, &mut comps) {
-            Some(prog) => SearchOutcome::Found(prog),
-            None if self.timed_out => SearchOutcome::Timeout,
-            None => SearchOutcome::Unsat,
-        }
-    }
-
-    fn dfs(
-        &mut self,
-        remaining: usize,
-        state: &mut State,
-        comps: &mut Vec<Comp>,
-    ) -> Option<Program> {
-        if self.check_deadline() {
-            return None;
-        }
-        // Dead-code bound: every unused intermediate must be consumable by
-        // the remaining components (two ct operands each).
-        let unused = state
-            .avail
-            .iter()
-            .skip(self.num_inputs)
-            .filter(|a| a.uses == 0)
-            .count();
-        if unused > 2 * remaining {
-            return None;
-        }
-        // Branch-and-bound on the cost lower bound.
-        if let Some(bound) = self.cost_bound {
-            let lb = (state.latency_sum + remaining as f64 * self.min_op_latency)
-                * (1.0 + state.max_mdepth as f64);
-            if lb >= bound {
-                return None;
-            }
-        }
-        if remaining == 0 {
-            unreachable!("dfs called with zero remaining components");
-        }
-
-        let is_last = remaining == 1;
-        let candidates = self.candidates(state, comps.last(), is_last);
-        for cand in candidates {
-            if self.timed_out {
-                return None;
-            }
-            let snapshot = state.push(self, &cand);
-            comps.push(cand.comp.clone());
-            if is_last {
-                // All components used check: every intermediate except the
-                // last must have a use.
-                let all_used = state
-                    .avail
-                    .iter()
-                    .skip(self.num_inputs)
-                    .take(comps.len() - 1)
-                    .all(|a| a.uses > 0);
-                if all_used {
-                    let final_cost = state.latency_sum * (1.0 + state.max_mdepth as f64);
-                    let within = self.cost_bound.is_none_or(|b| final_cost < b);
-                    if within {
-                        let prog = self.materialize(comps);
-                        comps.pop();
-                        state.pop(snapshot);
-                        return Some(prog);
-                    }
-                }
-            } else if let Some(p) = self.dfs(remaining - 1, state, comps) {
-                return Some(p);
-            }
-            comps.pop();
-            state.pop(snapshot);
-        }
-        None
-    }
-
     /// Enumerates the legal components for the next slot.
-    fn candidates(&mut self, state: &State, prev: Option<&Comp>, is_last: bool) -> Vec<Candidate> {
+    fn candidates(
+        &self,
+        state: &WorkerState,
+        prev: Option<&Comp>,
+        is_last: bool,
+    ) -> Vec<Candidate> {
         let rotated = self.rotated_variants(state);
         if is_last {
             self.candidates_last(state, prev, &rotated)
@@ -304,7 +591,7 @@ impl<'a> Searcher<'a> {
     }
 
     /// Pre-computes the rotated variants of every available value.
-    fn rotated_variants(&self, state: &State) -> Vec<Vec<(i64, Vec<u64>)>> {
+    fn rotated_variants(&self, state: &WorkerState) -> Vec<Vec<(i64, Vec<u64>)>> {
         let rot_choices: Vec<i64> = if self.sketch.mode == SketchMode::ExplicitRotate {
             vec![0]
         } else {
@@ -323,8 +610,8 @@ impl<'a> Searcher<'a> {
     }
 
     fn candidates_mid(
-        &mut self,
-        state: &State,
+        &self,
+        state: &WorkerState,
         prev: Option<&Comp>,
         rotated: &[Vec<(i64, Vec<u64>)>],
     ) -> Vec<Candidate> {
@@ -430,8 +717,8 @@ impl<'a> Searcher<'a> {
     /// most two) unused values and checked with an early-exit masked
     /// comparison before the full vector is materialized.
     fn candidates_last(
-        &mut self,
-        state: &State,
+        &self,
+        state: &WorkerState,
         prev: Option<&Comp>,
         rotated: &[Vec<(i64, Vec<u64>)>],
     ) -> Vec<Candidate> {
@@ -601,8 +888,8 @@ impl<'a> Searcher<'a> {
     }
 
     fn consider(
-        &mut self,
-        state: &State,
+        &self,
+        state: &WorkerState,
         prev: Option<&Comp>,
         is_last: bool,
         comp: Comp,
@@ -716,13 +1003,18 @@ fn comp_uses_last(c: &Comp, last_idx: usize) -> bool {
     }
 }
 
-struct State {
+/// The mutable half of the search: one per worker thread, restored with
+/// snapshots on backtrack.
+struct WorkerState {
     avail: Vec<AvailEntry>,
     value_set: HashMap<Vec<u64>, u32>,
     /// Distinct (value, rotation) pairs charged a rotation latency.
     rot_used: HashMap<(usize, i64), u32>,
     latency_sum: f64,
     max_mdepth: u32,
+    /// Expansions since the worker started (drives the deadline cadence).
+    nodes: u64,
+    abort: Abort,
 }
 
 struct Snapshot {
@@ -732,12 +1024,12 @@ struct Snapshot {
     used_vals: Vec<usize>,
 }
 
-impl State {
-    fn new(s: &Searcher<'_>) -> Self {
+impl WorkerState {
+    fn root(ctx: &SearchContext<'_>) -> Self {
         let mut avail = Vec::new();
         let mut value_set: HashMap<Vec<u64>, u32> = HashMap::new();
-        for j in 0..s.num_inputs {
-            let vec: Vec<u64> = s
+        for j in 0..ctx.num_inputs {
+            let vec: Vec<u64> = ctx
                 .examples
                 .iter()
                 .flat_map(|e| e.ct_inputs[j].iter().copied())
@@ -750,29 +1042,31 @@ impl State {
                 is_rot_result: false,
             });
         }
-        State {
+        WorkerState {
             avail,
             value_set,
             rot_used: HashMap::new(),
             latency_sum: 0.0,
             max_mdepth: 0,
+            nodes: 0,
+            abort: Abort::No,
         }
     }
 
-    fn push(&mut self, s: &Searcher<'_>, cand: &Candidate) -> Snapshot {
+    fn push(&mut self, ctx: &SearchContext<'_>, cand: &Candidate) -> Snapshot {
         let mut snap = Snapshot {
             latency_sum: self.latency_sum,
             max_mdepth: self.max_mdepth,
             touched_rots: Vec::new(),
             used_vals: Vec::new(),
         };
-        let charge_rot = |state: &mut State, val: usize, rot: i64, snap: &mut Snapshot| {
+        let charge_rot = |state: &mut WorkerState, val: usize, rot: i64, snap: &mut Snapshot| {
             if rot == 0 {
                 return;
             }
             let e = state.rot_used.entry((val, rot)).or_insert(0);
             if *e == 0 {
-                state.latency_sum += s.rot_latency;
+                state.latency_sum += ctx.rot_latency;
             }
             *e += 1;
             snap.touched_rots.push((val, rot));
@@ -789,8 +1083,8 @@ impl State {
                     charge_rot(self, rhs.0, rhs.1, &mut snap);
                     md = md.max(self.avail[rhs.0].mdepth);
                 }
-                self.latency_sum += s.op_latencies[*op_idx];
-                let md = match s.sketch.ops[*op_idx].op {
+                self.latency_sum += ctx.op_latencies[*op_idx];
+                let md = match ctx.sketch.ops[*op_idx].op {
                     ArithOp::MulCtCt | ArithOp::MulCtPt(_) => md + 1,
                     _ => md,
                 };
@@ -799,7 +1093,7 @@ impl State {
             Comp::Rot { val, amount: _ } => {
                 self.avail[*val].uses += 1;
                 snap.used_vals.push(*val);
-                self.latency_sum += s.rot_latency;
+                self.latency_sum += ctx.rot_latency;
                 (self.avail[*val].mdepth, true)
             }
         };
@@ -854,6 +1148,10 @@ mod tests {
     use quill::ring::Ring;
     use rand::SeedableRng;
 
+    fn jobs(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
     struct SumAll {
         n: usize,
     }
@@ -882,12 +1180,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let examples = vec![spec.sample_example(&mut rng)];
         let model = LatencyModel::uniform();
-        let mut searcher = Searcher::new(&spec, &sketch, &examples, &model, None, None);
+        let searcher = SearchContext::new(&spec, &sketch, &examples, &model, None, None);
         // L=1 impossible
-        assert_eq!(searcher.run(1), SearchOutcome::Unsat);
+        assert_eq!(searcher.run(1, jobs(1)), SearchOutcome::Unsat);
         // L=2: rotate-add tree
-        let mut searcher = Searcher::new(&spec, &sketch, &examples, &model, None, None);
-        match searcher.run(2) {
+        match searcher.run(2, jobs(1)) {
             SearchOutcome::Found(p) => {
                 assert!(p.validate().is_ok());
                 let out = interp::eval_concrete(&p, &examples[0].ct_inputs, &[], 65537);
@@ -911,8 +1208,9 @@ mod tests {
         let examples = vec![spec.sample_example(&mut rng)];
         let model = LatencyModel::uniform();
         // Any solution costs at least 4 (2 adds + 2 rots, uniform): bound 3 → unsat.
-        let mut searcher = Searcher::new(&spec, &sketch, &examples, &model, None, Some(3.0));
-        assert_eq!(searcher.run(2), SearchOutcome::Unsat);
+        let searcher = SearchContext::new(&spec, &sketch, &examples, &model, None, Some(3.0));
+        assert_eq!(searcher.run(2, jobs(1)), SearchOutcome::Unsat);
+        assert_eq!(searcher.run(2, jobs(4)), SearchOutcome::Unsat);
     }
 
     #[test]
@@ -927,16 +1225,55 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let examples = vec![spec.sample_example(&mut rng)];
         let model = LatencyModel::uniform();
-        let mut searcher = Searcher::new(&spec, &sketch, &examples, &model, None, None);
+        let searcher = SearchContext::new(&spec, &sketch, &examples, &model, None, None);
         // Needs 2 components now: rot + add.
-        assert_eq!(searcher.run(1), SearchOutcome::Unsat);
-        let mut searcher = Searcher::new(&spec, &sketch, &examples, &model, None, None);
-        match searcher.run(2) {
+        assert_eq!(searcher.run(1, jobs(1)), SearchOutcome::Unsat);
+        match searcher.run(2, jobs(1)) {
             SearchOutcome::Found(p) => {
                 let out = interp::eval_concrete(&p, &examples[0].ct_inputs, &[], 65537);
                 assert_eq!(out[0], examples[0].output[0]);
             }
             other => panic!("expected solution, got {other:?}"),
+        }
+    }
+
+    /// The determinism contract at the search layer: any thread count
+    /// returns the identical outcome, in both first-solution mode and
+    /// cheapest (branch-and-bound) mode.
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let spec = sum_spec(8);
+        let sketch = Sketch::new(
+            vec![
+                SketchOp::rotated(ArithOp::AddCtCt),
+                SketchOp::rotated(ArithOp::SubCtCt),
+            ],
+            RotationSet::PowersOfTwo { extent: 8 },
+            4,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let examples = vec![spec.sample_example(&mut rng), spec.sample_example(&mut rng)];
+        let model = LatencyModel::profiled_default();
+
+        // First-solution mode.
+        let first = SearchContext::new(&spec, &sketch, &examples, &model, None, None);
+        let sequential = first.run(3, jobs(1));
+        assert!(matches!(sequential, SearchOutcome::Found(_)));
+        for j in [2, 4, 7] {
+            assert_eq!(first.run(3, jobs(j)), sequential, "first mode, jobs={j}");
+        }
+
+        // Cheapest mode: exhaustive, canonical-minimum merge.
+        let bound = 1e12;
+        let cheapest = SearchContext::new(&spec, &sketch, &examples, &model, None, Some(bound));
+        let sequential = cheapest.run(3, jobs(1));
+        assert!(matches!(sequential, SearchOutcome::Found(_)));
+        for j in [2, 4, 7] {
+            assert_eq!(
+                cheapest.run(3, jobs(j)),
+                sequential,
+                "cheapest mode, jobs={j}"
+            );
         }
     }
 }

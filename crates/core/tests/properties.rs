@@ -10,7 +10,7 @@ use porcupine::verify::verify;
 use proptest::prelude::*;
 use quill::interp;
 use quill::ring::Ring;
-use test_support::{quick_synthesis_options, seeded_rng, T};
+use test_support::{quick_synthesis_options, seeded_rng, with_jobs, T};
 
 /// A weighted two-tap stencil `out[i] = w0·x[i] + w1·x[i+off]` — a family
 /// of specs wide enough to exercise the search but always synthesizable.
@@ -93,6 +93,41 @@ proptest! {
         // Vocabulary: rotations used must come from the sketch.
         for rot in r.program.rotation_amounts() {
             prop_assert!(sketch.rotation_amounts.contains(&rot), "rotation {}", rot);
+        }
+    }
+
+    /// The determinism contract across the whole spec family: parallel
+    /// synthesis (jobs = 2, 4) returns programs and costs bit-identical to
+    /// the sequential run (jobs = 1) for any seed.
+    #[test]
+    fn parallel_and_sequential_synthesis_agree(
+        off in 1isize..4,
+        w0 in 1i64..4,
+        w1 in 1i64..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = two_tap_spec(off, w0, w1, 8);
+        let sketch = Sketch::new(
+            vec![
+                SketchOp::rotated(ArithOp::AddCtCt),
+                SketchOp::plain(ArithOp::MulCtPt(quill::program::PtOperand::Splat(w0))),
+                SketchOp::plain(ArithOp::MulCtPt(quill::program::PtOperand::Splat(w1))),
+            ],
+            RotationSet::Explicit(vec![off as i64, -(off as i64)]),
+            4,
+        );
+        let seq = synthesize(&spec, &sketch, &with_jobs(quick_synthesis_options(seed), 1))
+            .expect("sequential synthesizes");
+        for jobs in [2usize, 4] {
+            let par = synthesize(&spec, &sketch, &with_jobs(quick_synthesis_options(seed), jobs))
+                .expect("parallel synthesizes");
+            prop_assert_eq!(&seq.program, &par.program, "program differs at jobs={}", jobs);
+            prop_assert_eq!(&seq.initial_program, &par.initial_program, "initial differs at jobs={}", jobs);
+            prop_assert_eq!(seq.final_cost.to_bits(), par.final_cost.to_bits());
+            prop_assert_eq!(seq.initial_cost.to_bits(), par.initial_cost.to_bits());
+            prop_assert_eq!(seq.examples_used, par.examples_used);
+            prop_assert_eq!(seq.components, par.components);
+            prop_assert_eq!(seq.proved_optimal, par.proved_optimal);
         }
     }
 

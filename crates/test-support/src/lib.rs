@@ -15,7 +15,7 @@ use bfv::encrypt::{Ciphertext, Decryptor, Encryptor};
 use bfv::evaluator::Evaluator;
 use bfv::keys::KeyGenerator;
 use bfv::params::{BfvContext, BfvParams};
-use porcupine::cegis::SynthesisOptions;
+use porcupine::cegis::{default_parallelism, SynthesisOptions};
 use porcupine::codegen::BfvRunner;
 use porcupine::spec::KernelSpec;
 use quill::cost::LatencyModel;
@@ -40,25 +40,36 @@ pub fn small_ctx() -> BfvContext {
 }
 
 /// Synthesis options for property tests: uniform latency model and a budget
-/// far below tier-1's patience.
+/// far below tier-1's patience. Honors `PORCUPINE_JOBS` (the CI matrix sets
+/// it to exercise the parallel-determinism contract on every push).
 pub fn quick_synthesis_options(seed: u64) -> SynthesisOptions {
     SynthesisOptions {
         timeout: Duration::from_secs(30),
         optimize: true,
         latency: LatencyModel::uniform(),
         seed,
+        parallelism: default_parallelism(),
     }
 }
 
 /// Synthesis options for the end-to-end kernel tests: the paper's profiled
-/// latency model with a generous (but bounded) budget.
+/// latency model with a generous (but bounded) budget. Honors
+/// `PORCUPINE_JOBS` like [`quick_synthesis_options`].
 pub fn fast_synthesis_options() -> SynthesisOptions {
     SynthesisOptions {
         timeout: Duration::from_secs(300),
         optimize: true,
         latency: LatencyModel::profiled_default(),
         seed: 1,
+        parallelism: default_parallelism(),
     }
+}
+
+/// The same options with an explicit worker-thread count — the knob the
+/// determinism suites turn to compare jobs = 1 / 2 / 4 runs bit for bit.
+pub fn with_jobs(mut options: SynthesisOptions, jobs: usize) -> SynthesisOptions {
+    options.parallelism = std::num::NonZeroUsize::new(jobs).expect("jobs must be nonzero");
+    options
 }
 
 /// One full homomorphic session: keys, encoder, encryptor, decryptor, and

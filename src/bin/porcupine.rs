@@ -7,20 +7,25 @@
 //! porcupine synth gx --emit seal         # print generated SEAL C++
 //! porcupine synth gx --explicit          # §7.4 ablation sketch mode
 //! porcupine synth box-blur --auto        # infer the sketch from the spec
+//! porcupine synth gx --jobs 4            # search with 4 worker threads
 //! porcupine baseline gx                  # print the hand-written baseline
 //! ```
+//!
+//! `--jobs` defaults to `PORCUPINE_JOBS` or the machine's available
+//! parallelism; the synthesized program is identical at any value.
 
 use porcupine::autosketch::auto_sketch;
-use porcupine::cegis::{synthesize, SynthesisOptions};
+use porcupine::cegis::{default_parallelism, synthesize, SynthesisOptions};
 use porcupine::codegen::emit_seal_cpp;
 use porcupine_kernels::{all_direct, PaperKernel};
 use quill::cost::{cost, LatencyModel};
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>]\n  porcupine baseline <kernel> [--emit seal|quill]"
+        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>]\n  porcupine baseline <kernel> [--emit seal|quill]"
     );
     ExitCode::FAILURE
 }
@@ -83,9 +88,20 @@ fn main() -> ExitCode {
                     .and_then(|i| args.get(i + 1))
                     .and_then(|v| v.parse().ok())
             };
+            let jobs = match grab("--jobs") {
+                Some(n) => match NonZeroUsize::new(n as usize) {
+                    Some(j) => j,
+                    None => {
+                        eprintln!("--jobs must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => default_parallelism(),
+            };
             let options = SynthesisOptions {
                 timeout: Duration::from_secs(grab("--timeout").unwrap_or(600)),
                 seed: grab("--seed").unwrap_or(0x9E3779B9),
+                parallelism: jobs,
                 ..SynthesisOptions::default()
             };
             let sketch = if args.iter().any(|a| a == "--auto") {
@@ -100,12 +116,13 @@ fn main() -> ExitCode {
             match synthesize(&k.spec, &sketch, &options) {
                 Ok(r) => {
                     eprintln!(
-                        "; {} components, {} examples, initial {:.2?}, total {:.2?}, optimal: {}",
+                        "; {} components, {} examples, initial {:.2?}, total {:.2?}, optimal: {}, jobs: {}",
                         r.components,
                         r.examples_used,
                         r.time_to_initial,
                         r.time_total,
-                        r.proved_optimal
+                        r.proved_optimal,
+                        options.parallelism,
                     );
                     eprintln!(
                         "; cost {:.0} (baseline {:.0})",
