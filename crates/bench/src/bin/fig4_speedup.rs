@@ -31,10 +31,7 @@ struct Workload {
     synthesized: Program,
 }
 
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    v[v.len() / 2]
-}
+use porcupine_bench::median;
 
 fn main() {
     let (jobs, args) = porcupine_bench::parse_jobs(std::env::args().collect());

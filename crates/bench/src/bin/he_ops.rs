@@ -1,0 +1,208 @@
+//! Profiles the BFV evaluator's HE instruction set and records the speedup
+//! of the RNS-native double-CRT hot path against the **seed** (BigInt-CRT)
+//! baseline constants, writing a `BENCH_he_ops.json` summary at the repo
+//! root (gitignored, like `BENCH_synthesis.json`).
+//!
+//! ```text
+//! cargo run -p porcupine-bench --release --bin he_ops [-- [--smoke] [reps]]
+//! ```
+//!
+//! Default mode profiles the `fast_4096` preset (the configuration the
+//! cost-model constants are calibrated on) with a median-of-`reps` timer
+//! and asserts the representation still decrypts exactly. `--smoke` runs
+//! the identical code path on the small preset with one rep — CI uses it
+//! to catch regressions that only break the bench path — and skips the
+//! speedup reporting (timings at N = 1024 are not comparable to the
+//! N = 4096 baseline constants).
+
+use bfv::encoding::BatchEncoder;
+use bfv::encrypt::{Decryptor, Encryptor};
+use bfv::evaluator::Evaluator;
+use bfv::keys::KeyGenerator;
+use bfv::params::{BfvContext, BfvParams};
+use porcupine_bench::{fmt_us, time_us};
+use rand::SeedableRng;
+
+/// The seed repository's `LatencyModel::profiled_default` constants (µs),
+/// measured on the pre-double-CRT backend: the fixed baseline every run of
+/// this bench compares against, independent of later re-calibrations of
+/// `quill::cost`.
+const SEED_BASELINE: [(&str, f64); 7] = [
+    ("add_ct_ct", 43.9),
+    ("sub_ct_ct", 37.5),
+    ("add_ct_pt", 66.9),
+    ("sub_ct_pt", 68.4),
+    ("mul_ct_pt", 4_596.4),
+    ("rot_ct", 14_095.5),
+    ("mul_ct_ct", 44_550.8),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let reps: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 9 });
+
+    let params = if smoke {
+        BfvParams::test_small()
+    } else {
+        BfvParams::fast_4096()
+    };
+    println!(
+        "# he_ops: N={}, t={}, {} ciphertext primes, median of {reps} rep(s){}",
+        params.poly_degree,
+        params.plain_modulus,
+        params.moduli.len(),
+        if smoke { " [smoke]" } else { "" },
+    );
+    let ctx = BfvContext::new(params).expect("valid parameters");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
+    let encoder = BatchEncoder::new(&ctx);
+    let ev = Evaluator::new(&ctx);
+    let rk = keygen.relin_key(&mut rng);
+    let gk = keygen.galois_keys_for_rotations(&[1], false, &mut rng);
+
+    let t = ctx.params().plain_modulus;
+    let half = encoder.row_size();
+    let data: Vec<u64> = (0..encoder.slot_count() as u64).map(|i| i % t).collect();
+    let pt = encoder.encode(&data);
+    let a = encryptor.encrypt(&pt, &mut rng);
+    let b = encryptor.encrypt(&pt, &mut rng);
+
+    // Correctness gate before timing anything: the representation must
+    // still produce exact slot values through multiply and rotate.
+    let prod = ev.multiply_relin(&a, &b, &rk);
+    let got = encoder.decode(&decryptor.decrypt(&prod));
+    for (i, &g) in got.iter().enumerate().take(64) {
+        assert_eq!(g, data[i] * data[i] % t, "multiply slot {i} wrong");
+    }
+    let rot = ev.rotate_rows(&a, 1, &gk);
+    let got = encoder.decode(&decryptor.decrypt(&rot));
+    for i in 0..64 {
+        assert_eq!(got[i], data[(i + 1) % half], "rotate slot {i} wrong");
+    }
+
+    let measured: Vec<(&str, f64)> = vec![
+        (
+            "add_ct_ct",
+            time_us(reps, || {
+                std::hint::black_box(ev.add(&a, &b));
+            }),
+        ),
+        (
+            "sub_ct_ct",
+            time_us(reps, || {
+                std::hint::black_box(ev.sub(&a, &b));
+            }),
+        ),
+        (
+            "add_ct_pt",
+            time_us(reps, || {
+                std::hint::black_box(ev.add_plain(&a, &pt));
+            }),
+        ),
+        (
+            "sub_ct_pt",
+            time_us(reps, || {
+                std::hint::black_box(ev.sub_plain(&a, &pt));
+            }),
+        ),
+        (
+            "mul_ct_pt",
+            time_us(reps, || {
+                std::hint::black_box(ev.mul_plain(&a, &pt));
+            }),
+        ),
+        (
+            "rot_ct",
+            time_us(reps, || {
+                std::hint::black_box(ev.rotate_rows(&a, 1, &gk));
+            }),
+        ),
+        (
+            "mul_ct_ct",
+            time_us(reps, || {
+                std::hint::black_box(ev.multiply_relin(&a, &b, &rk));
+            }),
+        ),
+    ];
+
+    let seed_us = |name: &str| {
+        SEED_BASELINE
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, us)| us)
+            .expect("op present in baseline")
+    };
+    println!(
+        "{:<12} {:>12} {:>12} {:>9}",
+        "op", "measured", "seed", "speedup"
+    );
+    for (name, us) in &measured {
+        let baseline = seed_us(name);
+        println!(
+            "{name:<12} {:>12} {:>12} {:>8.2}x",
+            fmt_us(*us),
+            fmt_us(baseline),
+            baseline / us.max(1e-9),
+        );
+    }
+
+    let path = "BENCH_he_ops.json";
+    std::fs::write(path, summary_json(&ctx, reps, smoke, &measured, seed_us))
+        .expect("write BENCH_he_ops.json");
+    let speedup = |name: &str| {
+        let us = measured.iter().find(|(n, _)| *n == name).unwrap().1;
+        seed_us(name) / us.max(1e-9)
+    };
+    if smoke {
+        println!("\nwrote {path} (smoke mode: speedups vs the N=4096 baseline are not meaningful)");
+    } else {
+        println!(
+            "\nwrote {path}: mul_ct_ct {:.2}x, rot_ct {:.2}x vs seed profiled_default",
+            speedup("mul_ct_ct"),
+            speedup("rot_ct"),
+        );
+    }
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde). Op names are
+/// ASCII identifiers, so no string escaping is needed.
+fn summary_json(
+    ctx: &BfvContext,
+    reps: usize,
+    smoke: bool,
+    measured: &[(&str, f64)],
+    seed_us: impl Fn(&str) -> f64,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"poly_degree\": {},\n  \"plain_modulus\": {},\n  \"ct_primes\": {},\n  \"aux_primes\": {},\n  \"reps\": {reps},\n  \"smoke\": {smoke},\n",
+        ctx.params().poly_degree,
+        ctx.params().plain_modulus,
+        ctx.ring().num_primes(),
+        ctx.aux_ring().num_primes(),
+    ));
+    s.push_str("  \"ops\": [\n");
+    for (i, (name, us)) in measured.iter().enumerate() {
+        let baseline = seed_us(name);
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"us\": {us:.1}, \"seed_us\": {baseline:.1}, \"speedup\": {:.3}}}{}\n",
+            baseline / us.max(1e-9),
+            if i + 1 == measured.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    let get = |name: &str| measured.iter().find(|(n, _)| *n == name).unwrap().1;
+    s.push_str(&format!(
+        "  \"mul_ct_ct_speedup\": {:.3},\n  \"rot_ct_speedup\": {:.3}\n}}\n",
+        seed_us("mul_ct_ct") / get("mul_ct_ct").max(1e-9),
+        seed_us("rot_ct") / get("rot_ct").max(1e-9),
+    ));
+    s
+}

@@ -13,24 +13,8 @@ use bfv::encrypt::{Decryptor, Encryptor};
 use bfv::evaluator::Evaluator;
 use bfv::keys::KeyGenerator;
 use bfv::params::{BfvContext, BfvParams};
-use porcupine_bench::fmt_us;
+use porcupine_bench::{fmt_us, time_us};
 use rand::SeedableRng;
-use std::time::Instant;
-
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    v[v.len() / 2]
-}
-
-fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        samples.push(start.elapsed().as_secs_f64() * 1e6);
-    }
-    median(samples)
-}
 
 fn main() {
     let reps: usize = std::env::args()

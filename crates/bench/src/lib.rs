@@ -40,6 +40,31 @@ pub fn parse_jobs(mut args: Vec<String>) -> (std::num::NonZeroUsize, Vec<String>
     (jobs, args)
 }
 
+/// Median of a sample set (the profiling binaries' robust central
+/// tendency).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains NaN.
+pub fn median(mut samples: Vec<f64>) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    samples[samples.len() / 2]
+}
+
+/// Runs `f` `reps` times and returns the median wall-clock in microseconds
+/// — the shared timing methodology of `profile_latency` and `he_ops` (what
+/// the cost model is calibrated from).
+pub fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    median(samples)
+}
+
 /// Formats a microsecond latency with a stable width for table output.
 pub fn fmt_us(us: f64) -> String {
     if us >= 1_000_000.0 {

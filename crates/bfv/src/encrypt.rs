@@ -9,6 +9,10 @@ use rand::Rng;
 
 /// A BFV ciphertext: a vector of ring elements (size 2 fresh, size 3 after
 /// an unrelinearized multiply) decrypting via `Σ_j c_j · s^j`.
+///
+/// Parts are kept in evaluation (double-CRT) form on the hot path; the
+/// form converters below exist for storage/serialization-style uses and
+/// for testing that the representation is semantically transparent.
 #[derive(Debug, Clone)]
 pub struct Ciphertext {
     pub(crate) parts: Vec<RnsPoly>,
@@ -18,6 +22,20 @@ impl Ciphertext {
     /// Number of polynomial parts (2 or 3 in this implementation).
     pub fn size(&self) -> usize {
         self.parts.len()
+    }
+
+    /// This ciphertext with every part in coefficient form.
+    pub fn to_coeff_form(&self, ctx: &BfvContext) -> Ciphertext {
+        Ciphertext {
+            parts: self.parts.iter().map(|p| ctx.ring().to_coeff(p)).collect(),
+        }
+    }
+
+    /// This ciphertext with every part in evaluation (double-CRT) form.
+    pub fn to_eval_form(&self, ctx: &BfvContext) -> Ciphertext {
+        Ciphertext {
+            parts: self.parts.iter().map(|p| ctx.ring().to_eval(p)).collect(),
+        }
     }
 }
 
@@ -34,14 +52,16 @@ impl<'a> Encryptor<'a> {
         Encryptor { ctx, pk }
     }
 
-    /// Encrypts a plaintext: `(b·u + e_1 + Δ·m, a·u + e_2)`.
+    /// Encrypts a plaintext: `(b·u + e_1 + Δ·m, a·u + e_2)`, produced in
+    /// evaluation form (the public key is already NTT-resident, so the two
+    /// products are pointwise).
     pub fn encrypt<R: Rng + ?Sized>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
         let ring = self.ctx.ring();
         let m = ring.from_u64_coeffs(&pt.coeffs);
-        let dm = ring.mul_scalar_residues(&m, self.ctx.delta_residues());
-        let u = ring.sample_ternary(rng);
-        let e1 = ring.sample_error(rng);
-        let e2 = ring.sample_error(rng);
+        let dm = ring.to_eval(&ring.mul_scalar_residues(&m, self.ctx.delta_residues()));
+        let u = ring.to_eval(&ring.sample_ternary(rng));
+        let e1 = ring.to_eval(&ring.sample_error(rng));
+        let e2 = ring.to_eval(&ring.sample_error(rng));
         let c0 = ring.add(&ring.add(&ring.mul(&self.pk.b, &u), &e1), &dm);
         let c1 = ring.add(&ring.mul(&self.pk.a, &u), &e2);
         Ciphertext {

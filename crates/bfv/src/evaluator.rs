@@ -1,20 +1,51 @@
-//! Homomorphic evaluation: the SIMD instruction set Porcupine targets.
+//! Homomorphic evaluation: the SIMD instruction set Porcupine targets,
+//! RNS-native end to end.
 //!
 //! Mirrors the SEAL evaluator surface the paper compiles to: ciphertext
 //! add/sub/negate, plaintext add/sub/multiply, ciphertext multiply with
 //! relinearization, and slot rotations via Galois automorphisms.
 //!
-//! Multiplication is exact: operands are lifted to centered integers,
-//! tensored in an auxiliary RNS base `P > 2·N·(Q/2)²` via per-prime NTTs,
-//! CRT-reconstructed, rescaled by `t/Q` with exact rounding, and reduced
-//! back mod `Q` — the textbook BFV multiply without approximation error.
+//! # The double-CRT invariant
+//!
+//! Ciphertexts and keys stay in **evaluation (double-CRT) form**
+//! ([`crate::poly::PolyForm::Eval`]) between operations, so the cheap ops
+//! never touch an NTT:
+//!
+//! * `add`/`sub`/`negate` and the plaintext ops are componentwise on
+//!   evaluation residues (`add_plain`/`sub_plain`/`mul_plain` pay only the
+//!   forward transforms of the freshly encoded plaintext);
+//! * the Galois automorphism inside rotations is a cached index
+//!   permutation of evaluation slots ([`crate::keys::GaloisKeys`] stores
+//!   one per element);
+//! * key switching transforms only the RNS *digits* of the switched
+//!   polynomial (`k` inverse + `k²` forward NTTs) and then runs pointwise
+//!   inner products against the NTT-resident key, Shoup-accelerated.
+//!
+//! Coefficient form appears in exactly three places: the digit
+//! decomposition above, the base conversions inside [`Evaluator::multiply`],
+//! and the final lift at decryption.
+//!
+//! # Multiplication
+//!
+//! Multiplication is exact and never leaves machine words: operands are
+//! dropped to coefficient residues, extended from `Q` into the auxiliary
+//! base `B` by exact centered mixed-radix conversion
+//! ([`crate::rns::RnsBaseConverter`]), tensored per-prime over the combined
+//! base `Q·B` (pointwise in the transform domain), and rescaled by `t/Q`
+//! with exact rounding: `round(t·x/Q) = (t·x − [t·x]_Q)/Q` with the
+//! centered remainder lifted `Q → B`, the division done via `Q⁻¹ mod b_j`,
+//! and the result shrunk `B → Q`. This replaces the former per-coefficient
+//! big-integer CRT reconstruction — the textbook BFV multiply with the
+//! BEHZ-style all-RNS data flow, except that the mixed-radix conversions
+//! are exact, so no approximation error is introduced.
 
-use crate::bigint::BigInt;
 use crate::encoding::{galois_element_for_column_swap, galois_element_for_rotation, Plaintext};
 use crate::encrypt::Ciphertext;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
+use crate::ntt::pointwise_mul;
 use crate::params::BfvContext;
-use crate::poly::RnsPoly;
+use crate::poly::{PolyForm, RnsPoly};
+use crate::zq::{add_mod, mul_mod_shoup, sub_mod, Barrett};
 
 /// Stateless evaluator over one context.
 ///
@@ -50,24 +81,16 @@ impl<'a> Evaluator<'a> {
         Evaluator { ctx }
     }
 
-    /// Slot-wise sum of two ciphertexts.
+    /// Slot-wise sum of two ciphertexts. Mismatched sizes zero-pad the
+    /// shorter operand (a missing part is the zero polynomial).
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.zip(a, b, |r, x, y| r.add(x, y))
     }
 
-    /// Slot-wise difference of two ciphertexts.
+    /// Slot-wise difference of two ciphertexts (same zero-padding contract
+    /// as [`Evaluator::add`]).
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        let ring = self.ctx.ring();
-        let len = a.parts.len().max(b.parts.len());
-        let zero = ring.zero();
-        let parts = (0..len)
-            .map(|i| {
-                let x = a.parts.get(i).unwrap_or(&zero);
-                let y = b.parts.get(i).unwrap_or(&zero);
-                ring.sub(x, y)
-            })
-            .collect();
-        Ciphertext { parts }
+        self.zip(a, b, |r, x, y| r.sub(x, y))
     }
 
     /// Slot-wise negation.
@@ -86,7 +109,7 @@ impl<'a> Evaluator<'a> {
     ) -> Ciphertext {
         let ring = self.ctx.ring();
         let len = a.parts.len().max(b.parts.len());
-        let zero = ring.zero();
+        let zero = ring.zero_eval();
         let parts = (0..len)
             .map(|i| {
                 let x = a.parts.get(i).unwrap_or(&zero);
@@ -101,7 +124,7 @@ impl<'a> Evaluator<'a> {
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let ring = self.ctx.ring();
         let m = ring.from_u64_coeffs(&pt.coeffs);
-        let dm = ring.mul_scalar_residues(&m, self.ctx.delta_residues());
+        let dm = ring.to_eval(&ring.mul_scalar_residues(&m, self.ctx.delta_residues()));
         let mut parts = a.parts.clone();
         parts[0] = ring.add(&parts[0], &dm);
         Ciphertext { parts }
@@ -111,16 +134,18 @@ impl<'a> Evaluator<'a> {
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let ring = self.ctx.ring();
         let m = ring.from_u64_coeffs(&pt.coeffs);
-        let dm = ring.mul_scalar_residues(&m, self.ctx.delta_residues());
+        let dm = ring.to_eval(&ring.mul_scalar_residues(&m, self.ctx.delta_residues()));
         let mut parts = a.parts.clone();
         parts[0] = ring.sub(&parts[0], &dm);
         Ciphertext { parts }
     }
 
-    /// Multiplies a ciphertext by an encoded plaintext (slot-wise).
+    /// Multiplies a ciphertext by an encoded plaintext (slot-wise). The
+    /// plaintext is transformed once; both ciphertext parts then multiply
+    /// pointwise.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let ring = self.ctx.ring();
-        let m = ring.from_u64_coeffs(&pt.coeffs);
+        let m = ring.to_eval(&ring.from_u64_coeffs(&pt.coeffs));
         Ciphertext {
             parts: a.parts.iter().map(|p| ring.mul(p, &m)).collect(),
         }
@@ -129,6 +154,9 @@ impl<'a> Evaluator<'a> {
     /// Ciphertext–ciphertext multiply, producing a size-3 ciphertext.
     /// Relinearize with [`Evaluator::relinearize`] before further rotations
     /// or multiplies.
+    ///
+    /// See the module docs for the RNS data flow; the result is exact
+    /// (`round(t/Q · tensor)` with true nearest rounding).
     ///
     /// # Panics
     ///
@@ -146,40 +174,139 @@ impl<'a> Evaluator<'a> {
         );
         let ring = self.ctx.ring();
         let aux = self.ctx.aux_ring();
-        let t = self.ctx.params().plain_modulus;
-        let q = ring.modulus();
+        let l = aux.num_primes();
 
-        // Lift to exact centered integers and re-embed in the aux base.
-        let lift = |p: &RnsPoly| -> RnsPoly { aux.from_centered(&ring.lift_centered(p)) };
-        let (c0, c1) = (lift(&a.parts[0]), lift(&a.parts[1]));
-        let (d0, d1) = (lift(&b.parts[0]), lift(&b.parts[1]));
-
-        // Tensor in the aux base (exact: |coeff| ≤ N(Q/2)² + slack < P/2).
-        let e0 = aux.mul(&c0, &d0);
-        let e1 = aux.add(&aux.mul(&c0, &d1), &aux.mul(&c1, &d0));
-        let e2 = aux.mul(&c1, &d1);
-
-        // Rescale round(t/Q · x) exactly and reduce mod Q.
-        let rescale = |p: &RnsPoly| -> RnsPoly {
-            let lifted = aux.lift_centered(p);
-            let rounded: Vec<BigInt> = lifted.iter().map(|x| x.mul_div_round(t, q)).collect();
-            ring.from_centered(&rounded)
+        // Extend every operand part into the combined base Q ∪ B, in the
+        // transform domain of each prime: over Q the input is already
+        // evaluation-resident; over B we base-convert the centered
+        // coefficients and transform.
+        let extend = |p: &RnsPoly| -> (RnsPoly, Vec<Vec<u64>>) {
+            let p_eval = ring.to_eval(p);
+            let p_coeff = ring.to_coeff(p);
+            let mut ext = self.ctx.q_to_aux().convert_centered(&p_coeff.residues);
+            for (j, r) in ext.iter_mut().enumerate() {
+                aux.ntt(j).forward(r);
+            }
+            (p_eval, ext)
         };
-        Ciphertext {
-            parts: vec![rescale(&e0), rescale(&e1), rescale(&e2)],
-        }
+        let (c0, c0_aux) = extend(&a.parts[0]);
+        let (c1, c1_aux) = extend(&a.parts[1]);
+        let (d0, d0_aux) = extend(&b.parts[0]);
+        let (d1, d1_aux) = extend(&b.parts[1]);
+
+        // Tensor pointwise over the combined base:
+        //   e0 = c0·d0, e1 = c0·d1 + c1·d0, e2 = c1·d1.
+        let tensor_aux = |x: &[Vec<u64>], y: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            (0..l)
+                .map(|j| pointwise_mul(&x[j], &y[j], aux.primes()[j]))
+                .collect()
+        };
+        let add_aux = |mut x: Vec<Vec<u64>>, y: Vec<Vec<u64>>| -> Vec<Vec<u64>> {
+            for (j, (xr, yr)) in x.iter_mut().zip(&y).enumerate() {
+                let p = aux.primes()[j];
+                for (xc, &yc) in xr.iter_mut().zip(yr) {
+                    *xc = add_mod(*xc, yc, p);
+                }
+            }
+            x
+        };
+        let e = [
+            (ring.mul(&c0, &d0), tensor_aux(&c0_aux, &d0_aux)),
+            (
+                ring.add(&ring.mul(&c0, &d1), &ring.mul(&c1, &d0)),
+                add_aux(tensor_aux(&c0_aux, &d1_aux), tensor_aux(&c1_aux, &d0_aux)),
+            ),
+            (ring.mul(&c1, &d1), tensor_aux(&c1_aux, &d1_aux)),
+        ];
+
+        // Rescale each tensor part: y = (t·x − [t·x]_Q) / Q, all in RNS.
+        let parts = e
+            .into_iter()
+            .map(|(e_q, mut e_aux)| {
+                let e_q = ring.to_coeff(&e_q);
+                for (j, r) in e_aux.iter_mut().enumerate() {
+                    aux.ntt(j).inverse(r);
+                }
+                // s = t·x mod Q, then its centered remainder lifted Q → B.
+                let s: Vec<Vec<u64>> = e_q
+                    .residues
+                    .iter()
+                    .zip(ring.primes())
+                    .zip(self.ctx.t_mod_q())
+                    .map(|((r, &q), &(t_q, t_q_shoup))| {
+                        r.iter()
+                            .map(|&x| mul_mod_shoup(x, t_q, t_q_shoup, q))
+                            .collect()
+                    })
+                    .collect();
+                let r_aux = self.ctx.q_to_aux().convert_centered(&s);
+                // y mod b_j = (t·x − r)·Q⁻¹ = x·(t·Q⁻¹) − r·Q⁻¹ mod b_j,
+                // two Shoup multiplies per slot (constants precomputed on
+                // the context).
+                let mut y_aux = e_aux;
+                for (j, yr) in y_aux.iter_mut().enumerate() {
+                    let b = aux.primes()[j];
+                    let (q_inv, q_inv_shoup) = self.ctx.q_inv_mod_aux()[j];
+                    let (tq, tq_shoup) = self.ctx.t_q_inv_mod_aux()[j];
+                    for (yc, &rc) in yr.iter_mut().zip(&r_aux[j]) {
+                        *yc = sub_mod(
+                            mul_mod_shoup(*yc, tq, tq_shoup, b),
+                            mul_mod_shoup(rc, q_inv, q_inv_shoup, b),
+                            b,
+                        );
+                    }
+                }
+                // Shrink B → Q and return to evaluation form.
+                let y_q = self.ctx.aux_to_q().convert_centered(&y_aux);
+                let mut out = RnsPoly {
+                    residues: y_q,
+                    form: PolyForm::Coeff,
+                };
+                ring.make_eval(&mut out);
+                out
+            })
+            .collect();
+        Ciphertext { parts }
     }
 
     /// Key-switches polynomial `d` (under the source key of `ksk`) to the
-    /// canonical secret, returning the two accumulated parts.
+    /// canonical secret, returning the two accumulated parts in evaluation
+    /// form. Only the RNS digits of `d` are transformed; the key is
+    /// NTT-resident with Shoup companions, so the inner products are
+    /// pointwise Shoup multiplies.
     fn key_switch(&self, d: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
         let ring = self.ctx.ring();
-        let mut acc_b = ring.zero();
-        let mut acc_a = ring.zero();
-        for (i, (b_i, a_i)) in ksk.parts.iter().enumerate() {
-            let d_i = ring.decompose_component(d, i);
-            acc_b = ring.add(&acc_b, &ring.mul(&d_i, b_i));
-            acc_a = ring.add(&acc_a, &ring.mul(&d_i, a_i));
+        let k = ring.num_primes();
+        let n = ring.degree();
+        let d_coeff = ring.to_coeff(d);
+        let mut acc_b = ring.zero_eval();
+        let mut acc_a = ring.zero_eval();
+        let mut digit = vec![0u64; n];
+        let reducers: Vec<Barrett> = ring.primes().iter().map(|&p| Barrett::new(p)).collect();
+        for i in 0..k {
+            let src = d_coeff.component(i);
+            let (b_i, a_i) = &ksk.parts[i];
+            let (b_shoup, a_shoup) = &ksk.shoup[i];
+            for j in 0..k {
+                let p = ring.primes()[j];
+                if i == j {
+                    digit.copy_from_slice(src);
+                } else {
+                    let bar = reducers[j];
+                    for (dst, &x) in digit.iter_mut().zip(src) {
+                        *dst = bar.reduce_u64(x);
+                    }
+                }
+                ring.ntt(j).forward(&mut digit);
+                let (bb, aa) = (&b_i.residues[j], &a_i.residues[j]);
+                let (bs, asg) = (&b_shoup[j], &a_shoup[j]);
+                let accb = &mut acc_b.residues[j];
+                let acca = &mut acc_a.residues[j];
+                for c in 0..n {
+                    accb[c] = add_mod(accb[c], mul_mod_shoup(digit[c], bb[c], bs[c], p), p);
+                    acca[c] = add_mod(acca[c], mul_mod_shoup(digit[c], aa[c], asg[c], p), p);
+                }
+            }
         }
         (acc_b, acc_a)
     }
@@ -204,7 +331,9 @@ impl<'a> Evaluator<'a> {
         self.relinearize(&self.multiply(a, b), rk)
     }
 
-    /// Applies the Galois automorphism `x → x^g` homomorphically.
+    /// Applies the Galois automorphism `x → x^g` homomorphically. In
+    /// evaluation form the automorphism itself is a cached index
+    /// permutation; only the key switch afterwards does modular work.
     ///
     /// # Panics
     ///
@@ -219,20 +348,21 @@ impl<'a> Evaluator<'a> {
             return a.clone();
         }
         let ring = self.ctx.ring();
-        let key = gk
+        let entry = gk
             .keys
             .get(&g)
             .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
-        let c0 = ring.automorphism(&a.parts[0], g);
-        let c1 = ring.automorphism(&a.parts[1], g);
-        let (ks_b, ks_a) = self.key_switch(&c1, key);
+        let c0 = ring.apply_eval_permutation(&ring.to_eval(&a.parts[0]), &entry.perm);
+        let c1 = ring.apply_eval_permutation(&ring.to_eval(&a.parts[1]), &entry.perm);
+        let (ks_b, ks_a) = self.key_switch(&c1, &entry.key);
         Ciphertext {
             parts: vec![ring.add(&c0, &ks_b), ks_a],
         }
     }
 
     /// Rotates both batching rows left by `steps` (negative = right) —
-    /// SEAL's `rotate_rows`.
+    /// SEAL's `rotate_rows`. Any `i64` step is accepted; rotation is cyclic
+    /// with period `N/2`.
     ///
     /// # Panics
     ///
@@ -348,6 +478,44 @@ mod tests {
     }
 
     #[test]
+    fn mixed_size_add_sub_zero_pad() {
+        // Size-3 ⊕ size-2 treats the missing third part as zero, in both
+        // argument orders — the zero-padding contract of `zip`.
+        let f = Fixture::new();
+        let mut s = f.session();
+        let t = f.ctx.params().plain_modulus;
+        let a = s.enc.encrypt(&s.encoder.encode(&[6, 7, 8]), &mut s.rng);
+        let b = s.enc.encrypt(&s.encoder.encode(&[9, 10, 11]), &mut s.rng);
+        let c = s
+            .enc
+            .encrypt(&s.encoder.encode(&[100, 200, 300]), &mut s.rng);
+        let prod3 = s.ev.multiply(&a, &b); // size 3
+        assert_eq!(prod3.size(), 3);
+
+        let sum = s.ev.add(&prod3, &c);
+        assert_eq!(sum.size(), 3);
+        let got = s.encoder.decode(&s.dec.decrypt(&sum));
+        assert_eq!(&got[..3], &[154, 270, 388]); // a·b + c
+
+        let diff = s.ev.sub(&prod3, &c);
+        assert_eq!(diff.size(), 3);
+        let got = s.encoder.decode(&s.dec.decrypt(&diff));
+        assert_eq!(
+            &got[..3],
+            &[(54 + t - 100) % t, (70 + t - 200) % t, (88 + t - 300) % t]
+        );
+
+        // size-2 minus size-3: the pad is on the left operand
+        let diff = s.ev.sub(&c, &prod3);
+        assert_eq!(diff.size(), 3);
+        let got = s.encoder.decode(&s.dec.decrypt(&diff));
+        assert_eq!(
+            &got[..3],
+            &[(100 + t - 54) % t, (200 + t - 70) % t, (300 + t - 88) % t]
+        );
+    }
+
+    #[test]
     fn rotations_match_slot_semantics() {
         let f = Fixture::new();
         let mut s = f.session();
@@ -387,6 +555,36 @@ mod tests {
         let gk = s.kg.galois_keys(&[], &mut s.rng);
         let same = s.ev.rotate_rows(&ct, 0, &gk);
         assert_eq!(s.encoder.decode(&s.dec.decrypt(&same))[..3], [9, 8, 7]);
+    }
+
+    #[test]
+    fn rotation_steps_wrap_modulo_row_size() {
+        // rotate_rows(ct, k) == rotate_rows(ct, k mod N/2) for any i64 k,
+        // including the former panic cases k = ±N/2 and beyond.
+        let f = Fixture::new();
+        let mut s = f.session();
+        let n = s.encoder.slot_count();
+        let half = (n / 2) as i64;
+        let v: Vec<u64> = (0..n as u64).map(|i| (i * 3 + 1) % 65537).collect();
+        let ct = s.enc.encrypt(&s.encoder.encode(&v), &mut s.rng);
+        let gk =
+            s.kg.galois_keys_for_rotations(&[0, 3, half - 2], false, &mut s.rng);
+        for (big, small) in [
+            (half, 0),
+            (half + 3, 3),
+            (2 * half + 3, 3),
+            (-half, 0),
+            (3 - half, 3),
+            (-2 * half - 2, half - 2),
+        ] {
+            let a = s.ev.rotate_rows(&ct, big, &gk);
+            let b = s.ev.rotate_rows(&ct, small, &gk);
+            assert_eq!(
+                s.encoder.decode(&s.dec.decrypt(&a)),
+                s.encoder.decode(&s.dec.decrypt(&b)),
+                "steps {big} vs {small}"
+            );
+        }
     }
 
     #[test]

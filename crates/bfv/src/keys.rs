@@ -6,40 +6,65 @@
 //! the CRT unit (`1 mod q_i`, `0 mod q_j`). Key switching a polynomial `d`
 //! under `s'` then computes `Σ_i lift([d]_{q_i}) ⊙ ksk_i`, whose parts sum to
 //! `≈ d·s'` under `s` with only small added noise (each digit is `< q_i`).
+//!
+//! All key polynomials are stored in **evaluation (double-CRT) form**, so
+//! the inner products of key switching are pointwise; every key residue
+//! additionally carries a Shoup precomputation (keys are the fixed
+//! multiplicand of the digit product, the textbook Shoup setting), and
+//! Galois keys cache the evaluation-domain index permutation of their
+//! automorphism so rotations never recompute it.
 
 use crate::params::BfvContext;
 use crate::poly::RnsPoly;
-use crate::zq::add_mod;
+use crate::zq::{add_mod, shoup_precompute};
 use rand::Rng;
 use std::collections::HashMap;
 
-/// The secret key: a ternary polynomial `s`.
+/// The secret key: a ternary polynomial `s` (stored in evaluation form).
 #[derive(Debug, Clone)]
 pub struct SecretKey {
     pub(crate) s: RnsPoly,
 }
 
-/// The public key: an RLWE sample `(b, a)` with `b = -(a·s + e)`.
+/// The public key: an RLWE sample `(b, a)` with `b = -(a·s + e)`, in
+/// evaluation form.
 #[derive(Debug, Clone)]
 pub struct PublicKey {
     pub(crate) b: RnsPoly,
     pub(crate) a: RnsPoly,
 }
 
-/// A key-switch key from some `s'` back to `s` (one part per RNS prime).
+/// Shoup companion table of one evaluation-form key polynomial, indexed
+/// `[prime][coeff]`.
+pub(crate) type ShoupTable = Vec<Vec<u64>>;
+
+/// A key-switch key from some `s'` back to `s` (one part per RNS prime),
+/// with Shoup companions for the digit inner products.
 #[derive(Debug, Clone)]
 pub struct KeySwitchKey {
+    /// `(b_i, a_i)` in evaluation form.
     pub(crate) parts: Vec<(RnsPoly, RnsPoly)>,
+    /// Shoup precomputations of `parts`: `shoup[i] = (b_shoup, a_shoup)`.
+    pub(crate) shoup: Vec<(ShoupTable, ShoupTable)>,
 }
 
 /// Relinearization key: key-switch key for `s' = s²`.
 #[derive(Debug, Clone)]
 pub struct RelinKey(pub(crate) KeySwitchKey);
 
-/// Galois keys: key-switch keys for `s' = σ_g(s)`, one per Galois element.
+/// One Galois element's material: the key-switch key for `s' = σ_g(s)`
+/// together with the cached evaluation-domain permutation of `σ_g` — kept
+/// in one entry so key and permutation cannot drift apart.
+#[derive(Debug, Clone)]
+pub(crate) struct GaloisKeyEntry {
+    pub(crate) key: KeySwitchKey,
+    pub(crate) perm: Vec<u32>,
+}
+
+/// Galois keys: one [`GaloisKeyEntry`] per Galois element.
 #[derive(Debug, Clone, Default)]
 pub struct GaloisKeys {
-    pub(crate) keys: HashMap<u64, KeySwitchKey>,
+    pub(crate) keys: HashMap<u64, GaloisKeyEntry>,
 }
 
 impl GaloisKeys {
@@ -82,7 +107,8 @@ pub struct KeyGenerator<'a> {
 impl<'a> KeyGenerator<'a> {
     /// Samples a fresh ternary secret.
     pub fn new<R: Rng + ?Sized>(ctx: &'a BfvContext, rng: &mut R) -> Self {
-        let s = ctx.ring().sample_ternary(rng);
+        let ring = ctx.ring();
+        let s = ring.to_eval(&ring.sample_ternary(rng));
         KeyGenerator {
             ctx,
             sk: SecretKey { s },
@@ -98,30 +124,36 @@ impl<'a> KeyGenerator<'a> {
     pub fn public_key<R: Rng + ?Sized>(&self, rng: &mut R) -> PublicKey {
         let ring = self.ctx.ring();
         let a = ring.sample_uniform(rng);
-        let e = ring.sample_error(rng);
+        let e = ring.to_eval(&ring.sample_error(rng));
         let b = ring.neg(&ring.add(&ring.mul(&a, &self.sk.s), &e));
         PublicKey { b, a }
     }
 
     /// Builds a key-switch key whose source key is `target` (e.g. `s²` or
-    /// `σ_g(s)`).
+    /// `σ_g(s)`, in evaluation form).
     fn key_switch_key<R: Rng + ?Sized>(&self, target: &RnsPoly, rng: &mut R) -> KeySwitchKey {
         let ring = self.ctx.ring();
         let k = ring.num_primes();
         let mut parts = Vec::with_capacity(k);
         for i in 0..k {
             let a_i = ring.sample_uniform(rng);
-            let e_i = ring.sample_error(rng);
+            let e_i = ring.to_eval(&ring.sample_error(rng));
             let mut b_i = ring.neg(&ring.add(&ring.mul(&a_i, &self.sk.s), &e_i));
-            // Add γ_i · target: in RNS, γ_i is the unit vector at component i,
-            // so only component i of `target` contributes.
+            // Add γ_i · target: in RNS, γ_i is the unit vector at component
+            // i, so only component i of `target` contributes — and because
+            // reduction commutes with the NTT, the same componentwise add
+            // is valid in evaluation form.
             let p = ring.primes()[i];
             for c in 0..ring.degree() {
                 b_i.residues[i][c] = add_mod(b_i.residues[i][c], target.residues[i][c], p);
             }
             parts.push((b_i, a_i));
         }
-        KeySwitchKey { parts }
+        let shoup = parts
+            .iter()
+            .map(|(b_i, a_i)| (shoup_tables(ring, b_i), shoup_tables(ring, a_i)))
+            .collect();
+        KeySwitchKey { parts, shoup }
     }
 
     /// Generates the relinearization key (`s' = s²`).
@@ -131,7 +163,8 @@ impl<'a> KeyGenerator<'a> {
         RelinKey(self.key_switch_key(&s2, rng))
     }
 
-    /// Generates Galois keys for the given Galois elements.
+    /// Generates Galois keys for the given Galois elements, caching each
+    /// element's evaluation-domain permutation alongside its key.
     ///
     /// # Panics
     ///
@@ -145,7 +178,13 @@ impl<'a> KeyGenerator<'a> {
                 continue;
             }
             let s_g = ring.automorphism(&self.sk.s, g);
-            keys.insert(g, self.key_switch_key(&s_g, rng));
+            keys.insert(
+                g,
+                GaloisKeyEntry {
+                    key: self.key_switch_key(&s_g, rng),
+                    perm: ring.galois_eval_permutation(g),
+                },
+            );
         }
         GaloisKeys { keys }
     }
@@ -170,6 +209,21 @@ impl<'a> KeyGenerator<'a> {
     }
 }
 
+/// Shoup precomputations for every residue of an evaluation-form key
+/// polynomial.
+fn shoup_tables(ring: &crate::poly::RingContext, poly: &RnsPoly) -> Vec<Vec<u64>> {
+    ring.primes()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            poly.residues[i]
+                .iter()
+                .map(|&w| shoup_precompute(w, p))
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +237,7 @@ mod tests {
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let rk = kg.relin_key(&mut rng);
         assert_eq!(rk.0.parts.len(), ctx.ring().num_primes());
+        assert_eq!(rk.0.shoup.len(), ctx.ring().num_primes());
         assert_ne!(rk.0.parts[0].1, rk.0.parts[1].1);
     }
 
@@ -195,6 +250,10 @@ mod tests {
         assert_eq!(gk.elements(), vec![3, 9]);
         assert!(gk.contains(3));
         assert!(!gk.contains(1));
+        // every key comes with its cached eval-domain permutation
+        for g in gk.elements() {
+            assert_eq!(gk.keys[&g].perm.len(), ctx.params().poly_degree);
+        }
     }
 
     #[test]

@@ -15,8 +15,31 @@
 //! * **Noise metering**: SEAL-style invariant noise budget
 //!   ([`encrypt::Decryptor::invariant_noise_budget`]).
 //!
+//! # The double-CRT representation
+//!
+//! Like production RNS stacks (SEAL, Sunscreen), ciphertexts and keys are
+//! **NTT-resident**: every [`poly::RnsPoly`] carries a [`poly::PolyForm`]
+//! tag, and the evaluator keeps everything in evaluation form. Under that
+//! invariant
+//!
+//! * add/sub/negate and plaintext ops are componentwise (the plaintext side
+//!   pays only its own forward transforms),
+//! * polynomial products are pointwise,
+//! * rotations permute evaluation slots through a cached index map, and
+//! * ciphertext multiply runs entirely in 64-bit RNS arithmetic: exact
+//!   centered mixed-radix base conversion into an auxiliary base, a
+//!   per-prime tensor, and an exact `t/Q` rescale (see
+//!   [`evaluator::Evaluator::multiply`]) — no big-integer CRT on the hot
+//!   path.
+//!
+//! Coefficient form appears only inside key-switch digit decomposition,
+//! the multiply's base conversions, and the final lift at decryption; the
+//! representation is semantically invisible (property-tested: both
+//! pipelines decrypt bit-identically).
+//!
 //! The number theory underneath — big integers, 64-bit prime fields,
-//! negacyclic NTTs, and CRT/RNS contexts — is implemented in-repo and
+//! negacyclic NTTs with branchless Shoup/Barrett arithmetic, and CRT/RNS
+//! contexts with exact base converters — is implemented in-repo and
 //! exposed for reuse ([`bigint`], [`zq`], [`ntt`], [`rns`], [`poly`]).
 //!
 //! **Security caveat**: this is a research-grade implementation for

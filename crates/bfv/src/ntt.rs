@@ -153,15 +153,21 @@ impl NttTables {
             let half = len / 2;
             let stage_tw = &tw[tw_off..tw_off + half];
             let stage_tw_shoup = &tw_shoup[tw_off..tw_off + half];
-            let mut base = 0;
-            while base < n {
-                for k in 0..half {
-                    let x = a[base + k];
-                    let y = mul_mod_shoup(a[base + k + half], stage_tw[k], stage_tw_shoup[k], p);
-                    a[base + k] = add_mod(x, y, p);
-                    a[base + k + half] = sub_mod(x, y, p);
+            // chunk/split structure instead of index arithmetic so the
+            // bounds checks vanish from the innermost loop.
+            for chunk in a.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for (((x, y), &w), &ws) in lo
+                    .iter_mut()
+                    .zip(hi.iter_mut())
+                    .zip(stage_tw)
+                    .zip(stage_tw_shoup)
+                {
+                    let t = mul_mod_shoup(*y, w, ws, p);
+                    let u = *x;
+                    *x = add_mod(u, t, p);
+                    *y = sub_mod(u, t, p);
                 }
-                base += len;
             }
             tw_off += half;
             len <<= 1;
@@ -206,12 +212,21 @@ impl NttTables {
         let mut fb = b.to_vec();
         self.forward(&mut fa);
         self.forward(&mut fb);
-        for i in 0..self.n {
-            fa[i] = mul_mod(fa[i], fb[i], self.p);
-        }
+        fa = pointwise_mul(&fa, &fb, self.p);
         self.inverse(&mut fa);
         fa
     }
+}
+
+/// Pointwise (dyadic) product of two evaluation-form residue vectors mod
+/// `p` — the whole multiply for operands already resident in the transform
+/// domain, as double-CRT ciphertexts are. Barrett-reduced: the one-off
+/// reducer setup amortizes over the vector, replacing a 128-bit division
+/// per slot with a few word multiplies.
+pub fn pointwise_mul(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
+    debug_assert_eq!(a.len(), b.len());
+    let bar = crate::zq::Barrett::new(p);
+    a.iter().zip(b).map(|(&x, &y)| bar.mul_mod(x, y)).collect()
 }
 
 /// Schoolbook negacyclic multiplication, O(n²) — reference for tests.

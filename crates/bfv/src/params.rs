@@ -3,7 +3,7 @@
 use crate::bigint::BigUint;
 use crate::ntt::NttTables;
 use crate::poly::RingContext;
-use crate::rns::RnsContext;
+use crate::rns::{RnsBaseConverter, RnsContext};
 use crate::zq;
 use std::error::Error;
 use std::fmt;
@@ -153,14 +153,32 @@ impl BfvParams {
 }
 
 /// Shared precomputation for one parameter set: the ciphertext ring, the
-/// auxiliary multiplication base, plaintext-side constants, and the batching
-/// NTT. Create once, share by reference everywhere.
+/// auxiliary multiplication base with its exact base converters, the
+/// rescale constants, plaintext-side constants, and the batching NTT.
+/// Create once, share by reference everywhere.
 #[derive(Debug)]
 pub struct BfvContext {
     params: BfvParams,
     ring: RingContext,
-    /// Auxiliary base for exact tensoring in multiply: P > 2 · N · (Q/2)².
+    /// Auxiliary base `B` extending `Q` for the RNS tensor: the combined
+    /// base satisfies `Q·B > 4·N·(Q/2)²` so degree-2 tensor coefficients
+    /// are exact, and `B > t·N·Q` so the rescaled product fits `B` alone.
     aux_ring: RingContext,
+    /// Exact centered conversion `Q → B` (operand extension, and the
+    /// `t·x mod Q` remainder lift inside the rescale).
+    q_to_aux: RnsBaseConverter,
+    /// Exact centered conversion `B → Q` (shrinking the rescaled product).
+    aux_to_q: RnsBaseConverter,
+    /// `Q⁻¹ mod b_j` — the exact division by `Q` in the rescale — with its
+    /// Shoup companion.
+    q_inv_mod_aux: Vec<(u64, u64)>,
+    /// `t·Q⁻¹ mod b_j` with its Shoup companion (the fused multiplier of
+    /// the rescale's `x·(t·Q⁻¹)` term).
+    t_q_inv_mod_aux: Vec<(u64, u64)>,
+    /// `t mod q_i` with its Shoup companion (the `t·x mod Q` scaling).
+    t_mod_q: Vec<(u64, u64)>,
+    /// `t mod b_j`.
+    t_mod_aux: Vec<u64>,
     /// NTT over `Z_t` used by the batch encoder.
     plain_ntt: NttTables,
     /// `Δ = floor(Q / t)`.
@@ -182,14 +200,45 @@ impl BfvContext {
         let n = params.poly_degree;
         let ring = RingContext::new(n, params.moduli.clone());
 
-        let q_bits = ring.modulus().bits();
-        let aux_bits_needed = 2 * q_bits + (n as u64).trailing_zeros() + 3;
-        let aux_prime_bits = 50u32;
-        let aux_count = aux_bits_needed.div_ceil(aux_prime_bits - 1) as usize;
+        // The tensor runs over the combined base Q·B, so B itself only
+        // needs q_bits + log2(N) + t_bits + slack bits: the binding
+        // constraint is holding the rescaled product y = round(t·x/Q)
+        // (|y| ≤ t·N·Q/2) in B alone, which dominates the exactness
+        // requirement Q·B > 4·N·(Q/2)² = N·Q².
+        let q_bits = ring.modulus().bits() as u64;
+        let t_bits = u64::from(64 - params.plain_modulus.leading_zeros());
+        let aux_bits_needed = q_bits + t_bits + u64::from((n as u64).trailing_zeros()) + 2;
+        // 60-bit auxiliary primes minimize the prime count (fewer NTTs on
+        // the multiply hot path); Barrett/Shoup arithmetic is exact up to
+        // 2^62 moduli.
+        let aux_prime_bits = 60u32;
+        let aux_count = aux_bits_needed.div_ceil(u64::from(aux_prime_bits) - 1) as usize;
         let mut exclude = params.moduli.clone();
         exclude.push(params.plain_modulus);
         let aux_primes = zq::ntt_primes(aux_prime_bits, 2 * n as u64, aux_count, &exclude);
-        let aux_ring = RingContext::new(n, aux_primes);
+        let aux_ring = RingContext::new(n, aux_primes.clone());
+
+        let q_to_aux = RnsBaseConverter::new(ring.rns(), &aux_primes);
+        let aux_to_q = RnsBaseConverter::new(aux_ring.rns(), &params.moduli);
+        let with_shoup = |w: u64, p: u64| (w, zq::shoup_precompute(w, p));
+        let q_inv_mod_aux: Vec<(u64, u64)> = aux_primes
+            .iter()
+            .map(|&b| with_shoup(zq::inv_mod(ring.modulus().rem_u64(b), b), b))
+            .collect();
+        let t_q_inv_mod_aux = aux_primes
+            .iter()
+            .zip(&q_inv_mod_aux)
+            .map(|(&b, &(q_inv, _))| with_shoup(zq::mul_mod(params.plain_modulus % b, q_inv, b), b))
+            .collect();
+        let t_mod_q = params
+            .moduli
+            .iter()
+            .map(|&q| with_shoup(params.plain_modulus % q, q))
+            .collect();
+        let t_mod_aux = aux_primes
+            .iter()
+            .map(|&b| params.plain_modulus % b)
+            .collect();
 
         let plain_ntt = NttTables::new(params.plain_modulus, n);
 
@@ -201,6 +250,12 @@ impl BfvContext {
             params,
             ring,
             aux_ring,
+            q_to_aux,
+            aux_to_q,
+            q_inv_mod_aux,
+            t_q_inv_mod_aux,
+            t_mod_q,
+            t_mod_aux,
             plain_ntt,
             delta,
             delta_residues,
@@ -226,6 +281,36 @@ impl BfvContext {
     /// The auxiliary CRT context.
     pub fn aux_rns(&self) -> &RnsContext {
         self.aux_ring.rns()
+    }
+
+    /// Exact centered base converter `Q → B`.
+    pub fn q_to_aux(&self) -> &RnsBaseConverter {
+        &self.q_to_aux
+    }
+
+    /// Exact centered base converter `B → Q`.
+    pub fn aux_to_q(&self) -> &RnsBaseConverter {
+        &self.aux_to_q
+    }
+
+    /// `(Q⁻¹ mod b_j, shoup)` for each auxiliary prime.
+    pub fn q_inv_mod_aux(&self) -> &[(u64, u64)] {
+        &self.q_inv_mod_aux
+    }
+
+    /// `(t·Q⁻¹ mod b_j, shoup)` for each auxiliary prime.
+    pub fn t_q_inv_mod_aux(&self) -> &[(u64, u64)] {
+        &self.t_q_inv_mod_aux
+    }
+
+    /// `(t mod q_i, shoup)` for each ciphertext prime.
+    pub fn t_mod_q(&self) -> &[(u64, u64)] {
+        &self.t_mod_q
+    }
+
+    /// `t mod b_j` for each auxiliary prime.
+    pub fn t_mod_aux(&self) -> &[u64] {
+        &self.t_mod_aux
     }
 
     /// NTT over the plaintext modulus (batching transform).
@@ -305,10 +390,15 @@ mod tests {
             .mul_u64(t)
             .add(&crate::bigint::BigUint::from_u64(ctx.q_mod_t()));
         assert_eq!(&recomposed, ctx.ring().modulus());
-        // aux base large enough for exact tensoring
+        // The combined tensor base Q·B must hold degree-2 tensor
+        // coefficients exactly (|coeff| ≤ 2N(Q/2)², so Q·B > N·Q² works),
+        // and B alone must hold the rescaled product (|y| ≤ t·N·Q/2).
         let q_bits = ctx.ring().modulus().bits();
-        let needed = 2 * q_bits + (ctx.params().poly_degree as u64).trailing_zeros() + 2;
-        assert!(ctx.aux_ring().modulus().bits() >= needed);
+        let aux_bits = ctx.aux_ring().modulus().bits();
+        let log_n = (ctx.params().poly_degree as u64).trailing_zeros();
+        let t_bits = 64 - ctx.params().plain_modulus.leading_zeros();
+        assert!(q_bits + aux_bits > 2 * q_bits + log_n);
+        assert!(aux_bits > q_bits + t_bits + log_n);
     }
 
     #[test]

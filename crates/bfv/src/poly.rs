@@ -1,15 +1,36 @@
-//! RNS polynomials in `Z_Q[x]/(x^N + 1)` and their ring context.
+//! RNS polynomials in `Z_Q[x]/(x^N + 1)` and their ring context, with a
+//! **double-CRT** (RNS × NTT) resident representation.
 //!
-//! An [`RnsPoly`] stores one residue vector per RNS prime. Additions and
-//! NTT-based multiplications stay componentwise; exact lifting to centered
-//! big integers (for the BFV multiply rescale and for decryption) goes
-//! through [`RingContext::lift_centered`].
+//! An [`RnsPoly`] stores one residue vector per RNS prime and a
+//! [`PolyForm`] tag saying whether those vectors hold power-basis
+//! coefficients or per-prime NTT evaluations. The evaluator keeps
+//! ciphertexts and keys in [`PolyForm::Eval`] so that add/sub/negate,
+//! polynomial products, and Galois automorphisms (a pure index permutation
+//! in the evaluation domain) never pay a number-theoretic transform;
+//! [`PolyForm::Coeff`] appears only where an operation genuinely needs
+//! coefficients — RNS digit decomposition for key switching, base
+//! conversion inside the multiply, and the final lift at decryption.
+//! Conversions are exact NTT round-trips, so the represented ring element
+//! is identical in either form.
+//!
+//! Exact lifting to centered big integers (decryption and noise metering)
+//! goes through [`RingContext::lift_centered`].
 
 use crate::bigint::{center, BigInt, BigUint};
 use crate::ntt::NttTables;
 use crate::rns::RnsContext;
-use crate::zq::{add_mod, mul_mod, sub_mod};
+use crate::zq::{add_mod, sub_mod};
 use rand::Rng;
+
+/// The representation of an [`RnsPoly`]'s residue vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolyForm {
+    /// Power-basis coefficients modulo each prime.
+    Coeff,
+    /// Double-CRT: per-prime negacyclic NTT evaluations (see
+    /// [`crate::ntt::NttTables::forward`]).
+    Eval,
+}
 
 /// Shared precomputation for a ring `Z_Q[x]/(x^N + 1)` with RNS modulus
 /// `Q = ∏ q_i`: per-prime NTT tables plus CRT data.
@@ -66,15 +87,62 @@ impl RingContext {
         &self.ntt[i]
     }
 
-    /// The all-zero polynomial.
+    /// The all-zero polynomial in coefficient form.
     pub fn zero(&self) -> RnsPoly {
+        self.zero_as(PolyForm::Coeff)
+    }
+
+    /// The all-zero polynomial in evaluation form (zero transforms to
+    /// zero, so the tag is free to choose).
+    pub fn zero_eval(&self) -> RnsPoly {
+        self.zero_as(PolyForm::Eval)
+    }
+
+    fn zero_as(&self, form: PolyForm) -> RnsPoly {
         RnsPoly {
             residues: vec![vec![0u64; self.n]; self.rns.len()],
+            form,
         }
     }
 
+    /// Converts `a` to evaluation form in place (no-op if already there).
+    pub fn make_eval(&self, a: &mut RnsPoly) {
+        if a.form == PolyForm::Coeff {
+            for (t, r) in self.ntt.iter().zip(a.residues.iter_mut()) {
+                t.forward(r);
+            }
+            a.form = PolyForm::Eval;
+        }
+    }
+
+    /// Converts `a` to coefficient form in place (no-op if already there).
+    pub fn make_coeff(&self, a: &mut RnsPoly) {
+        if a.form == PolyForm::Eval {
+            for (t, r) in self.ntt.iter().zip(a.residues.iter_mut()) {
+                t.inverse(r);
+            }
+            a.form = PolyForm::Coeff;
+        }
+    }
+
+    /// Returns `a` in evaluation form (clones; no-op transform if already
+    /// there).
+    pub fn to_eval(&self, a: &RnsPoly) -> RnsPoly {
+        let mut out = a.clone();
+        self.make_eval(&mut out);
+        out
+    }
+
+    /// Returns `a` in coefficient form (clones; no-op transform if already
+    /// there).
+    pub fn to_coeff(&self, a: &RnsPoly) -> RnsPoly {
+        let mut out = a.clone();
+        self.make_coeff(&mut out);
+        out
+    }
+
     /// Builds a polynomial from small unsigned coefficients (reduced modulo
-    /// each prime).
+    /// each prime), in coefficient form.
     ///
     /// # Panics
     ///
@@ -85,12 +153,21 @@ impl RingContext {
             .rns
             .primes()
             .iter()
-            .map(|&p| coeffs.iter().map(|&c| c % p).collect())
+            .map(|&p| {
+                coeffs
+                    .iter()
+                    .map(|&c| if c < p { c } else { c % p })
+                    .collect()
+            })
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: PolyForm::Coeff,
+        }
     }
 
-    /// Builds a polynomial from signed coefficients (centered lift).
+    /// Builds a polynomial from signed coefficients (centered lift), in
+    /// coefficient form.
     pub fn from_i64_coeffs(&self, coeffs: &[i64]) -> RnsPoly {
         assert_eq!(coeffs.len(), self.n);
         let residues = self
@@ -111,10 +188,14 @@ impl RingContext {
                     .collect()
             })
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: PolyForm::Coeff,
+        }
     }
 
-    /// Builds a polynomial from exact centered big-integer coefficients.
+    /// Builds a polynomial from exact centered big-integer coefficients, in
+    /// coefficient form.
     pub fn from_centered(&self, coeffs: &[BigInt]) -> RnsPoly {
         assert_eq!(coeffs.len(), self.n);
         let residues = self
@@ -123,12 +204,18 @@ impl RingContext {
             .iter()
             .map(|&p| coeffs.iter().map(|c| c.rem_euclid_u64(p)).collect())
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: PolyForm::Coeff,
+        }
     }
 
     /// Lifts every coefficient to its exact centered representative in
-    /// `(-Q/2, Q/2]`.
+    /// `(-Q/2, Q/2]`, converting out of evaluation form first if needed.
     pub fn lift_centered(&self, poly: &RnsPoly) -> Vec<BigInt> {
+        if poly.form == PolyForm::Eval {
+            return self.lift_centered(&self.to_coeff(poly));
+        }
         let q = self.rns.modulus();
         (0..self.n)
             .map(|c| {
@@ -138,8 +225,11 @@ impl RingContext {
             .collect()
     }
 
-    /// Uniformly random polynomial in `R_Q` (uniform per RNS component is
-    /// uniform mod `Q` by CRT).
+    /// Uniformly random polynomial in `R_Q`, tagged evaluation form
+    /// (uniform per RNS component is uniform mod `Q` by CRT, and the NTT is
+    /// a bijection, so uniformity holds in either representation; the
+    /// evaluation tag keeps public keys and key-switch masks NTT-resident
+    /// for free).
     pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPoly {
         let residues = self
             .rns
@@ -147,10 +237,14 @@ impl RingContext {
             .iter()
             .map(|&p| (0..self.n).map(|_| rng.gen_range(0..p)).collect())
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: PolyForm::Eval,
+        }
     }
 
-    /// Random ternary polynomial with coefficients in `{-1, 0, 1}`.
+    /// Random ternary polynomial with coefficients in `{-1, 0, 1}`, in
+    /// coefficient form.
     pub fn sample_ternary<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPoly {
         let coeffs: Vec<i64> = (0..self.n).map(|_| rng.gen_range(-1..=1)).collect();
         self.from_i64_coeffs(&coeffs)
@@ -158,7 +252,7 @@ impl RingContext {
 
     /// Random error polynomial from a centered binomial distribution with
     /// parameter η = 10 (σ ≈ 2.24); stands in for SEAL's σ = 3.2 discrete
-    /// Gaussian, which only shifts noise-budget constants.
+    /// Gaussian, which only shifts noise-budget constants. Coefficient form.
     pub fn sample_error<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPoly {
         let coeffs: Vec<i64> = (0..self.n)
             .map(|_| {
@@ -170,17 +264,18 @@ impl RingContext {
         self.from_i64_coeffs(&coeffs)
     }
 
-    /// Componentwise sum.
+    /// Componentwise sum. Mixed-form operands are normalized to evaluation
+    /// form; same-form operands stay in their form.
     pub fn add(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.zip(a, b, add_mod)
     }
 
-    /// Componentwise difference.
+    /// Componentwise difference (same form rules as [`RingContext::add`]).
     pub fn sub(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.zip(a, b, sub_mod)
     }
 
-    /// Negation.
+    /// Negation (form-preserving).
     pub fn neg(&self, a: &RnsPoly) -> RnsPoly {
         let residues = self
             .rns
@@ -189,10 +284,16 @@ impl RingContext {
             .zip(&a.residues)
             .map(|(&p, r)| r.iter().map(|&x| if x == 0 { 0 } else { p - x }).collect())
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: a.form,
+        }
     }
 
     fn zip(&self, a: &RnsPoly, b: &RnsPoly, f: fn(u64, u64, u64) -> u64) -> RnsPoly {
+        if a.form != b.form {
+            return self.zip(&self.to_eval(a), &self.to_eval(b), f);
+        }
         let residues = self
             .rns
             .primes()
@@ -206,19 +307,45 @@ impl RingContext {
                     .collect()
             })
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: a.form,
+        }
     }
 
-    /// Negacyclic product via per-prime NTT.
+    /// Negacyclic product. In the double-CRT representation this is a pure
+    /// pointwise product; coefficient-form operands are transformed first.
+    /// The result is in evaluation form.
     pub fn mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
-        let residues = (0..self.rns.len())
-            .map(|i| self.ntt[i].multiply(&a.residues[i], &b.residues[i]))
+        let (ae, be);
+        let a = if a.form == PolyForm::Eval {
+            a
+        } else {
+            ae = self.to_eval(a);
+            &ae
+        };
+        let b = if b.form == PolyForm::Eval {
+            b
+        } else {
+            be = self.to_eval(b);
+            &be
+        };
+        let residues = self
+            .rns
+            .primes()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| crate::ntt::pointwise_mul(&a.residues[i], &b.residues[i], p))
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: PolyForm::Eval,
+        }
     }
 
     /// Multiplies every coefficient by the integer whose per-prime residues
-    /// are `scalar_residues` (e.g. `Δ mod q_i`).
+    /// are `scalar_residues` (e.g. `Δ mod q_i`). Form-preserving: scalar
+    /// multiplication commutes with the NTT.
     pub fn mul_scalar_residues(&self, a: &RnsPoly, scalar_residues: &[u64]) -> RnsPoly {
         assert_eq!(scalar_residues.len(), self.rns.len());
         let residues = self
@@ -227,21 +354,71 @@ impl RingContext {
             .iter()
             .enumerate()
             .map(|(i, &p)| {
+                let w = scalar_residues[i];
+                let w_shoup = crate::zq::shoup_precompute(w, p);
                 a.residues[i]
                     .iter()
-                    .map(|&x| mul_mod(x, scalar_residues[i], p))
+                    .map(|&x| crate::zq::mul_mod_shoup(x, w, w_shoup, p))
                     .collect()
             })
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: a.form,
+        }
     }
 
-    /// Applies the Galois automorphism `x → x^g` (g odd, `1 ≤ g < 2N`).
+    /// The index permutation implementing the Galois automorphism
+    /// `x → x^g` in the evaluation domain: with the natural-order NTT
+    /// (`out[j] = m(ψ^(2j+1))`), `σ_g(m)(ψ^(2j+1)) = m(ψ^((2j+1)g mod 2N))`,
+    /// so slot `j` of the output simply reads slot `((2j+1)g mod 2N − 1)/2`
+    /// of the input — no modular arithmetic at apply time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even or out of range `[1, 2N)`.
+    pub fn galois_eval_permutation(&self, g: u64) -> Vec<u32> {
+        let two_n = 2 * self.n as u64;
+        assert!(g % 2 == 1 && g < two_n, "invalid Galois element {g}");
+        (0..self.n as u64)
+            .map(|j| ((((2 * j + 1) * g) % two_n - 1) / 2) as u32)
+            .collect()
+    }
+
+    /// Applies a precomputed evaluation-domain permutation (from
+    /// [`RingContext::galois_eval_permutation`]) to an evaluation-form
+    /// polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not in evaluation form or the permutation length
+    /// differs from `N`.
+    pub fn apply_eval_permutation(&self, a: &RnsPoly, perm: &[u32]) -> RnsPoly {
+        assert_eq!(a.form, PolyForm::Eval, "permutation needs evaluation form");
+        assert_eq!(perm.len(), self.n);
+        let residues = a
+            .residues
+            .iter()
+            .map(|r| perm.iter().map(|&j| r[j as usize]).collect())
+            .collect();
+        RnsPoly {
+            residues,
+            form: PolyForm::Eval,
+        }
+    }
+
+    /// Applies the Galois automorphism `x → x^g` (g odd, `1 ≤ g < 2N`),
+    /// form-preserving. In evaluation form this is the index permutation of
+    /// [`RingContext::galois_eval_permutation`]; in coefficient form it is
+    /// the sign-wrapping monomial map.
     ///
     /// # Panics
     ///
     /// Panics if `g` is even or out of range.
     pub fn automorphism(&self, a: &RnsPoly, g: u64) -> RnsPoly {
+        if a.form == PolyForm::Eval {
+            return self.apply_eval_permutation(a, &self.galois_eval_permutation(g));
+        }
         let n = self.n as u64;
         assert!(g % 2 == 1 && g < 2 * n, "invalid Galois element {g}");
         let mut out = self.zero();
@@ -263,8 +440,14 @@ impl RingContext {
 
     /// Extracts RNS component `i` as a polynomial with small coefficients
     /// (`< q_i`) reduced modulo **every** prime — the RNS-decomposition step
-    /// of key switching.
+    /// of key switching. Requires coefficient form (digits are defined on
+    /// coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is in evaluation form.
     pub fn decompose_component(&self, a: &RnsPoly, i: usize) -> RnsPoly {
+        assert_eq!(a.form, PolyForm::Coeff, "decomposition needs coefficients");
         let src = &a.residues[i];
         let residues = self
             .rns
@@ -272,16 +455,23 @@ impl RingContext {
             .iter()
             .map(|&p| src.iter().map(|&x| x % p).collect())
             .collect();
-        RnsPoly { residues }
+        RnsPoly {
+            residues,
+            form: PolyForm::Coeff,
+        }
     }
 }
 
 /// A polynomial in `Z_Q[x]/(x^N + 1)`, stored as one residue vector per RNS
-/// prime (coefficient order, little-endian in the exponent).
+/// prime, in either coefficient or evaluation (double-CRT) form. Equality
+/// compares representation as well as value: the same ring element in two
+/// different forms is *not* `==` (convert first).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RnsPoly {
-    /// `residues[prime_index][coeff_index]`.
+    /// `residues[prime_index][coeff_index]` (or `[eval_index]` in
+    /// evaluation form).
     pub(crate) residues: Vec<Vec<u64>>,
+    pub(crate) form: PolyForm,
 }
 
 impl RnsPoly {
@@ -290,7 +480,12 @@ impl RnsPoly {
         &self.residues[i]
     }
 
-    /// True if every residue is zero.
+    /// Which representation the residues are in.
+    pub fn form(&self) -> PolyForm {
+        self.form
+    }
+
+    /// True if every residue is zero (the zero polynomial in either form).
     pub fn is_zero(&self) -> bool {
         self.residues.iter().all(|r| r.iter().all(|&x| x == 0))
     }
@@ -315,7 +510,7 @@ mod tests {
         let s = ctx.add(&a, &b);
         assert_eq!(ctx.sub(&s, &b), a);
         assert_eq!(ctx.sub(&s, &a), b);
-        assert_eq!(ctx.add(&a, &ctx.neg(&a)), ctx.zero());
+        assert_eq!(ctx.add(&a, &ctx.neg(&a)), ctx.zero_eval());
     }
 
     #[test]
@@ -332,12 +527,45 @@ mod tests {
     }
 
     #[test]
+    fn form_conversion_roundtrips() {
+        let ctx = ctx(32, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = ctx.sample_uniform(&mut rng);
+        assert_eq!(a.form(), PolyForm::Eval);
+        let c = ctx.to_coeff(&a);
+        assert_eq!(c.form(), PolyForm::Coeff);
+        assert_eq!(ctx.to_eval(&c), a);
+        // to_eval/to_coeff are no-ops on already-converted polys
+        assert_eq!(ctx.to_eval(&a), a);
+        assert_eq!(ctx.to_coeff(&c), c);
+    }
+
+    #[test]
+    fn eval_mul_matches_coeff_mul() {
+        // Pointwise product in eval form computes the same ring product as
+        // the coefficient-form NTT multiply.
+        let ctx = ctx(16, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let a = ctx.to_coeff(&ctx.sample_uniform(&mut rng));
+        let b = ctx.to_coeff(&ctx.sample_uniform(&mut rng));
+        let via_coeff = ctx.mul(&a, &b);
+        let via_eval = ctx.mul(&ctx.to_eval(&a), &ctx.to_eval(&b));
+        assert_eq!(via_coeff, via_eval);
+        // and it matches schoolbook on each prime
+        for (i, &p) in ctx.primes().iter().enumerate() {
+            let expect = crate::ntt::negacyclic_mul_schoolbook(a.component(i), b.component(i), p);
+            assert_eq!(ctx.to_coeff(&via_eval).component(i), &expect[..]);
+        }
+    }
+
+    #[test]
     fn centered_lift_roundtrip() {
         let ctx = ctx(16, 3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let a = ctx.sample_uniform(&mut rng);
+        // lift converts out of eval form internally
         let lifted = ctx.lift_centered(&a);
-        assert_eq!(ctx.from_centered(&lifted), a);
+        assert_eq!(ctx.from_centered(&lifted), ctx.to_coeff(&a));
         // centered magnitudes are at most Q/2
         let half = ctx.modulus().shr_bits(1);
         for c in &lifted {
@@ -371,6 +599,19 @@ mod tests {
     }
 
     #[test]
+    fn eval_automorphism_matches_coeff_automorphism() {
+        let ctx = ctx(32, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let a_eval = ctx.sample_uniform(&mut rng);
+        let a_coeff = ctx.to_coeff(&a_eval);
+        for g in [3u64, 5, 9, 63] {
+            let via_eval = ctx.to_coeff(&ctx.automorphism(&a_eval, g));
+            let via_coeff = ctx.automorphism(&a_coeff, g);
+            assert_eq!(via_eval, via_coeff, "g = {g}");
+        }
+    }
+
+    #[test]
     fn automorphism_matches_poly_eval() {
         // sigma_g(x^k) = x^{gk mod 2N} with sign wrap; check on a monomial.
         let ctx = ctx(8, 2);
@@ -389,7 +630,7 @@ mod tests {
     fn decompose_component_small_coeffs() {
         let ctx = ctx(8, 3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let a = ctx.sample_uniform(&mut rng);
+        let a = ctx.to_coeff(&ctx.sample_uniform(&mut rng));
         for i in 0..3 {
             let d = ctx.decompose_component(&a, i);
             // Its own component is unchanged.

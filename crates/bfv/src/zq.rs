@@ -5,27 +5,26 @@
 //! `p ≡ 1 (mod 2N)` so the negacyclic NTT exists. This module finds those
 //! primes and the 2N-th roots of unity the NTT tables need.
 
-/// `(a + b) mod m` for `a, b < m`.
+/// `(a + b) mod m` for `a, b < m < 2^63`.
+///
+/// Branchless (`min` select): the reduction decision depends on the data,
+/// so a conditional here mispredicts ~half the time inside NTT butterflies;
+/// the select form costs a fixed three ops instead.
 #[inline]
 pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
-    debug_assert!(a < m && b < m);
-    let (s, ov) = a.overflowing_add(b);
-    if ov || s >= m {
-        s.wrapping_sub(m)
-    } else {
-        s
-    }
+    debug_assert!(a < m && b < m && m < (1 << 63));
+    let s = a + b; // no overflow: s < 2m < 2^64
+    s.min(s.wrapping_sub(m))
 }
 
-/// `(a - b) mod m` for `a, b < m`.
+/// `(a - b) mod m` for `a, b < m < 2^63` (branchless, see [`add_mod`]).
 #[inline]
 pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
-    debug_assert!(a < m && b < m);
-    if a >= b {
-        a - b
-    } else {
-        a.wrapping_sub(b).wrapping_add(m)
-    }
+    debug_assert!(a < m && b < m && m < (1 << 63));
+    let d = a.wrapping_sub(b);
+    // a ≥ b: d < m and d + m ≥ m, so min picks d. a < b: d wraps near 2^64
+    // and d + m wraps to the correct d + m − 2^64 = a − b + m < m.
+    d.min(d.wrapping_add(m))
 }
 
 /// `(a * b) mod m` via 128-bit widening.
@@ -58,23 +57,93 @@ pub fn inv_mod(a: u64, p: u64) -> u64 {
     pow_mod(a, p - 2, p)
 }
 
+/// Barrett reduction context for a fixed modulus `p < 2^62`: replaces the
+/// 128-bit hardware division of [`mul_mod`] with two rounds of 64-bit
+/// multiplies. Unlike [`mul_mod_shoup`] neither operand needs to be fixed,
+/// so this is the right primitive for pointwise products of two variable
+/// evaluation-form vectors (the double-CRT tensor).
+#[derive(Debug, Clone, Copy)]
+pub struct Barrett {
+    p: u64,
+    /// `floor(2^128 / p)`, split into low/high 64-bit words.
+    m_lo: u64,
+    m_hi: u64,
+}
+
+impl Barrett {
+    /// Builds a reducer for `p` (requires `1 < p < 2^62`, not a power of
+    /// two — every modulus here is an odd prime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or a power of two (for which the
+    /// quotient estimate below would overflow; use shifts instead).
+    pub fn new(p: u64) -> Self {
+        assert!(
+            p > 1 && p < (1 << 62) && !p.is_power_of_two(),
+            "Barrett modulus out of range"
+        );
+        // floor(2^128 / p) == floor((2^128 - 1) / p) since p ∤ 2^128 for
+        // any p that is not a power of two.
+        let mu = u128::MAX / p as u128;
+        Barrett {
+            p,
+            m_lo: mu as u64,
+            m_hi: (mu >> 64) as u64,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(self) -> u64 {
+        self.p
+    }
+
+    /// Reduces any `z < 2^128` modulo `p`, provided the true remainder path
+    /// stays in a machine word (always, for `p < 2^62`).
+    #[inline]
+    pub fn reduce(self, z: u128) -> u64 {
+        let z0 = z as u64;
+        let z1 = (z >> 64) as u64;
+        // q ≈ floor(z·mu / 2^128); dropping sub-word carries underestimates
+        // the true quotient by at most 3, corrected below.
+        let mid = z1 as u128 * self.m_lo as u128
+            + z0 as u128 * self.m_hi as u128
+            + ((z0 as u128 * self.m_lo as u128) >> 64);
+        let q = (z1 as u128 * self.m_hi as u128 + (mid >> 64)) as u64;
+        // True remainder is in [0, 4p); fold branchlessly (4p < 2^64).
+        let r = z0.wrapping_sub(q.wrapping_mul(self.p));
+        let r = r.min(r.wrapping_sub(2 * self.p));
+        r.min(r.wrapping_sub(self.p))
+    }
+
+    /// Reduces a single word modulo `p`.
+    #[inline]
+    pub fn reduce_u64(self, x: u64) -> u64 {
+        self.reduce(x as u128)
+    }
+
+    /// `(a * b) mod p` for `a, b < 2^62`.
+    #[inline]
+    pub fn mul_mod(self, a: u64, b: u64) -> u64 {
+        self.reduce(a as u128 * b as u128)
+    }
+}
+
 /// Shoup precomputation: `floor(w * 2^64 / p)` for fast `mul_mod_shoup`.
 #[inline]
 pub fn shoup_precompute(w: u64, p: u64) -> u64 {
     (((w as u128) << 64) / p as u128) as u64
 }
 
-/// `(a * w) mod p` using a Shoup-precomputed `w_shoup`; ~2× faster than
-/// `mul_mod` for fixed multiplicands (NTT twiddles).
+/// `(a * w) mod p` using a Shoup-precomputed `w_shoup` (`p < 2^63`); much
+/// faster than `mul_mod` for fixed multiplicands (NTT twiddles, keys,
+/// converter tables). Branchless final reduction, see [`add_mod`].
 #[inline]
 pub fn mul_mod_shoup(a: u64, w: u64, w_shoup: u64, p: u64) -> u64 {
     let q = ((a as u128 * w_shoup as u128) >> 64) as u64;
     let r = a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(p));
-    if r >= p {
-        r - p
-    } else {
-        r
-    }
+    // r < 2p < 2^64 exactly as in sub_mod's wrap-free case.
+    r.min(r.wrapping_sub(p))
 }
 
 /// Deterministic Miller–Rabin for `u64` (fixed witness set, correct for all
@@ -204,6 +273,26 @@ mod tests {
         let p = (1u64 << 62) - 57; // not prime necessarily; add_mod only needs m
         let a = p - 1;
         assert_eq!(add_mod(a, a, p), p - 2);
+    }
+
+    #[test]
+    fn barrett_matches_plain() {
+        for p in [
+            3u64,
+            65537,
+            ntt_primes(50, 1 << 13, 1, &[])[0],
+            ntt_primes(60, 64, 1, &[])[0],
+        ] {
+            let bar = Barrett::new(p);
+            for a in [0u64, 1, 2, p - 1, p / 2, 0xdead_beef % p] {
+                for b in [0u64, 1, p - 1, p / 3, 0x1234_5678 % p] {
+                    assert_eq!(bar.mul_mod(a, b), mul_mod(a, b, p), "p={p} a={a} b={b}");
+                }
+            }
+            // reduce handles full-width inputs, not just products of residues
+            assert_eq!(bar.reduce(u128::MAX), (u128::MAX % p as u128) as u64);
+            assert_eq!(bar.reduce_u64(u64::MAX), u64::MAX % p);
+        }
     }
 
     #[test]

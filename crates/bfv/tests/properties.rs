@@ -110,6 +110,78 @@ proptest! {
     }
 }
 
+// The double-CRT representation is semantically transparent: running the
+// same random op sequence with ciphertexts bounced to coefficient form
+// after every operation produces bit-identical decryptions to the
+// evaluation-form-resident pipeline, and the invariant noise budget never
+// depends on the representation either.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn representation_is_transparent_to_every_op(seed in any::<u64>()) {
+        use test_support::{seeded_rng, small_ctx, HeSession};
+
+        let ctx = small_ctx();
+        let mut rng = seeded_rng(seed);
+        let session = HeSession::new(&ctx, &mut rng);
+        let HeSession {
+            keygen,
+            encryptor,
+            decryptor,
+            encoder,
+            evaluator: ev,
+        } = &session;
+        let rk = keygen.relin_key(&mut rng);
+        let gk = keygen.galois_keys_for_rotations(&[2], true, &mut rng);
+
+        use rand::Rng;
+        let t = ctx.params().plain_modulus;
+        let va: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
+        let vb: Vec<u64> = (0..encoder.slot_count()).map(|_| rng.gen_range(0..t)).collect();
+        let pt = encoder.encode(&vb);
+        let other = encryptor.encrypt(&pt, &mut rng);
+        // eval-resident pipeline vs coefficient-bounced pipeline
+        let mut ct_eval = encryptor.encrypt(&encoder.encode(&va), &mut rng);
+        let mut ct_coeff = ct_eval.to_coeff_form(&ctx);
+
+        type Op<'s> = Box<dyn Fn(&bfv::Ciphertext) -> bfv::Ciphertext + 's>;
+        let ops: Vec<(&str, Op)> = vec![
+            ("add", Box::new(|c: &bfv::Ciphertext| ev.add(c, &other))),
+            ("add_plain", Box::new(|c: &bfv::Ciphertext| ev.add_plain(c, &pt))),
+            ("rotate", Box::new(|c: &bfv::Ciphertext| ev.rotate_rows(c, 2, &gk))),
+            ("mul_plain", Box::new(|c: &bfv::Ciphertext| ev.mul_plain(c, &pt))),
+            ("columns", Box::new(|c: &bfv::Ciphertext| ev.rotate_columns(c, &gk))),
+            ("negate", Box::new(|c: &bfv::Ciphertext| ev.negate(c))),
+            ("sub", Box::new(|c: &bfv::Ciphertext| ev.sub(c, &other))),
+            ("mul_relin", Box::new(|c: &bfv::Ciphertext| ev.multiply_relin(c, &other, &rk))),
+            ("sub_plain", Box::new(|c: &bfv::Ciphertext| ev.sub_plain(c, &pt))),
+        ];
+        for (name, op) in &ops {
+            ct_eval = op(&ct_eval);
+            ct_coeff = op(&ct_coeff).to_coeff_form(&ctx);
+            let dec_eval = decryptor.decrypt(&ct_eval);
+            let dec_coeff = decryptor.decrypt(&ct_coeff);
+            prop_assert_eq!(
+                dec_eval.coeffs(),
+                dec_coeff.coeffs(),
+                "decryptions diverged after {}", name
+            );
+            prop_assert_eq!(
+                decryptor.invariant_noise_budget(&ct_eval),
+                decryptor.invariant_noise_budget(&ct_coeff),
+                "noise budget representation-dependent after {}", name
+            );
+            // converting back and forth is the identity on the ring element
+            prop_assert_eq!(
+                decryptor.invariant_noise_budget(&ct_eval),
+                decryptor.invariant_noise_budget(&ct_eval.to_coeff_form(&ctx).to_eval_form(&ctx)),
+                "form round-trip changed the ciphertext after {}", name
+            );
+        }
+    }
+}
+
 /// Homomorphic slot semantics: random circuits of adds/mults/rotations over
 /// encrypted data agree with plaintext evaluation.
 #[test]

@@ -34,16 +34,25 @@ impl LatencyModel {
     /// Latencies measured on the in-repo BFV backend at `N = 4096`,
     /// 3 × 46-bit primes (the `fast_4096` preset), median of repeated runs.
     /// Regenerate with `cargo run -p porcupine-bench --release --bin
-    /// profile_latency`.
+    /// profile_latency` (or compare against the seed baseline with the
+    /// `he_ops` binary, which writes `BENCH_he_ops.json`).
+    ///
+    /// These constants reflect the RNS-native double-CRT evaluator:
+    /// relative to the original BigInt-CRT backend, ct×ct multiply is
+    /// ~7.5× cheaper and rotation ~16× cheaper, while `add_ct_pt` /
+    /// `sub_ct_pt` pay the plaintext's forward NTTs to keep ciphertexts
+    /// transform-resident. The key-switching ops (rotation, multiply)
+    /// still dominate, so the synthesizer's incentives are unchanged in
+    /// direction, only in magnitude.
     pub fn profiled_default() -> Self {
         LatencyModel {
-            add_ct_ct: 43.9,
-            sub_ct_ct: 37.5,
-            mul_ct_ct: 44_550.8,
-            add_ct_pt: 66.9,
-            sub_ct_pt: 68.4,
-            mul_ct_pt: 4_596.4,
-            rot_ct: 14_095.5,
+            add_ct_ct: 45.5,
+            sub_ct_ct: 45.4,
+            mul_ct_ct: 5_883.7,
+            add_ct_pt: 200.3,
+            sub_ct_pt: 202.4,
+            mul_ct_pt: 271.7,
+            rot_ct: 865.5,
         }
     }
 

@@ -14,6 +14,47 @@ fn all_baselines_execute_correctly_under_encryption() {
     }
 }
 
+/// Kernel-level regression for the double-CRT representation: executing a
+/// paper kernel with its encrypted inputs bounced to coefficient form
+/// first must decrypt to the very same slots as the evaluation-form run —
+/// the codegen path may not depend on which representation ciphertexts
+/// arrive in.
+#[test]
+fn kernel_execution_is_representation_independent() {
+    use porcupine::codegen::BfvRunner;
+    use test_support::HeSession;
+
+    let ctx = small_ctx();
+    let kernel = all_direct()
+        .into_iter()
+        .next()
+        .expect("at least one kernel");
+    let prog = &kernel.baseline;
+    let mut rng = seeded_rng(42);
+    let session = HeSession::new(&ctx, &mut rng);
+    let runner = BfvRunner::for_programs(&ctx, &session.keygen, &[prog], &mut rng);
+    let encoder = runner.encoder();
+
+    let inputs = test_support::sample_model_inputs(prog.num_ct_inputs, kernel.spec.n, 64, &mut rng);
+    let cts: Vec<bfv::Ciphertext> = inputs
+        .iter()
+        .map(|v| session.encryptor.encrypt(&encoder.encode(v), &mut rng))
+        .collect();
+    let cts_coeff: Vec<bfv::Ciphertext> = cts.iter().map(|c| c.to_coeff_form(&ctx)).collect();
+
+    let run = |cts: &[bfv::Ciphertext]| {
+        let refs: Vec<&bfv::Ciphertext> = cts.iter().collect();
+        let out = runner.run(prog, &refs, &[]);
+        encoder.decode(&session.decryptor.decrypt(&out))
+    };
+    assert_eq!(
+        run(&cts),
+        run(&cts_coeff),
+        "{} diverged across input representations",
+        prog.name
+    );
+}
+
 #[test]
 fn sobel_baseline_executes_correctly_under_encryption() {
     let ctx = small_ctx();
