@@ -31,8 +31,11 @@ fn kernel_latency(c: &mut Criterion) {
     {
         let synth = synthesize(&k.spec, &k.sketch, &options)
             .unwrap_or_else(|e| panic!("{}: {e}", k.name))
-            .program;
-        let programs = [&k.baseline, &synth];
+            .optimized;
+        // The backend executes lowered IR; the baseline goes through the
+        // same middle-end level as the synthesized program.
+        let (baseline, _) = porcupine::opt::optimize(&k.baseline, options.opt_level);
+        let programs = [&baseline, &synth];
         let runner = BfvRunner::for_programs(&ctx, &keygen, &programs, &mut rng);
         let encoder = runner.encoder();
 
@@ -55,7 +58,7 @@ fn kernel_latency(c: &mut Criterion) {
             .sample_size(10)
             .measurement_time(Duration::from_secs(5));
         group.bench_function("baseline", |b| {
-            b.iter(|| runner.run(&k.baseline, &ct_refs, &pt_refs))
+            b.iter(|| runner.run(&baseline, &ct_refs, &pt_refs))
         });
         group.bench_function("synthesized", |b| {
             b.iter(|| runner.run(&synth, &ct_refs, &pt_refs))

@@ -11,7 +11,7 @@ use porcupine::cegis::{synthesize, SynthesisOptions};
 use porcupine::codegen::emit_seal_cpp;
 use porcupine_bench::parse_jobs;
 use porcupine_kernels::stencil;
-use quill::cost::{cost, LatencyModel};
+use quill::cost::{eager_cost, LatencyModel};
 
 fn main() {
     let (jobs, _args) = parse_jobs(std::env::args().collect());
@@ -31,14 +31,14 @@ fn main() {
             k.baseline.len(),
             k.baseline.logic_depth(),
             k.baseline.mult_depth(),
-            cost(&k.baseline, &model),
+            eager_cost(&k.baseline, &model),
         );
         println!(
             "synthesized: {:>2} instructions, logic depth {}, mult depth {}, cost {:.0}",
             r.program.len(),
             r.program.logic_depth(),
             r.program.mult_depth(),
-            cost(&r.program, &model),
+            eager_cost(&r.program, &model),
         );
         println!("\n--- baseline (depth-minimized, Figure 5b/6b style) ---");
         print!("{}", k.baseline);

@@ -113,7 +113,12 @@ fn main() {
     );
     let mut ratios = Vec::new();
     for w in &workloads {
-        let programs = [&w.baseline, &w.synthesized];
+        // Both versions execute through the same middle-end level so the
+        // baseline-vs-synthesized comparison isolates the search, not the
+        // optimizer (the fig_opt binary measures -O0 vs -O2 instead).
+        let (baseline, _) = porcupine::opt::optimize(&w.baseline, options.opt_level);
+        let (synthesized, _) = porcupine::opt::optimize(&w.synthesized, options.opt_level);
+        let programs = [&baseline, &synthesized];
         let runner = BfvRunner::for_programs(&ctx, &keygen, &programs, &mut rng);
         let t = w.spec.t;
 

@@ -1,0 +1,204 @@
+//! Measures what the optimizing middle-end buys: per-kernel instruction
+//! counts (total / relin / rotation), modeled latency, and measured BFV
+//! latency at `-O0` versus `-O2`, over every paper kernel baseline and the
+//! Sobel/Harris multistep pipelines.
+//!
+//! ```text
+//! cargo run -p porcupine-bench --release --bin fig_opt [-- [--smoke] [runs]]
+//! ```
+//!
+//! Default mode times `runs` (default 5) executions per version on the
+//! `fast_4096` preset. Every workload is correctness-gated first: the
+//! `-O0` and `-O2` lowerings must decrypt bit-identically. `--smoke` uses
+//! the small preset with one run (CI-speed; measured times are then not
+//! meaningful, but counts, modeled latency, and the bit-identical gate
+//! are). Writes a `BENCH_fig_opt.json` summary at the repo root
+//! (gitignored, like the other BENCH artifacts).
+
+use bfv::encrypt::Ciphertext;
+use bfv::keys::KeyGenerator;
+use bfv::params::{BfvContext, BfvParams};
+use porcupine::codegen::BfvRunner;
+use porcupine::opt::{optimize, OptLevel};
+use porcupine_bench::{fmt_us, median};
+use porcupine_kernels::{all_direct, composite, stencil};
+use quill::cost::LatencyModel;
+use quill::program::Program;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Version {
+    prog: Program,
+    modeled_us: f64,
+    measured_us: f64,
+}
+
+struct Row {
+    name: String,
+    o0: Version,
+    o2: Version,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let runs: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 5 });
+
+    let params = if smoke {
+        BfvParams::test_small()
+    } else {
+        BfvParams::fast_4096()
+    };
+    println!(
+        "# fig_opt: -O0 vs -O2, N={}, {runs} timed run(s) per version{}",
+        params.poly_degree,
+        if smoke { " [smoke]" } else { "" },
+    );
+    let ctx = BfvContext::new(params).expect("valid parameters");
+    let model = LatencyModel::profiled_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0F70);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = bfv::encrypt::Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let decryptor = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
+
+    let img = stencil::default_image();
+    let mut workloads: Vec<(String, Program, usize)> = all_direct()
+        .into_iter()
+        .map(|k| (k.name.to_string(), k.baseline, k.spec.n))
+        .collect();
+    workloads.push((
+        "sobel (multi-step)".into(),
+        composite::sobel_baseline(img),
+        img.slots(),
+    ));
+    workloads.push((
+        "harris (multi-step)".into(),
+        composite::harris_baseline(img),
+        img.slots(),
+    ));
+
+    println!(
+        "{:<24} {:>14} {:>14} {:>11} {:>11} {:>10} {:>10} {:>8}",
+        "kernel",
+        "O0 n/relin/rot",
+        "O2 n/relin/rot",
+        "O0 model",
+        "O2 model",
+        "O0 meas",
+        "O2 meas",
+        "speedup"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, raw, n) in workloads {
+        let (o0, _) = optimize(&raw, OptLevel::O0);
+        let (o2, _) = optimize(&raw, OptLevel::O2);
+        assert_eq!(
+            optimize(&o2, OptLevel::O2).1.total_rewrites,
+            0,
+            "{name}: -O2 must be idempotent"
+        );
+
+        let runner = BfvRunner::for_programs(&ctx, &keygen, &[&o0, &o2], &mut rng);
+        let encoder = runner.encoder();
+        let ct_model: Vec<Vec<u64>> = (0..raw.num_ct_inputs)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..64)).collect())
+            .collect();
+        let pt_model: Vec<Vec<u64>> = (0..raw.num_pt_inputs)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..64)).collect())
+            .collect();
+        let cts: Vec<Ciphertext> = ct_model
+            .iter()
+            .map(|v| encryptor.encrypt(&encoder.encode(v), &mut rng))
+            .collect();
+        let pts: Vec<bfv::encoding::Plaintext> =
+            pt_model.iter().map(|v| encoder.encode(v)).collect();
+        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
+        let pt_refs: Vec<&bfv::encoding::Plaintext> = pts.iter().collect();
+
+        // Correctness gate: bit-identical decryption across levels.
+        let decode = |p: &Program| {
+            let out = runner.run(p, &ct_refs, &pt_refs);
+            let budget = decryptor.invariant_noise_budget(&out);
+            assert!(budget > 0, "{name}: noise budget exhausted ({budget})");
+            encoder.decode(&decryptor.decrypt(&out))
+        };
+        assert_eq!(
+            decode(&o0),
+            decode(&o2),
+            "{name}: -O0/-O2 decryptions differ"
+        );
+
+        let time = |p: &Program| {
+            let mut samples = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let start = Instant::now();
+                std::hint::black_box(runner.run(p, &ct_refs, &pt_refs));
+                samples.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            median(samples)
+        };
+        let version = |p: &Program, measured_us: f64| Version {
+            modeled_us: model.program_latency(p),
+            measured_us,
+            prog: p.clone(),
+        };
+        let row = Row {
+            name: name.clone(),
+            o0: version(&o0, time(&o0)),
+            o2: version(&o2, time(&o2)),
+        };
+        println!(
+            "{:<24} {:>8}/{}/{} {:>8}/{}/{} {:>11} {:>11} {:>10} {:>10} {:>7.2}x",
+            row.name,
+            row.o0.prog.len(),
+            row.o0.prog.relin_count(),
+            row.o0.prog.rot_count(),
+            row.o2.prog.len(),
+            row.o2.prog.relin_count(),
+            row.o2.prog.rot_count(),
+            fmt_us(row.o0.modeled_us),
+            fmt_us(row.o2.modeled_us),
+            fmt_us(row.o0.measured_us),
+            fmt_us(row.o2.measured_us),
+            row.o0.measured_us / row.o2.measured_us.max(1e-9),
+        );
+        rows.push(row);
+    }
+
+    let path = "BENCH_fig_opt.json";
+    std::fs::write(path, summary_json(smoke, runs, &rows)).expect("write BENCH_fig_opt.json");
+    println!("\nwrote {path}");
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde). Kernel names are
+/// ASCII identifiers, so no string escaping is needed.
+fn summary_json(smoke: bool, runs: usize, rows: &[Row]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n  \"runs\": {runs},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let v = |v: &Version| {
+            format!(
+                "{{\"instrs\": {}, \"relins\": {}, \"rots\": {}, \"modeled_us\": {:.1}, \"measured_us\": {:.1}}}",
+                v.prog.len(),
+                v.prog.relin_count(),
+                v.prog.rot_count(),
+                v.modeled_us,
+                v.measured_us
+            )
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"o0\": {}, \"o2\": {}, \"measured_speedup\": {:.4}}}{}\n",
+            r.name,
+            v(&r.o0),
+            v(&r.o2),
+            r.o0.measured_us / r.o2.measured_us.max(1e-9),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -62,6 +62,13 @@ fn main() {
         std::hint::black_box(ev.rotate_rows(&a, 1, &gk));
     });
     let mul = time_us(reps, || {
+        std::hint::black_box(ev.multiply(&a, &b));
+    });
+    let prod3 = ev.multiply(&a, &b);
+    let relin = time_us(reps, || {
+        std::hint::black_box(ev.relinearize(&prod3, &rk));
+    });
+    let mul_relin = time_us(reps, || {
         std::hint::black_box(ev.multiply_relin(&a, &b, &rk));
     });
     let enc_t = time_us(reps, || {
@@ -77,7 +84,9 @@ fn main() {
     println!("{:<28} {}", "sub-ct-pt", fmt_us(sub_pt));
     println!("{:<28} {}", "mul-ct-pt", fmt_us(mul_pt));
     println!("{:<28} {}", "rot-ct (keyswitch)", fmt_us(rot));
-    println!("{:<28} {}", "mul-ct-ct (incl. relin)", fmt_us(mul));
+    println!("{:<28} {}", "mul-ct-ct (raw tensor)", fmt_us(mul));
+    println!("{:<28} {}", "relin-ct (keyswitch)", fmt_us(relin));
+    println!("{:<28} {}", "mul-ct-ct + relin", fmt_us(mul_relin));
     println!("{:<28} {}", "encrypt", fmt_us(enc_t));
     println!("{:<28} {}", "decrypt", fmt_us(dec_t));
     println!();
@@ -89,5 +98,6 @@ fn main() {
     println!("    sub_ct_pt: {sub_pt:.1},");
     println!("    mul_ct_pt: {mul_pt:.1},");
     println!("    rot_ct: {rot:.1},");
+    println!("    relin_ct: {relin:.1},");
     println!("}}");
 }

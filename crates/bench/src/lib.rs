@@ -11,6 +11,7 @@
 //! | §7.4 sketch ablation | `ablation_sketch` |
 //! | §6.1 rotation-restriction ablation | `ablation_rotations` |
 //! | HE op latency profile | `profile_latency`, `benches/he_ops.rs` |
+//! | middle-end `-O0` vs `-O2` | `fig_opt` |
 //! | Criterion kernel micro-benches | `benches/kernels.rs`, `benches/synthesis.rs` |
 //!
 //! Results are recorded in the repository's `EXPERIMENTS.md`.

@@ -9,11 +9,12 @@
 //!    `cost < cost(best)` until the search proves no cheaper program exists
 //!    (yielding the optimum within the sketch) or the timeout fires.
 
+use crate::opt::{self, OptLevel};
 use crate::search::{SearchContext, SearchOutcome};
 use crate::sketch::Sketch;
 use crate::spec::{Example, KernelSpec};
 use crate::verify::verify;
-use quill::cost::{cost, LatencyModel};
+use quill::cost::{eager_cost, LatencyModel};
 use quill::program::Program;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +51,10 @@ pub struct SynthesisOptions {
     /// are identical at every value (the determinism contract of
     /// [`crate::search`]); parallelism only changes wall-clock time.
     pub parallelism: NonZeroUsize,
+    /// Middle-end level for the [`SynthesisResult::optimized`] program
+    /// (the raw searched program is untouched). Defaults to
+    /// [`opt::default_opt_level`] (`PORCUPINE_OPT` or `-O2`).
+    pub opt_level: OptLevel,
 }
 
 impl Default for SynthesisOptions {
@@ -60,6 +65,7 @@ impl Default for SynthesisOptions {
             latency: LatencyModel::profiled_default(),
             seed: 0x9E3779B9,
             parallelism: default_parallelism(),
+            opt_level: opt::default_opt_level(),
         }
     }
 }
@@ -68,13 +74,22 @@ impl Default for SynthesisOptions {
 /// Table 3 reports.
 #[derive(Debug, Clone)]
 pub struct SynthesisResult {
-    /// The best verified program found.
+    /// The best verified program found, as searched: no explicit
+    /// relinearizations (Table 2's instruction counts).
     pub program: Program,
+    /// [`SynthesisResult::program`] run through the middle-end at
+    /// [`SynthesisOptions::opt_level`]: backend-legal IR with
+    /// relinearizations placed (lazily at `-O2`), ready for
+    /// [`crate::codegen`].
+    pub optimized: Program,
+    /// Per-pass rewrite counts of the middle-end run.
+    pub opt_report: opt::OptReport,
     /// The first verified program (upper bound used by the optimizer).
     pub initial_program: Program,
-    /// Cost of the initial program.
+    /// Cost of the initial program (with implicit eager relins charged,
+    /// [`quill::cost::eager_cost`]).
     pub initial_cost: f64,
-    /// Cost of the best program.
+    /// Cost of the best program (same objective).
     pub final_cost: f64,
     /// Arithmetic component count of the sketch instance that succeeded.
     pub components: usize,
@@ -214,7 +229,11 @@ pub fn synthesize(
         max_components: sketch.max_components,
     })?;
     let time_to_initial = start.elapsed();
-    let initial_cost = cost(&initial_program, &options.latency);
+    // Costs charge one implicit relinearization per multiply (the -O0
+    // lowering's price), matching the search's internal accounting — so
+    // the optimization phase's bound and "proved optimal" claim are over
+    // one consistent objective.
+    let initial_cost = eager_cost(&initial_program, &options.latency);
 
     // Phase 2: minimize cost within the same sketch instance.
     let mut best = initial_program.clone();
@@ -243,7 +262,7 @@ pub fn synthesize(
                     // instead of discarding the optimization progress.
                     if let Some(program) = partial {
                         if verify(&program, spec, &mut rng).is_ok() {
-                            let c = cost(&program, &options.latency);
+                            let c = eager_cost(&program, &options.latency);
                             if c < best_cost {
                                 best_cost = c;
                                 best = program;
@@ -258,7 +277,7 @@ pub fn synthesize(
                 // spec-correct program also satisfies the examples).
                 SearchOutcome::Found(program) => match verify(&program, spec, &mut rng) {
                     Ok(()) => {
-                        best_cost = cost(&program, &options.latency);
+                        best_cost = eager_cost(&program, &options.latency);
                         best = program;
                         proved_optimal = true;
                         break;
@@ -274,8 +293,11 @@ pub fn synthesize(
         }
     }
 
+    let (optimized, opt_report) = opt::optimize(&best, options.opt_level);
     Ok(SynthesisResult {
         program: best,
+        optimized,
+        opt_report,
         initial_program,
         initial_cost,
         final_cost: best_cost,
@@ -320,7 +342,7 @@ mod tests {
             optimize: true,
             latency: LatencyModel::uniform(),
             seed: 17,
-            parallelism: default_parallelism(),
+            ..SynthesisOptions::default()
         }
     }
 

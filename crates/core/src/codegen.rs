@@ -1,9 +1,18 @@
-//! Code generation (§5.3): lowering synthesized Quill kernels onto the BFV
+//! Code generation (§5.3): lowering optimized Quill IR onto the BFV
 //! backend, plus SEAL-style C++ emission (Figure 3f).
 //!
-//! Quill instructions map 1:1 onto [`bfv::Evaluator`] calls; the only
-//! post-processing is inserting a relinearization after every
-//! ciphertext–ciphertext multiply, exactly as the paper's SEAL codegen does.
+//! Quill instructions map **1:1** onto [`bfv::Evaluator`] calls — codegen
+//! performs no rewrites of its own. Relinearization is an explicit IR
+//! instruction ([`quill::program::Instr::Relin`]) placed by the middle-end
+//! ([`crate::opt`]): `mul-ct-ct` lowers to a bare `Evaluator::multiply`
+//! whose size-3 result stays size 3 until the IR says otherwise, `relin-ct`
+//! lowers to `Evaluator::relinearize`, and `emit_seal_cpp` emits
+//! `relinearize_inplace` only where the IR carries a `relin-ct`. Programs
+//! must satisfy [`quill::analysis::check_backend_legal`] (rotation/multiply
+//! operands and the output statically size 2) — run them through
+//! [`crate::opt::optimize`] at any `-O` level first; `-O0` reproduces the
+//! paper's eager relin-after-every-multiply lowering exactly.
+//!
 //! Model-size slot semantics carry over to the full ciphertext because every
 //! lifted kernel passes the padding-stability check ([`crate::lift`]): data
 //! lives in row-0 slots `[0, n)` and all other slots are zero.
@@ -49,7 +58,13 @@ impl<'a> BfvRunner<'a> {
         steps.sort_unstable();
         steps.dedup();
         let galois = keygen.galois_keys_for_rotations(&steps, false, rng);
-        let needs_relin = programs.iter().any(|p| p.ct_ct_mul_count() > 0);
+        // A key is needed only for explicit relin-ct instructions; the mul
+        // count is kept in the condition so preparing a runner from raw
+        // (not-yet-lowered) programs still generates the key their lowered
+        // forms will need.
+        let needs_relin = programs
+            .iter()
+            .any(|p| p.relin_count() > 0 || p.ct_ct_mul_count() > 0);
         let relin = needs_relin.then(|| keygen.relin_key(rng));
         BfvRunner {
             ctx,
@@ -70,12 +85,15 @@ impl<'a> BfvRunner<'a> {
         &self.evaluator
     }
 
-    /// Runs a program over encrypted inputs.
+    /// Runs a backend-legal program over encrypted inputs, executing the
+    /// IR 1:1 — size-3 intermediates stay size 3 until a `relin-ct` says
+    /// otherwise.
     ///
     /// # Panics
     ///
-    /// Panics if input arities mismatch the program or a required key is
-    /// missing (prepare with [`BfvRunner::for_programs`]).
+    /// Panics if input arities mismatch the program, a required key is
+    /// missing (prepare with [`BfvRunner::for_programs`]), or the program
+    /// is not backend-legal (lower it with [`crate::opt::optimize`]).
     pub fn run(
         &self,
         prog: &Program,
@@ -84,6 +102,12 @@ impl<'a> BfvRunner<'a> {
     ) -> Ciphertext {
         assert_eq!(ct_inputs.len(), prog.num_ct_inputs, "ct input arity");
         assert_eq!(pt_inputs.len(), prog.num_pt_inputs, "pt input arity");
+        if let Err(e) = quill::analysis::check_backend_legal(prog) {
+            panic!(
+                "{}: not backend-legal ({e}); lower with porcupine::opt::optimize first",
+                prog.name
+            );
+        }
         let ev = &self.evaluator;
         let mut results: Vec<Ciphertext> = Vec::with_capacity(prog.instrs.len());
         let get = |r: &ValRef, results: &[Ciphertext]| -> Ciphertext {
@@ -107,12 +131,13 @@ impl<'a> BfvRunner<'a> {
             let out = match instr {
                 Instr::AddCtCt(a, b) => ev.add(&get(a, &results), &get(b, &results)),
                 Instr::SubCtCt(a, b) => ev.sub(&get(a, &results), &get(b, &results)),
-                Instr::MulCtCt(a, b) => {
+                Instr::MulCtCt(a, b) => ev.multiply(&get(a, &results), &get(b, &results)),
+                Instr::Relin(a) => {
                     let rk = self
                         .relin
                         .as_ref()
-                        .expect("relin key prepared for ct-ct multiply");
-                    ev.multiply_relin(&get(a, &results), &get(b, &results), rk)
+                        .expect("relin key prepared for relin-ct");
+                    ev.relinearize(&get(a, &results), rk)
                 }
                 Instr::AddCtPt(a, p) => ev.add_plain(&get(a, &results), &get_pt(p)),
                 Instr::SubCtPt(a, p) => ev.sub_plain(&get(a, &results), &get_pt(p)),
@@ -205,15 +230,18 @@ pub fn emit_seal_cpp(prog: &Program) -> String {
         }
     };
     for (j, instr) in prog.instrs.iter().enumerate() {
+        // relin-ct lowers to SEAL's in-place relinearization on a copy of
+        // the operand; every other instruction writes a fresh destination.
+        if let Instr::Relin(a) = instr {
+            let _ = writeln!(out, "    seal::Ciphertext c{j} = {};", val(*a));
+            let _ = writeln!(out, "    ev.relinearize_inplace(c{j}, relin_keys);");
+            continue;
+        }
         let _ = writeln!(out, "    seal::Ciphertext c{j};");
         let line = match instr {
             Instr::AddCtCt(a, b) => format!("ev.add({}, {}, c{j});", val(*a), val(*b)),
             Instr::SubCtCt(a, b) => format!("ev.sub({}, {}, c{j});", val(*a), val(*b)),
-            Instr::MulCtCt(a, b) => format!(
-                "ev.multiply({}, {}, c{j});\n    ev.relinearize_inplace(c{j}, relin_keys);",
-                val(*a),
-                val(*b)
-            ),
+            Instr::MulCtCt(a, b) => format!("ev.multiply({}, {}, c{j});", val(*a), val(*b)),
             Instr::AddCtPt(a, p) => {
                 let (operand, negated) = pt(p);
                 let op = if negated { "sub_plain" } else { "add_plain" };
@@ -234,6 +262,7 @@ pub fn emit_seal_cpp(prog: &Program) -> String {
                 format!("ev.multiply_plain({}, {operand}, c{j});{negate}", val(*a))
             }
             Instr::RotCt(a, r) => format!("ev.rotate_rows({}, {r}, gal_keys, c{j});", val(*a)),
+            Instr::Relin(_) => unreachable!("handled above"),
         };
         let _ = writeln!(out, "    {line}");
     }
@@ -328,18 +357,39 @@ mod tests {
                 Instr::RotCt(ValRef::Input(0), -5),
                 Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
                 Instr::MulCtCt(ValRef::Instr(1), ValRef::Instr(1)),
-                Instr::MulCtPt(ValRef::Instr(2), PtOperand::Splat(2)),
-                Instr::SubCtPt(ValRef::Instr(3), PtOperand::Input(0)),
+                Instr::Relin(ValRef::Instr(2)),
+                Instr::MulCtPt(ValRef::Instr(3), PtOperand::Splat(2)),
+                Instr::SubCtPt(ValRef::Instr(4), PtOperand::Input(0)),
             ],
-            ValRef::Instr(4),
+            ValRef::Instr(5),
         );
         let cpp = emit_seal_cpp(&prog);
         assert!(cpp.contains("void demo_kernel"));
         assert!(cpp.contains("ev.rotate_rows(ct_in[0], -5, gal_keys, c0);"));
-        assert!(cpp.contains("ev.relinearize_inplace(c2, relin_keys);"));
+        // The multiply is bare; the relinearization is its own statement,
+        // exactly where the IR placed it.
+        assert!(cpp.contains("ev.multiply(c1, c1, c2);"));
+        assert!(cpp.contains("seal::Ciphertext c3 = c2;"));
+        assert!(cpp.contains("ev.relinearize_inplace(c3, relin_keys);"));
         assert!(cpp.contains("splat_2"));
-        assert!(cpp.contains("ev.sub_plain(c3, pt_in[0], c4);"));
-        assert!(cpp.contains("result = c4;"));
+        assert!(cpp.contains("ev.sub_plain(c4, pt_in[0], c5);"));
+        assert!(cpp.contains("result = c5;"));
+    }
+
+    /// Without an explicit `relin-ct` the emitter must not invent one —
+    /// relinearization placement is the middle-end's decision.
+    #[test]
+    fn seal_emission_has_no_implicit_relinearization() {
+        let prog = Program::new(
+            "raw-mul",
+            2,
+            0,
+            vec![Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1))],
+            ValRef::Instr(0),
+        );
+        let cpp = emit_seal_cpp(&prog);
+        assert!(cpp.contains("ev.multiply(ct_in[0], ct_in[1], c0);"));
+        assert!(!cpp.contains("relinearize_inplace"));
     }
 
     /// SEAL's `BatchEncoder` rejects values outside `[0, t)`, so negative

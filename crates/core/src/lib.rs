@@ -16,8 +16,12 @@
 //!   at model size run on full-size ciphertexts.
 //! * [`multistep`] — composing synthesized kernels into pipelines (Sobel,
 //!   Harris).
-//! * [`codegen`] — lowering to the in-repo BFV backend (relinearization
-//!   insertion, Galois key collection) and SEAL-style C++ emission.
+//! * [`opt`] — the optimizing middle-end between synthesis and codegen: a
+//!   pass manager driving global CSE, rotation folding, lazy
+//!   relinearization, and DCE to a fixpoint, behind an `-O0`/`-O1`/`-O2`
+//!   knob.
+//! * [`codegen`] — lowering optimized IR 1:1 onto the in-repo BFV backend
+//!   (Galois/relin key collection) and SEAL-style C++ emission.
 //!
 //! ## End-to-end example
 //!
@@ -60,6 +64,7 @@ pub mod codegen;
 pub mod layout;
 pub mod lift;
 pub mod multistep;
+pub mod opt;
 pub mod search;
 pub mod sketch;
 pub mod spec;
@@ -69,5 +74,6 @@ pub use autosketch::{auto_sketch, auto_synthesize};
 pub use cegis::{
     default_parallelism, synthesize, SynthesisError, SynthesisOptions, SynthesisResult,
 };
+pub use opt::{default_opt_level, optimize, OptLevel, OptReport, Pass, PassManager};
 pub use sketch::{ArithOp, RotationSet, Sketch, SketchMode, SketchOp};
 pub use spec::{Example, GenericReference, KernelSpec, Reference};

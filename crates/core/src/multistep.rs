@@ -4,8 +4,14 @@
 //! Program synthesis stops scaling around 10–12 instructions, so Porcupine
 //! partitions applications like Sobel (Gx + Gy + magnitude) and the Harris
 //! corner detector (gradients + blurs + response) into stages, synthesizes
-//! each stage, and stitches the programs back together here — sharing
-//! rotations across stages via CSE.
+//! each stage, and stitches the programs back together here. Composition
+//! itself is mechanical (`Program::append`); the rewrites that make the
+//! stitched pipeline cheap live in the middle-end ([`crate::opt`]):
+//! [`PipelineBuilder::finish`] runs the builder's historical local cleanup
+//! (syntactic CSE + DCE, so stages over the same input share identical
+//! rotations), and [`PipelineBuilder::finish_optimized`] additionally runs
+//! the full `-O` pipeline — global CSE, rotation folding, lazy
+//! relinearization, DCE — and returns backend-legal IR.
 
 use crate::cegis::{synthesize, SynthesisError, SynthesisOptions};
 use crate::sketch::Sketch;
@@ -97,12 +103,27 @@ impl PipelineBuilder {
     }
 
     /// Finishes the pipeline with the given output, then runs CSE and dead
-    /// code elimination so stages share identical rotations.
+    /// code elimination so stages share identical rotations. The result
+    /// carries no explicit relinearizations — lower it through
+    /// [`crate::opt::optimize`] (or use
+    /// [`PipelineBuilder::finish_optimized`]) before executing on the BFV
+    /// backend.
     pub fn finish(mut self, output: ValRef) -> Program {
         self.prog.output = output;
         let prog = self.prog.cse();
         debug_assert!(prog.validate().is_ok());
         prog
+    }
+
+    /// [`PipelineBuilder::finish`] plus the middle-end at `level`: returns
+    /// backend-legal IR (relinearizations placed — eagerly at `-O0`,
+    /// lazily at `-O2`) and the per-pass rewrite report.
+    pub fn finish_optimized(
+        self,
+        output: ValRef,
+        level: crate::opt::OptLevel,
+    ) -> (Program, crate::opt::OptReport) {
+        crate::opt::optimize(&self.finish(output), level)
     }
 }
 

@@ -256,7 +256,12 @@ impl<'a> SearchContext<'a> {
             .map(|op| match &op.op {
                 ArithOp::AddCtCt => latency.add_ct_ct,
                 ArithOp::SubCtCt => latency.sub_ct_ct,
-                ArithOp::MulCtCt => latency.mul_ct_ct,
+                // The searcher emits no explicit relin-ct; every multiply
+                // is charged its eager relinearization (what -O0 executes,
+                // and an upper bound on the -O2 placement), keeping the
+                // internal accounting consistent with
+                // `quill::cost::eager_cost` in the CEGIS driver.
+                ArithOp::MulCtCt => latency.mul_ct_ct + latency.relin_ct,
                 ArithOp::AddCtPt(_) => latency.add_ct_pt,
                 ArithOp::SubCtPt(_) => latency.sub_ct_pt,
                 ArithOp::MulCtPt(_) => latency.mul_ct_pt,

@@ -4,11 +4,14 @@
 //! `tests/golden/mixed_kernel.golden`.
 
 use porcupine::codegen::emit_seal_cpp;
+use porcupine::opt::{optimize, OptLevel};
 use quill::program::{Instr, Program, PtOperand, ValRef};
 
 /// A small hand-built kernel covering every instruction form the emitter
-/// handles: rotation (positive and negative), ct±ct, ct×ct (with the
-/// inserted relinearization), ct·pt with both splat and input operands.
+/// handles: rotation (positive and negative), ct±ct, ct×ct, ct·pt with
+/// both splat and input operands. The snapshot captures its `-O0`
+/// lowering, so the explicit `relin-ct` emission (a copy plus
+/// `relinearize_inplace`) is pinned too.
 fn mixed_kernel() -> Program {
     Program::new(
         "mixed-kernel",
@@ -32,7 +35,8 @@ fn mixed_kernel() -> Program {
 fn seal_emission_matches_golden_snapshot() {
     let prog = mixed_kernel();
     prog.validate().expect("golden kernel is well-formed");
-    let actual = emit_seal_cpp(&prog);
+    let (lowered, _) = optimize(&prog, OptLevel::O0);
+    let actual = emit_seal_cpp(&lowered);
     let expected = include_str!("golden/mixed_kernel.golden");
     if actual != expected {
         // Write the new output next to the target dir so a deliberate

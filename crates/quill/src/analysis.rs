@@ -1,0 +1,243 @@
+//! Static analyses over Quill programs: ciphertext sizes and
+//! multiplicative levels.
+//!
+//! BFV ciphertexts carry a *size* — the number of polynomial parts. Fresh
+//! encryptions are size 2; a ciphertext–ciphertext multiply produces size 3;
+//! [`crate::program::Instr::Relin`] key-switches back to 2. Additions,
+//! subtractions, and plaintext operations preserve (the maximum of) their
+//! operands' sizes, while rotations and further multiplies *require* size-2
+//! inputs on the backend. The middle-end uses [`ct_sizes`] to place
+//! relinearizations and [`check_backend_legal`] to certify that a lowered
+//! program can execute 1:1 on the BFV evaluator.
+//!
+//! Sizes here saturate at 3: a multiply is modelled as producing size 3
+//! regardless of operand sizes, because the backend refuses size-3 multiply
+//! operands anyway and [`check_backend_legal`] reports exactly that.
+
+use crate::program::{Instr, Program, ValRef};
+use std::error::Error;
+use std::fmt;
+
+/// The per-instruction size transfer rule, given the operand sizes:
+/// multiply produces 3, relin produces 2, everything else propagates the
+/// maximum of its operands. The single source of truth shared by
+/// [`ct_sizes`] and the middle-end's relin-placement pass.
+pub fn instr_result_size(instr: &Instr, size_of_operand: impl Fn(ValRef) -> u8) -> u8 {
+    match instr {
+        Instr::MulCtCt(..) => 3,
+        Instr::Relin(_) => 2,
+        Instr::AddCtCt(a, b) | Instr::SubCtCt(a, b) => size_of_operand(*a).max(size_of_operand(*b)),
+        Instr::AddCtPt(a, _) | Instr::SubCtPt(a, _) | Instr::MulCtPt(a, _) | Instr::RotCt(a, _) => {
+            size_of_operand(*a)
+        }
+    }
+}
+
+/// Ciphertext size of each instruction result (inputs are size 2).
+///
+/// Tolerates structurally invalid programs (out-of-range or forward
+/// references read as size 2) so [`Program::validate`] can call it before
+/// the structural checks complete.
+pub fn ct_sizes(prog: &Program) -> Vec<u8> {
+    let mut sizes = vec![2u8; prog.instrs.len()];
+    for i in 0..prog.instrs.len() {
+        sizes[i] = instr_result_size(&prog.instrs[i], |r| match r {
+            ValRef::Input(_) => 2,
+            ValRef::Instr(j) if j < i => sizes[j],
+            ValRef::Instr(_) => 2,
+        });
+    }
+    sizes
+}
+
+/// Size of an arbitrary value given the per-instruction sizes from
+/// [`ct_sizes`].
+pub fn size_of(sizes: &[u8], r: ValRef) -> u8 {
+    match r {
+        ValRef::Input(_) => 2,
+        ValRef::Instr(j) => sizes.get(j).copied().unwrap_or(2),
+    }
+}
+
+/// Multiplicative level of each instruction result (fresh inputs are 0;
+/// every multiply adds one) — the per-value refinement of
+/// [`Program::mult_depth`].
+pub fn ct_levels(prog: &Program) -> Vec<u32> {
+    let mut levels = vec![0u32; prog.instrs.len()];
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        let at = |r: &ValRef, levels: &[u32]| match r {
+            ValRef::Input(_) => 0,
+            ValRef::Instr(j) => levels[*j],
+        };
+        levels[i] = match instr {
+            Instr::MulCtCt(a, b) => at(a, &levels).max(at(b, &levels)) + 1,
+            Instr::MulCtPt(a, _) => at(a, &levels) + 1,
+            Instr::AddCtCt(a, b) | Instr::SubCtCt(a, b) => at(a, &levels).max(at(b, &levels)),
+            Instr::AddCtPt(a, _) | Instr::SubCtPt(a, _) | Instr::RotCt(a, _) | Instr::Relin(a) => {
+                at(a, &levels)
+            }
+        };
+    }
+    levels
+}
+
+/// Why a program cannot execute 1:1 on the BFV backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalityError {
+    /// Instruction `instr` rotates a size-3 ciphertext.
+    RotOfSize3 {
+        /// Offending instruction index.
+        instr: usize,
+    },
+    /// Instruction `instr` multiplies a size-3 ciphertext operand.
+    MulOfSize3 {
+        /// Offending instruction index.
+        instr: usize,
+    },
+    /// The program output is a size-3 ciphertext (must be relinearized
+    /// before escaping).
+    OutputSize3,
+}
+
+impl fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityError::RotOfSize3 { instr } => {
+                write!(f, "instruction {instr} rotates a size-3 ciphertext")
+            }
+            LegalityError::MulOfSize3 { instr } => {
+                write!(f, "instruction {instr} multiplies a size-3 ciphertext")
+            }
+            LegalityError::OutputSize3 => {
+                write!(f, "program output is a size-3 ciphertext")
+            }
+        }
+    }
+}
+
+impl Error for LegalityError {}
+
+/// Checks the IR invariant the backend executes under: rotation and
+/// multiply operands are size 2 and the output is size 2. Programs straight
+/// out of the synthesizer generally violate this (they carry no `Relin` at
+/// all); the `porcupine::opt` lowering pipeline establishes it at every
+/// `-O` level.
+///
+/// # Errors
+///
+/// Returns the first violation in instruction order.
+pub fn check_backend_legal(prog: &Program) -> Result<(), LegalityError> {
+    let sizes = ct_sizes(prog);
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        match instr {
+            Instr::RotCt(a, _) if size_of(&sizes, *a) == 3 => {
+                return Err(LegalityError::RotOfSize3 { instr: i });
+            }
+            Instr::MulCtCt(a, b) if size_of(&sizes, *a) == 3 || size_of(&sizes, *b) == 3 => {
+                return Err(LegalityError::MulOfSize3 { instr: i });
+            }
+            _ => {}
+        }
+    }
+    if size_of(&sizes, prog.output) == 3 {
+        return Err(LegalityError::OutputSize3);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Instr, Program, ValRef};
+
+    /// mul → add(size-3, input) → relin → rot: sizes 3, 3, 2, 2.
+    fn relin_chain() -> Program {
+        Program::new(
+            "chain",
+            2,
+            0,
+            vec![
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)),
+                Instr::AddCtCt(ValRef::Instr(0), ValRef::Input(0)),
+                Instr::Relin(ValRef::Instr(1)),
+                Instr::RotCt(ValRef::Instr(2), 1),
+            ],
+            ValRef::Instr(3),
+        )
+    }
+
+    #[test]
+    fn sizes_propagate_through_adds_and_relin() {
+        let p = relin_chain();
+        assert_eq!(ct_sizes(&p), vec![3, 3, 2, 2]);
+        assert!(p.validate().is_ok());
+        assert!(check_backend_legal(&p).is_ok());
+    }
+
+    #[test]
+    fn levels_refine_mult_depth() {
+        let p = relin_chain();
+        assert_eq!(ct_levels(&p), vec![1, 1, 1, 1]);
+        assert_eq!(p.mult_depth(), 1);
+    }
+
+    #[test]
+    fn rotation_of_unrelinearized_multiply_is_illegal() {
+        let p = Program::new(
+            "bad",
+            2,
+            0,
+            vec![
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)),
+                Instr::RotCt(ValRef::Instr(0), 1),
+            ],
+            ValRef::Instr(1),
+        );
+        assert_eq!(
+            check_backend_legal(&p),
+            Err(LegalityError::RotOfSize3 { instr: 1 })
+        );
+    }
+
+    #[test]
+    fn size_3_output_and_mul_operands_are_illegal() {
+        let mul = Program::new(
+            "mul",
+            2,
+            0,
+            vec![Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1))],
+            ValRef::Instr(0),
+        );
+        assert_eq!(check_backend_legal(&mul), Err(LegalityError::OutputSize3));
+        let mul_of_mul = Program::new(
+            "mm",
+            2,
+            0,
+            vec![
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)),
+                Instr::MulCtCt(ValRef::Instr(0), ValRef::Input(1)),
+                Instr::Relin(ValRef::Instr(1)),
+            ],
+            ValRef::Instr(2),
+        );
+        assert_eq!(
+            check_backend_legal(&mul_of_mul),
+            Err(LegalityError::MulOfSize3 { instr: 1 })
+        );
+    }
+
+    #[test]
+    fn relin_of_size_2_fails_validation() {
+        let p = Program::new(
+            "bad-relin",
+            1,
+            0,
+            vec![Instr::Relin(ValRef::Input(0))],
+            ValRef::Instr(0),
+        );
+        assert_eq!(
+            p.validate(),
+            Err(crate::program::ProgramError::RelinOfSize2(0))
+        );
+    }
+}

@@ -17,8 +17,10 @@ pub struct LatencyModel {
     pub add_ct_ct: f64,
     /// ct − ct.
     pub sub_ct_ct: f64,
-    /// ct × ct, **including** the relinearization the compiler inserts
-    /// after every ciphertext multiply (§5.3).
+    /// ct × ct, **excluding** relinearization — the raw tensor/rescale
+    /// cost. Relinearization is its own op ([`LatencyModel::relin_ct`]) so
+    /// the middle-end's lazy-relinearization savings are visible to both
+    /// the search and [`LatencyModel::program_latency`].
     pub mul_ct_ct: f64,
     /// ct + pt.
     pub add_ct_pt: f64,
@@ -28,6 +30,8 @@ pub struct LatencyModel {
     pub mul_ct_pt: f64,
     /// Slot rotation (Galois automorphism + key switch).
     pub rot_ct: f64,
+    /// Relinearization of a size-3 ciphertext (one key switch).
+    pub relin_ct: f64,
 }
 
 impl LatencyModel {
@@ -35,24 +39,33 @@ impl LatencyModel {
     /// 3 × 46-bit primes (the `fast_4096` preset), median of repeated runs.
     /// Regenerate with `cargo run -p porcupine-bench --release --bin
     /// profile_latency` (or compare against the seed baseline with the
-    /// `he_ops` binary, which writes `BENCH_he_ops.json`).
+    /// `he_ops` binary, which writes `BENCH_he_ops.json`; both now track
+    /// `relinearize` and the raw multiply separately). `relin_ct` is the
+    /// freshly measured standalone key switch (~840 µs via `he_ops`);
+    /// `mul_ct_ct` is the previous combined multiply+relin constant minus
+    /// it, which matches the measured raw multiply (~4.8 ms) and keeps the
+    /// eager-lowered total identical to the pre-split model.
     ///
     /// These constants reflect the RNS-native double-CRT evaluator:
     /// relative to the original BigInt-CRT backend, ct×ct multiply is
     /// ~7.5× cheaper and rotation ~16× cheaper, while `add_ct_pt` /
     /// `sub_ct_pt` pay the plaintext's forward NTTs to keep ciphertexts
-    /// transform-resident. The key-switching ops (rotation, multiply)
-    /// still dominate, so the synthesizer's incentives are unchanged in
-    /// direction, only in magnitude.
+    /// transform-resident. Relinearization is profiled as its own entry
+    /// (`mul_ct_ct` is the *raw* tensor/rescale; the seed model folded the
+    /// relin key switch into it), so lazy relinearization placement shows
+    /// up in `program_latency`. The key-switching ops (rotation, multiply
+    /// plus relin) still dominate, so the synthesizer's incentives are
+    /// unchanged in direction, only in magnitude.
     pub fn profiled_default() -> Self {
         LatencyModel {
             add_ct_ct: 45.5,
             sub_ct_ct: 45.4,
-            mul_ct_ct: 5_883.7,
+            mul_ct_ct: 5_039.9,
             add_ct_pt: 200.3,
             sub_ct_pt: 202.4,
             mul_ct_pt: 271.7,
             rot_ct: 865.5,
+            relin_ct: 843.8,
         }
     }
 
@@ -67,6 +80,7 @@ impl LatencyModel {
             sub_ct_pt: 1.0,
             mul_ct_pt: 1.0,
             rot_ct: 1.0,
+            relin_ct: 1.0,
         }
     }
 
@@ -80,6 +94,7 @@ impl LatencyModel {
             Instr::SubCtPt(..) => self.sub_ct_pt,
             Instr::MulCtPt(..) => self.mul_ct_pt,
             Instr::RotCt(..) => self.rot_ct,
+            Instr::Relin(..) => self.relin_ct,
         }
     }
 
@@ -97,8 +112,26 @@ impl Default for LatencyModel {
 
 /// The paper's compound objective: `latency × (1 + multiplicative depth)`,
 /// penalizing high-noise programs that would force larger HE parameters.
+/// Sums the latencies of exactly the instructions present — a program with
+/// explicit `relin-ct` pays for each one, and a lazily-relinearized program
+/// is cheaper than its eagerly-lowered sibling.
 pub fn cost(prog: &Program, model: &LatencyModel) -> f64 {
     model.program_latency(prog) * (1.0 + prog.mult_depth() as f64)
+}
+
+/// The synthesis-time objective: [`cost`] plus one implicit
+/// relinearization per not-yet-relinearized ct×ct multiply.
+///
+/// The searcher emits programs with no explicit `relin-ct` (relinearization
+/// placement is the middle-end's job), but every multiply will cost at
+/// least its eager relinearization once lowered at `-O0`. Charging that
+/// here keeps the CEGIS cost bound consistent with the search's internal
+/// accounting and with what the `-O0` lowering actually executes; the
+/// `-O2` lazy placement can only improve on it.
+pub fn eager_cost(prog: &Program, model: &LatencyModel) -> f64 {
+    let implicit = prog.ct_ct_mul_count().saturating_sub(prog.relin_count());
+    (model.program_latency(prog) + implicit as f64 * model.relin_ct)
+        * (1.0 + prog.mult_depth() as f64)
 }
 
 #[cfg(test)]
@@ -133,6 +166,39 @@ mod tests {
         assert!(m.add_ct_ct < m.mul_ct_pt);
         assert!(m.mul_ct_pt < m.rot_ct);
         assert!(m.rot_ct < m.mul_ct_ct);
+        // Relinearization is one key switch, like the one inside a
+        // rotation, and far below the raw multiply.
+        assert!(m.mul_ct_pt < m.relin_ct);
+        assert!(m.relin_ct < m.mul_ct_ct);
+    }
+
+    /// `eager_cost` charges one implicit relinearization per multiply that
+    /// lacks an explicit one, and coincides with `cost` on programs whose
+    /// relinearizations are all explicit.
+    #[test]
+    fn eager_cost_charges_implicit_relins() {
+        let raw = Program::new(
+            "raw",
+            2,
+            0,
+            vec![Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1))],
+            ValRef::Instr(0),
+        );
+        let lowered = Program::new(
+            "lowered",
+            2,
+            0,
+            vec![
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)),
+                Instr::Relin(ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        for m in [LatencyModel::uniform(), LatencyModel::profiled_default()] {
+            assert_eq!(eager_cost(&raw, &m), eager_cost(&lowered, &m));
+            assert_eq!(eager_cost(&lowered, &m), cost(&lowered, &m));
+            assert!(cost(&raw, &m) < eager_cost(&raw, &m));
+        }
     }
 
     /// Single-instruction kernels must rank add ≤ rotate ≤ multiply under

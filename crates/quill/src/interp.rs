@@ -66,6 +66,9 @@ pub fn eval<R: Ring>(prog: &Program, ct_inputs: &[Vec<R>], pt_inputs: &[Vec<R>])
             Instr::SubCtPt(a, p) => zip(&get(a, &results), &get_pt(p), R::sub),
             Instr::MulCtPt(a, p) => zip(&get(a, &results), &get_pt(p), R::mul),
             Instr::RotCt(a, r) => rotate_left(&get(a, &results), *r),
+            // Relinearization changes the ciphertext representation, not
+            // the encrypted slots: the identity here.
+            Instr::Relin(a) => get(a, &results),
         };
         results.push(out);
     }

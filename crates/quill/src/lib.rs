@@ -6,7 +6,11 @@
 //! ciphertexts.
 //!
 //! * [`program`] — straight-line SSA kernels over ciphertext/plaintext
-//!   operands, with logic-depth and multiplicative-depth analyses.
+//!   operands (including explicit `relin-ct`), with logic-depth and
+//!   multiplicative-depth analyses.
+//! * [`analysis`] — static ciphertext-size and per-value level analyses,
+//!   plus the backend-legality check the `-O` lowering pipeline
+//!   establishes.
 //! * [`interp`] — one generic interpreter instantiated concretely (over
 //!   [`ring::Zt`] slot vectors, for CEGIS examples) and symbolically (over
 //!   [`symbolic::SymPoly`] canonical polynomials, for exact verification).
@@ -42,6 +46,7 @@
 //! # Ok::<(), quill::program::ProgramError>(())
 //! ```
 
+pub mod analysis;
 pub mod cost;
 pub mod interp;
 pub mod program;
@@ -49,7 +54,7 @@ pub mod ring;
 pub mod sexpr;
 pub mod symbolic;
 
-pub use cost::{cost, LatencyModel};
+pub use cost::{cost, eager_cost, LatencyModel};
 pub use program::{Instr, Program, ProgramError, PtOperand, ValRef};
 pub use ring::{Ring, Zt};
 pub use symbolic::SymPoly;

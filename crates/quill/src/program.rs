@@ -27,15 +27,24 @@ pub enum PtOperand {
     Splat(i64),
 }
 
-/// One Quill instruction (Table 1 of the paper). Rotation amounts are slot
-/// counts; positive rotates **left** (`out[i] = in[(i + x) mod n]`).
+/// One Quill instruction (Table 1 of the paper, plus explicit
+/// relinearization). Rotation amounts are slot counts; positive rotates
+/// **left** (`out[i] = in[(i + x) mod n]`).
+///
+/// `Relin` is a no-op on slot values (the interpreter and symbolic lifter
+/// treat it as the identity) but a real BFV operation: it key-switches a
+/// size-3 ciphertext (the output of `MulCtCt`) back to size 2, which
+/// rotations and further multiplies require. The middle-end
+/// (`porcupine::opt`) decides where relinearizations go; the backend
+/// executes exactly what the IR says.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Instr {
     /// Slot-wise ciphertext + ciphertext.
     AddCtCt(ValRef, ValRef),
     /// Slot-wise ciphertext − ciphertext.
     SubCtCt(ValRef, ValRef),
-    /// Slot-wise ciphertext × ciphertext (incurs a multiplicative level).
+    /// Slot-wise ciphertext × ciphertext (incurs a multiplicative level and
+    /// produces a size-3 ciphertext on the backend).
     MulCtCt(ValRef, ValRef),
     /// Slot-wise ciphertext + plaintext.
     AddCtPt(ValRef, PtOperand),
@@ -45,6 +54,8 @@ pub enum Instr {
     MulCtPt(ValRef, PtOperand),
     /// Rotate slots left by the given amount (negative = right).
     RotCt(ValRef, i64),
+    /// Relinearize a size-3 ciphertext back to size 2 (identity on slots).
+    Relin(ValRef),
 }
 
 impl Instr {
@@ -55,7 +66,24 @@ impl Instr {
             Instr::AddCtPt(a, _)
             | Instr::SubCtPt(a, _)
             | Instr::MulCtPt(a, _)
-            | Instr::RotCt(a, _) => vec![*a],
+            | Instr::RotCt(a, _)
+            | Instr::Relin(a) => vec![*a],
+        }
+    }
+
+    /// The same instruction with every ciphertext operand rewritten by `f`
+    /// (the shared plumbing of DCE, CSE, `append`, and the optimizer
+    /// passes).
+    pub fn map_ct_operands(&self, mut f: impl FnMut(ValRef) -> ValRef) -> Instr {
+        match self.clone() {
+            Instr::AddCtCt(a, b) => Instr::AddCtCt(f(a), f(b)),
+            Instr::SubCtCt(a, b) => Instr::SubCtCt(f(a), f(b)),
+            Instr::MulCtCt(a, b) => Instr::MulCtCt(f(a), f(b)),
+            Instr::AddCtPt(a, p) => Instr::AddCtPt(f(a), p),
+            Instr::SubCtPt(a, p) => Instr::SubCtPt(f(a), p),
+            Instr::MulCtPt(a, p) => Instr::MulCtPt(f(a), p),
+            Instr::RotCt(a, r) => Instr::RotCt(f(a), r),
+            Instr::Relin(a) => Instr::Relin(f(a)),
         }
     }
 
@@ -69,6 +97,7 @@ impl Instr {
             Instr::SubCtPt(..) => "sub-ct-pt",
             Instr::MulCtPt(..) => "mul-ct-pt",
             Instr::RotCt(..) => "rot-ct",
+            Instr::Relin(..) => "relin-ct",
         }
     }
 }
@@ -86,6 +115,9 @@ pub enum ProgramError {
     BadOutput,
     /// A rotation amount of zero (must be elided, not emitted).
     ZeroRotation(usize),
+    /// A relinearization of a value that is statically size 2 (only the
+    /// result of an un-relinearized `mul-ct-ct` chain is size 3).
+    RelinOfSize2(usize),
 }
 
 impl fmt::Display for ProgramError {
@@ -99,6 +131,9 @@ impl fmt::Display for ProgramError {
             ProgramError::BadOutput => write!(f, "output reference is invalid"),
             ProgramError::ZeroRotation(i) => {
                 write!(f, "instruction {i} is a rotation by zero slots")
+            }
+            ProgramError::RelinOfSize2(i) => {
+                write!(f, "instruction {i} relinearizes a size-2 ciphertext")
             }
         }
     }
@@ -188,6 +223,7 @@ impl Program {
                 _ => Ok(()),
             }
         };
+        let sizes = crate::analysis::ct_sizes(self);
         for (i, instr) in self.instrs.iter().enumerate() {
             for op in instr.ct_operands() {
                 check_ref(op, i)?;
@@ -201,6 +237,9 @@ impl Program {
                     return Err(ProgramError::BadPtInput(*p));
                 }
                 Instr::RotCt(_, 0) => return Err(ProgramError::ZeroRotation(i)),
+                Instr::Relin(a) if crate::analysis::size_of(&sizes, *a) != 3 => {
+                    return Err(ProgramError::RelinOfSize2(i));
+                }
                 _ => {}
             }
         }
@@ -246,7 +285,10 @@ impl Program {
             noise[i] = match instr {
                 Instr::AddCtCt(a, b) | Instr::SubCtCt(a, b) => get(a, &noise).max(get(b, &noise)),
                 Instr::MulCtCt(a, b) => get(a, &noise).max(get(b, &noise)) + 1,
-                Instr::AddCtPt(a, _) | Instr::SubCtPt(a, _) | Instr::RotCt(a, _) => get(a, &noise),
+                Instr::AddCtPt(a, _)
+                | Instr::SubCtPt(a, _)
+                | Instr::RotCt(a, _)
+                | Instr::Relin(a) => get(a, &noise),
                 Instr::MulCtPt(a, _) => get(a, &noise) + 1,
             };
         }
@@ -284,12 +326,29 @@ impl Program {
         rots
     }
 
-    /// Number of ciphertext–ciphertext multiplications (each needs a
-    /// relinearization downstream).
+    /// Number of ciphertext–ciphertext multiplications (each produces a
+    /// size-3 ciphertext that must be relinearized before a rotation, a
+    /// further multiply, or the program output).
     pub fn ct_ct_mul_count(&self) -> usize {
         self.instrs
             .iter()
             .filter(|i| matches!(i, Instr::MulCtCt(..)))
+            .count()
+    }
+
+    /// Number of explicit relinearizations.
+    pub fn relin_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Relin(..)))
+            .count()
+    }
+
+    /// Number of rotations.
+    pub fn rot_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::RotCt(..)))
             .count()
     }
 
@@ -319,19 +378,10 @@ impl Program {
                 continue;
             }
             remap[i] = instrs.len();
-            let fix = |r: ValRef| match r {
+            instrs.push(instr.map_ct_operands(|r| match r {
                 ValRef::Instr(j) => ValRef::Instr(remap[j]),
                 other => other,
-            };
-            instrs.push(match instr.clone() {
-                Instr::AddCtCt(a, b) => Instr::AddCtCt(fix(a), fix(b)),
-                Instr::SubCtCt(a, b) => Instr::SubCtCt(fix(a), fix(b)),
-                Instr::MulCtCt(a, b) => Instr::MulCtCt(fix(a), fix(b)),
-                Instr::AddCtPt(a, p) => Instr::AddCtPt(fix(a), p),
-                Instr::SubCtPt(a, p) => Instr::SubCtPt(fix(a), p),
-                Instr::MulCtPt(a, p) => Instr::MulCtPt(fix(a), p),
-                Instr::RotCt(a, r) => Instr::RotCt(fix(a), r),
-            });
+            }));
         }
         let output = match self.output {
             ValRef::Instr(j) => ValRef::Instr(remap[j]),
@@ -385,15 +435,13 @@ impl Program {
             s => s,
         };
         for instr in &other.instrs {
-            self.instrs.push(match instr.clone() {
-                Instr::AddCtCt(a, b) => Instr::AddCtCt(fix(a), fix(b)),
-                Instr::SubCtCt(a, b) => Instr::SubCtCt(fix(a), fix(b)),
-                Instr::MulCtCt(a, b) => Instr::MulCtCt(fix(a), fix(b)),
-                Instr::AddCtPt(a, p) => Instr::AddCtPt(fix(a), fix_pt(p)),
-                Instr::SubCtPt(a, p) => Instr::SubCtPt(fix(a), fix_pt(p)),
-                Instr::MulCtPt(a, p) => Instr::MulCtPt(fix(a), fix_pt(p)),
-                Instr::RotCt(a, r) => Instr::RotCt(fix(a), r),
-            });
+            let instr = match instr.map_ct_operands(fix) {
+                Instr::AddCtPt(a, p) => Instr::AddCtPt(a, fix_pt(p)),
+                Instr::SubCtPt(a, p) => Instr::SubCtPt(a, fix_pt(p)),
+                Instr::MulCtPt(a, p) => Instr::MulCtPt(a, fix_pt(p)),
+                other => other,
+            };
+            self.instrs.push(instr);
         }
         fix(other.output)
     }
@@ -405,19 +453,10 @@ impl Program {
         let mut seen: Vec<(Instr, ValRef)> = Vec::new();
         let mut instrs: Vec<Instr> = Vec::new();
         for instr in &self.instrs {
-            let fix = |r: ValRef| match r {
+            let rewritten = instr.map_ct_operands(|r| match r {
                 ValRef::Instr(j) => canon[j],
                 other => other,
-            };
-            let rewritten = match instr.clone() {
-                Instr::AddCtCt(a, b) => Instr::AddCtCt(fix(a), fix(b)),
-                Instr::SubCtCt(a, b) => Instr::SubCtCt(fix(a), fix(b)),
-                Instr::MulCtCt(a, b) => Instr::MulCtCt(fix(a), fix(b)),
-                Instr::AddCtPt(a, p) => Instr::AddCtPt(fix(a), p),
-                Instr::SubCtPt(a, p) => Instr::SubCtPt(fix(a), p),
-                Instr::MulCtPt(a, p) => Instr::MulCtPt(fix(a), p),
-                Instr::RotCt(a, r) => Instr::RotCt(fix(a), r),
-            };
+            });
             if let Some((_, r)) = seen.iter().find(|(i, _)| *i == rewritten) {
                 canon.push(*r);
             } else {

@@ -290,6 +290,12 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                             .map_err(|_| err(ao, format!("bad rotation '{amt}'")))?;
                         Instr::RotCt(a, r)
                     }
+                    "relin-ct" => {
+                        if op_list.len() != 2 {
+                            return Err(err(oo, "relin-ct takes one ciphertext"));
+                        }
+                        Instr::Relin(ct_at(1)?)
+                    }
                     _ => return Err(err(oo, format!("unknown opcode '{op}'"))),
                 };
                 instrs.push(instr);
@@ -344,6 +350,7 @@ pub fn write_program(f: &mut fmt::Formatter<'_>, prog: &Program) -> fmt::Result 
             Instr::SubCtPt(a, p) => format!("sub-ct-pt {} {}", val_name(*a, k), pt_name(p)),
             Instr::MulCtPt(a, p) => format!("mul-ct-pt {} {}", val_name(*a, k), pt_name(p)),
             Instr::RotCt(a, r) => format!("rot-ct {} {}", val_name(*a, k), r),
+            Instr::Relin(a) => format!("relin-ct {}", val_name(*a, k)),
         };
         writeln!(f, "  (let {bind} ({body}))")?;
     }

@@ -4,43 +4,17 @@
 
 use proptest::prelude::*;
 use quill::interp;
-use quill::program::{Instr, Program, PtOperand, ValRef};
+use quill::program::Program;
 use quill::sexpr::{parse_program, to_string};
 use test_support::T;
 
 const N: usize = 6;
 
-/// Strategy: a random valid straight-line program over one ct input.
+/// A random valid single-input program — the shared workspace generator,
+/// which covers the full instruction set including `relin-ct` (placed only
+/// over statically size-3 values).
 fn arb_program(max_len: usize) -> impl Strategy<Value = Program> {
-    prop::collection::vec((0u8..7, any::<u16>(), any::<u16>(), -5i64..=5), 1..max_len).prop_map(
-        |steps| {
-            let mut instrs: Vec<Instr> = Vec::new();
-            for (op, a, b, r) in steps {
-                let pick = |x: u16, bound: usize| -> ValRef {
-                    let i = x as usize % (bound + 1);
-                    if i == 0 {
-                        ValRef::Input(0)
-                    } else {
-                        ValRef::Instr(i - 1)
-                    }
-                };
-                let lhs = pick(a, instrs.len());
-                let rhs = pick(b, instrs.len());
-                let instr = match op {
-                    0 => Instr::AddCtCt(lhs, rhs),
-                    1 => Instr::SubCtCt(lhs, rhs),
-                    2 => Instr::MulCtCt(lhs, rhs),
-                    3 => Instr::AddCtPt(lhs, PtOperand::Splat(r)),
-                    4 => Instr::SubCtPt(lhs, PtOperand::Splat(r)),
-                    5 => Instr::MulCtPt(lhs, PtOperand::Splat(r)),
-                    _ => Instr::RotCt(lhs, if r == 0 { 1 } else { r }),
-                };
-                instrs.push(instr);
-            }
-            let output = ValRef::Instr(instrs.len() - 1);
-            Program::new("random", 1, 0, instrs, output)
-        },
-    )
+    test_support::arb_program(1, max_len)
 }
 
 proptest! {
@@ -94,6 +68,27 @@ proptest! {
     #[test]
     fn mult_depth_bounds_logic_depth(prog in arb_program(8)) {
         prop_assert!((prog.mult_depth() as usize) <= prog.logic_depth());
+    }
+
+    /// The static analyses agree with the IR rules: every `relin-ct` sits
+    /// on a size-3 value and produces size 2, and the per-value level at
+    /// the output is exactly the program's multiplicative depth.
+    #[test]
+    fn size_and_level_analyses_are_consistent(prog in arb_program(8)) {
+        use quill::program::{Instr, ValRef};
+        let sizes = quill::analysis::ct_sizes(&prog);
+        let levels = quill::analysis::ct_levels(&prog);
+        for (i, instr) in prog.instrs.iter().enumerate() {
+            if let Instr::Relin(a) = instr {
+                prop_assert_eq!(quill::analysis::size_of(&sizes, *a), 3);
+                prop_assert_eq!(sizes[i], 2);
+            }
+        }
+        let out_level = match prog.output {
+            ValRef::Input(_) => 0,
+            ValRef::Instr(j) => levels[j],
+        };
+        prop_assert_eq!(out_level, prog.mult_depth());
     }
 
     #[test]

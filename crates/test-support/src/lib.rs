@@ -15,12 +15,14 @@ use bfv::encrypt::{Ciphertext, Decryptor, Encryptor};
 use bfv::evaluator::Evaluator;
 use bfv::keys::KeyGenerator;
 use bfv::params::{BfvContext, BfvParams};
-use porcupine::cegis::{default_parallelism, SynthesisOptions};
+use porcupine::cegis::SynthesisOptions;
 use porcupine::codegen::BfvRunner;
+use porcupine::opt::{self, OptLevel};
 use porcupine::spec::KernelSpec;
+use proptest::prelude::*;
 use quill::cost::LatencyModel;
 use quill::interp;
-use quill::program::Program;
+use quill::program::{Instr, Program, PtOperand, ValRef};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -39,29 +41,37 @@ pub fn small_ctx() -> BfvContext {
     BfvContext::new(BfvParams::test_small()).expect("test_small parameters are valid")
 }
 
+/// The middle-end level the suites lower programs with before backend
+/// execution: `PORCUPINE_OPT` (the CI matrix runs the root suites at `0`
+/// and `2`) or the library default.
+pub fn test_opt_level() -> OptLevel {
+    opt::default_opt_level()
+}
+
 /// Synthesis options for property tests: uniform latency model and a budget
 /// far below tier-1's patience. Honors `PORCUPINE_JOBS` (the CI matrix sets
-/// it to exercise the parallel-determinism contract on every push).
+/// it to exercise the parallel-determinism contract on every push) and
+/// `PORCUPINE_OPT` (ditto, for the middle-end).
 pub fn quick_synthesis_options(seed: u64) -> SynthesisOptions {
     SynthesisOptions {
         timeout: Duration::from_secs(30),
         optimize: true,
         latency: LatencyModel::uniform(),
         seed,
-        parallelism: default_parallelism(),
+        ..SynthesisOptions::default()
     }
 }
 
 /// Synthesis options for the end-to-end kernel tests: the paper's profiled
 /// latency model with a generous (but bounded) budget. Honors
-/// `PORCUPINE_JOBS` like [`quick_synthesis_options`].
+/// `PORCUPINE_JOBS` and `PORCUPINE_OPT` like [`quick_synthesis_options`].
 pub fn fast_synthesis_options() -> SynthesisOptions {
     SynthesisOptions {
         timeout: Duration::from_secs(300),
         optimize: true,
         latency: LatencyModel::profiled_default(),
         seed: 1,
-        parallelism: default_parallelism(),
+        ..SynthesisOptions::default()
     }
 }
 
@@ -97,6 +107,63 @@ impl<'a> HeSession<'a> {
     }
 }
 
+/// Proptest strategy: a random *valid* straight-line program over
+/// `num_ct_inputs` ciphertext inputs, covering the full instruction set
+/// including explicit `relin-ct` (emitted only over statically size-3
+/// values, so every generated program passes `Program::validate`). Shared
+/// by the quill IR property suite and the middle-end pass suites.
+pub fn arb_program(num_ct_inputs: usize, max_len: usize) -> impl Strategy<Value = Program> {
+    assert!(num_ct_inputs >= 1 && max_len >= 2);
+    prop::collection::vec((0u8..8, any::<u16>(), any::<u16>(), -5i64..=5), 1..max_len).prop_map(
+        move |steps| {
+            let mut instrs: Vec<Instr> = Vec::new();
+            // Ciphertext size of each value (inputs then instruction results),
+            // tracked so relin-ct only lands on size-3 values.
+            let mut sizes: Vec<u8> = vec![2; num_ct_inputs];
+            for (op, a, b, r) in steps {
+                let avail = num_ct_inputs + instrs.len();
+                let pick = |x: u16| -> ValRef {
+                    let i = x as usize % avail;
+                    if i < num_ct_inputs {
+                        ValRef::Input(i)
+                    } else {
+                        ValRef::Instr(i - num_ct_inputs)
+                    }
+                };
+                let idx = |v: ValRef| match v {
+                    ValRef::Input(i) => i,
+                    ValRef::Instr(j) => num_ct_inputs + j,
+                };
+                let (lhs, rhs) = (pick(a), pick(b));
+                let instr = match op {
+                    0 => Instr::AddCtCt(lhs, rhs),
+                    1 => Instr::SubCtCt(lhs, rhs),
+                    2 => Instr::MulCtCt(lhs, rhs),
+                    3 => Instr::AddCtPt(lhs, PtOperand::Splat(r)),
+                    4 => Instr::SubCtPt(lhs, PtOperand::Splat(r)),
+                    5 => Instr::MulCtPt(lhs, PtOperand::Splat(r)),
+                    6 => Instr::RotCt(lhs, if r == 0 { 1 } else { r }),
+                    _ if sizes[idx(lhs)] == 3 => Instr::Relin(lhs),
+                    _ => Instr::RotCt(lhs, if r == 0 { 1 } else { r }),
+                };
+                sizes.push(match &instr {
+                    Instr::MulCtCt(..) => 3,
+                    Instr::Relin(_) => 2,
+                    Instr::AddCtCt(x, y) | Instr::SubCtCt(x, y) => {
+                        sizes[idx(*x)].max(sizes[idx(*y)])
+                    }
+                    other => sizes[idx(other.ct_operands()[0])],
+                });
+                instrs.push(instr);
+            }
+            let output = ValRef::Instr(instrs.len() - 1);
+            let prog = Program::new("random", num_ct_inputs, 0, instrs, output);
+            debug_assert!(prog.validate().is_ok(), "{:?}", prog.validate());
+            prog
+        },
+    )
+}
+
 /// Samples `count` model vectors of `n` slots with entries in `[0, bound)`.
 pub fn sample_model_inputs(count: usize, n: usize, bound: u64, rng: &mut StdRng) -> Vec<Vec<u64>> {
     (0..count)
@@ -116,6 +183,12 @@ pub fn assert_masked_slots_eq(got: &[u64], want: &[u64], mask: &[bool], label: &
 /// Runs `prog` on random `[0, input_bound)` inputs through both the Quill
 /// interpreter and the encrypted BFV backend, asserting the given output
 /// `slots` agree and that the ciphertext retains noise budget.
+///
+/// The interpreter evaluates `prog` as given; the backend executes it
+/// lowered through the middle-end at [`test_opt_level`] (the backend runs
+/// only legal IR, and lowering must not change any decrypted slot — so
+/// every call doubles as a middle-end soundness check at the CI matrix's
+/// `-O` level).
 pub fn assert_backend_matches_interp(
     ctx: &BfvContext,
     prog: &Program,
@@ -125,7 +198,8 @@ pub fn assert_backend_matches_interp(
     rng: &mut StdRng,
 ) {
     let session = HeSession::new(ctx, rng);
-    let runner = BfvRunner::for_programs(ctx, &session.keygen, &[prog], rng);
+    let (lowered, _) = opt::optimize(prog, test_opt_level());
+    let runner = BfvRunner::for_programs(ctx, &session.keygen, &[&lowered], rng);
     let t = ctx.params().plain_modulus;
 
     let ct_model = sample_model_inputs(prog.num_ct_inputs, model_n, input_bound, rng);
@@ -140,7 +214,7 @@ pub fn assert_backend_matches_interp(
     let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
     let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
     let pt_refs: Vec<&Plaintext> = pts.iter().collect();
-    let out = runner.run(prog, &ct_refs, &pt_refs);
+    let out = runner.run(&lowered, &ct_refs, &pt_refs);
 
     let budget = session.decryptor.invariant_noise_budget(&out);
     assert!(

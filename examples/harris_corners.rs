@@ -42,10 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?
         .program,
     };
-    let harris = composite::harris_from(&stages);
+    let harris_raw = composite::harris_from(&stages);
     let baseline = composite::harris_baseline(img);
+    // Lower through the middle-end before touching real ciphertexts.
+    let (harris, report) = porcupine::opt::optimize(&harris_raw, porcupine::opt::OptLevel::O2);
     println!(
-        "composed harris: {} instructions (baseline {}), mult depth {}\n",
+        "composed harris: {} instructions at -O2 (baseline {}; {report}), mult depth {}\n",
         harris.len(),
         baseline.len(),
         harris.mult_depth()

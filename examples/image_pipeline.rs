@@ -34,10 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gy.program.len(),
         combine.program.len()
     );
-    let sobel = composite::sobel_from(&gx.program, &gy.program, &combine.program);
+    let sobel_raw = composite::sobel_from(&gx.program, &gy.program, &combine.program);
+    // Lower through the middle-end: global CSE + rotation folding + lazy
+    // relinearization make the composed pipeline both legal and cheaper
+    // than the eager -O0 lowering.
+    let (sobel, report) = porcupine::opt::optimize(&sobel_raw, porcupine::opt::OptLevel::O2);
     println!(
-        "composed sobel: {} instructions, mult depth {}\n",
+        "composed sobel: {} instructions at -O2 ({} relin, {} rot; {report}), mult depth {}\n",
         sobel.len(),
+        sobel.relin_count(),
+        sobel.rot_count(),
         sobel.mult_depth()
     );
 

@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let keygen = KeyGenerator::new(&ctx, &mut rng);
     let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
     let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
-    let runner = BfvRunner::for_programs(&ctx, &keygen, &[&lin.program, &poly.program], &mut rng);
+    let runner =
+        BfvRunner::for_programs(&ctx, &keygen, &[&lin.optimized, &poly.optimized], &mut rng);
     let encoder = runner.encoder();
 
     // Client: a batch of encrypted feature pairs.
@@ -55,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&v| encoder.encode(&vec![v; batch]))
         .collect();
     let out = runner.run(
-        &lin.program,
+        &lin.optimized,
         &[&ct_x1, &ct_x2],
         &[&pts[0], &pts[1], &pts[2]],
     );
@@ -71,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|&v| encoder.encode(&vec![v; batch]))
         .collect();
-    let out = runner.run(&poly.program, &[&ct_x1], &[&pts[0], &pts[1], &pts[2]]);
+    let out = runner.run(&poly.optimized, &[&ct_x1], &[&pts[0], &pts[1], &pts[2]]);
     let y = encoder.decode(&decryptor.decrypt(&out));
     println!("quadratic predictions: {:?}", &y[..batch]);
     for i in 0..batch {

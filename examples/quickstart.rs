@@ -25,9 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.components, result.time_total, result.examples_used, result.proved_optimal
     );
     println!("-- synthesized Quill kernel --\n{}", result.program);
+    // `optimized` is the middle-end's lowering (relinearizations placed,
+    // backend-legal IR) — what the runner and the C++ emitter consume.
     println!(
         "-- generated SEAL C++ --\n{}",
-        emit_seal_cpp(&result.program)
+        emit_seal_cpp(&result.optimized)
     );
 
     // 2. Run it for real: encrypt a client vector, evaluate homomorphically,
@@ -37,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let keygen = KeyGenerator::new(&ctx, &mut rng);
     let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
     let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
-    let runner = BfvRunner::for_programs(&ctx, &keygen, &[&result.program], &mut rng);
+    let runner = BfvRunner::for_programs(&ctx, &keygen, &[&result.optimized], &mut rng);
 
     let x = [3u64, 1, 4, 1, 5, 9, 2, 6];
     let w = [2u64, 7, 1, 8, 2, 8, 1, 8];
@@ -49,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let encoder = runner.encoder();
     let ct = encryptor.encrypt(&encoder.encode(&x_slots), &mut rng);
     let pt = encoder.encode(&w_slots);
-    let out = runner.run(&result.program, &[&ct], &[&pt]);
+    let out = runner.run(&result.optimized, &[&ct], &[&pt]);
 
     let decoded = encoder.decode(&decryptor.decrypt(&out));
     let expected: u64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();

@@ -8,30 +8,50 @@
 //! porcupine synth gx --explicit          # §7.4 ablation sketch mode
 //! porcupine synth box-blur --auto        # infer the sketch from the spec
 //! porcupine synth gx --jobs 4            # search with 4 worker threads
+//! porcupine synth sobel-combine -O0      # middle-end level (also -O1/-O2)
 //! porcupine baseline gx                  # print the hand-written baseline
 //! ```
 //!
 //! `--jobs` defaults to `PORCUPINE_JOBS` or the machine's available
-//! parallelism; the synthesized program is identical at any value.
+//! parallelism; the synthesized program is identical at any value. The
+//! printed program is the middle-end's output at the selected `-O` level
+//! (default: `PORCUPINE_OPT` or `-O2`) — backend-legal IR with explicit
+//! `relin-ct` placement; `-O0` reproduces the eager
+//! relin-after-every-multiply lowering.
 
 use porcupine::autosketch::auto_sketch;
 use porcupine::cegis::{default_parallelism, synthesize, SynthesisOptions};
 use porcupine::codegen::emit_seal_cpp;
+use porcupine::opt::{self, OptLevel};
 use porcupine_kernels::{all_direct, PaperKernel};
-use quill::cost::{cost, LatencyModel};
+use quill::cost::{eager_cost, LatencyModel};
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>]\n  porcupine baseline <kernel> [--emit seal|quill]"
+        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
     );
     ExitCode::FAILURE
 }
 
 fn find_kernel(name: &str) -> Option<PaperKernel> {
     all_direct().into_iter().find(|k| k.name == name)
+}
+
+/// Extracts an `-O0`/`-O1`/`-O2` (or `--opt-level <n>`) flag, if present.
+fn parse_opt_level(args: &[String]) -> Result<Option<OptLevel>, String> {
+    if let Some(i) = args.iter().position(|a| a == "--opt-level") {
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| "--opt-level requires a value".to_string())?;
+        return v.parse().map(Some);
+    }
+    match args.iter().find(|a| a.starts_with("-O")) {
+        Some(flag) => flag.parse().map(Some),
+        None => Ok(None),
+    }
 }
 
 fn main() -> ExitCode {
@@ -54,7 +74,7 @@ fn main() -> ExitCode {
                     k.baseline.len(),
                     k.baseline.logic_depth(),
                     k.baseline.mult_depth(),
-                    cost(&k.baseline, &model),
+                    eager_cost(&k.baseline, &model),
                 );
             }
             ExitCode::SUCCESS
@@ -67,10 +87,24 @@ fn main() -> ExitCode {
                 eprintln!("unknown kernel '{name}' (try `porcupine list`)");
                 return ExitCode::FAILURE;
             };
+            // Without an explicit -O flag the raw baseline prints as-is;
+            // with one, the middle-end runs first.
+            let prog = match parse_opt_level(&args) {
+                Ok(None) => k.baseline.clone(),
+                Ok(Some(level)) => {
+                    let (optimized, report) = opt::optimize(&k.baseline, level);
+                    eprintln!("; -{level}: {report}");
+                    optimized
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             if args.iter().any(|a| a == "seal") {
-                print!("{}", emit_seal_cpp(&k.baseline));
+                print!("{}", emit_seal_cpp(&prog));
             } else {
-                print!("{}", k.baseline);
+                print!("{prog}");
             }
             ExitCode::SUCCESS
         }
@@ -98,10 +132,18 @@ fn main() -> ExitCode {
                 },
                 None => default_parallelism(),
             };
+            let opt_level = match parse_opt_level(&args) {
+                Ok(level) => level.unwrap_or_else(opt::default_opt_level),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let options = SynthesisOptions {
                 timeout: Duration::from_secs(grab("--timeout").unwrap_or(600)),
                 seed: grab("--seed").unwrap_or(0x9E3779B9),
                 parallelism: jobs,
+                opt_level,
                 ..SynthesisOptions::default()
             };
             let sketch = if args.iter().any(|a| a == "--auto") {
@@ -127,12 +169,21 @@ fn main() -> ExitCode {
                     eprintln!(
                         "; cost {:.0} (baseline {:.0})",
                         r.final_cost,
-                        cost(&k.baseline, &model)
+                        eager_cost(&k.baseline, &model)
+                    );
+                    eprintln!(
+                        "; -{}: {} ({} instrs searched → {} lowered, {} relin, {} rot)",
+                        options.opt_level,
+                        r.opt_report,
+                        r.program.len(),
+                        r.optimized.len(),
+                        r.optimized.relin_count(),
+                        r.optimized.rot_count(),
                     );
                     if args.iter().any(|a| a == "seal") {
-                        print!("{}", emit_seal_cpp(&r.program));
+                        print!("{}", emit_seal_cpp(&r.optimized));
                     } else {
-                        print!("{}", r.program);
+                        print!("{}", r.optimized);
                     }
                     ExitCode::SUCCESS
                 }

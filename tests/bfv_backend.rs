@@ -29,7 +29,8 @@ fn kernel_execution_is_representation_independent() {
         .into_iter()
         .next()
         .expect("at least one kernel");
-    let prog = &kernel.baseline;
+    let (lowered, _) = porcupine::opt::optimize(&kernel.baseline, test_support::test_opt_level());
+    let prog = &lowered;
     let mut rng = seeded_rng(42);
     let session = HeSession::new(&ctx, &mut rng);
     let runner = BfvRunner::for_programs(&ctx, &session.keygen, &[prog], &mut rng);

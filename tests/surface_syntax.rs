@@ -3,6 +3,7 @@
 //! with program structure.
 
 use porcupine::codegen::emit_seal_cpp;
+use porcupine::opt::{optimize, OptLevel};
 use porcupine_kernels::{all_direct, composite, stencil};
 use quill::sexpr::{parse_program, to_string};
 
@@ -32,11 +33,19 @@ fn composite_baselines_roundtrip_through_sexpr() {
 #[test]
 fn seal_emission_covers_every_instruction() {
     for k in all_direct() {
+        // Raw (pre-middle-end) IR carries no relinearization, and the
+        // emitter must not invent one.
         let cpp = emit_seal_cpp(&k.baseline);
-        // one `seal::Ciphertext cN;` declaration per instruction
         let decls = cpp.matches("seal::Ciphertext c").count();
         assert_eq!(decls, k.baseline.len(), "{}", k.name);
-        // every ct-ct multiply is followed by a relinearization
+        assert_eq!(cpp.matches("ev.relinearize_inplace(").count(), 0);
+
+        // At -O0 every ct-ct multiply is followed by its relinearization,
+        // exactly the paper's lowering.
+        let (lowered, _) = optimize(&k.baseline, OptLevel::O0);
+        let cpp = emit_seal_cpp(&lowered);
+        let decls = cpp.matches("seal::Ciphertext c").count();
+        assert_eq!(decls, lowered.len(), "{}", k.name);
         let muls = cpp.matches("ev.multiply(").count();
         let relins = cpp.matches("ev.relinearize_inplace(").count();
         assert_eq!(muls, relins, "{}", k.name);
@@ -47,11 +56,21 @@ fn seal_emission_covers_every_instruction() {
 fn seal_emission_of_harris_is_complete() {
     let img = stencil::default_image();
     let harris = composite::harris_baseline(img);
-    let cpp = emit_seal_cpp(&harris);
+    let (o0, _) = optimize(&harris, OptLevel::O0);
+    let cpp = emit_seal_cpp(&o0);
     assert!(cpp.contains("void harris_baseline"));
     assert!(cpp.contains("splat_16"));
     assert_eq!(
         cpp.matches("ev.relinearize_inplace(").count(),
+        harris.ct_ct_mul_count()
+    );
+    // -O2 emits strictly fewer relinearizations for the same pipeline.
+    let (o2, _) = optimize(&harris, OptLevel::O2);
+    let cpp2 = emit_seal_cpp(&o2);
+    let o2_relins = cpp2.matches("ev.relinearize_inplace(").count();
+    assert!(
+        o2_relins < harris.ct_ct_mul_count(),
+        "-O2 relins {o2_relins} vs muls {}",
         harris.ct_ct_mul_count()
     );
 }
