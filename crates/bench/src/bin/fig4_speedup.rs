@@ -35,20 +35,11 @@ use porcupine_bench::median;
 
 fn main() {
     let (jobs, args) = porcupine_bench::parse_jobs(std::env::args().collect());
+    let (policy, args) = porcupine_bench::parse_params(args);
     let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let synth_timeout: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120);
     let secure = args.iter().any(|a| a == "--secure");
 
-    let params = if secure {
-        BfvParams::secure_128()
-    } else {
-        BfvParams::fast_4096()
-    };
-    println!(
-        "# Figure 4: kernel speedups (N={}, {} runs/version, synthesis timeout {synth_timeout}s)",
-        params.poly_degree, runs
-    );
-    let ctx = BfvContext::new(params).expect("valid parameters");
     let options = SynthesisOptions {
         timeout: Duration::from_secs(synth_timeout),
         parallelism: jobs,
@@ -101,7 +92,40 @@ fn main() {
         }),
     });
 
-    // --- Time every workload. --------------------------------------------
+    // --- Resolve parameters and time every workload. ----------------------
+    // `--params auto` picks the single set covering every lowered workload
+    // (both versions, so the comparison shares one context); `--secure` /
+    // the default keep the historical fixed presets.
+    let params = match &policy {
+        Some(policy) => {
+            let lowered: Vec<(Program, usize)> = workloads
+                .iter()
+                .flat_map(|w| {
+                    [
+                        (
+                            porcupine::opt::optimize(&w.baseline, options.opt_level).0,
+                            w.spec.n,
+                        ),
+                        (
+                            porcupine::opt::optimize(&w.synthesized, options.opt_level).0,
+                            w.spec.n,
+                        ),
+                    ]
+                })
+                .collect();
+            let refs: Vec<(&Program, usize)> = lowered.iter().map(|(p, n)| (p, *n)).collect();
+            porcupine_bench::params_covering(&refs, 65537, policy)
+        }
+        None if secure => BfvParams::secure_128(),
+        None => BfvParams::fast_4096(),
+    };
+    println!(
+        "# Figure 4: kernel speedups (N={}, Q={} primes, {} runs/version, synthesis timeout {synth_timeout}s)",
+        params.poly_degree,
+        params.moduli.len(),
+        runs
+    );
+    let ctx = BfvContext::new(params).expect("valid parameters");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xF16);
     let keygen = KeyGenerator::new(&ctx, &mut rng);
     let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));

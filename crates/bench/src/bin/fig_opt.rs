@@ -40,29 +40,12 @@ struct Row {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (policy, args) = porcupine_bench::parse_params(std::env::args().skip(1).collect());
     let smoke = args.iter().any(|a| a == "--smoke");
     let runs: usize = args
         .iter()
         .find_map(|a| a.parse().ok())
         .unwrap_or(if smoke { 1 } else { 5 });
-
-    let params = if smoke {
-        BfvParams::test_small()
-    } else {
-        BfvParams::fast_4096()
-    };
-    println!(
-        "# fig_opt: -O0 vs -O2, N={}, {runs} timed run(s) per version{}",
-        params.poly_degree,
-        if smoke { " [smoke]" } else { "" },
-    );
-    let ctx = BfvContext::new(params).expect("valid parameters");
-    let model = LatencyModel::profiled_default();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0F70);
-    let keygen = KeyGenerator::new(&ctx, &mut rng);
-    let encryptor = bfv::encrypt::Encryptor::new(&ctx, keygen.public_key(&mut rng));
-    let decryptor = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
 
     let img = stencil::default_image();
     let mut workloads: Vec<(String, Program, usize)> = all_direct()
@@ -79,6 +62,35 @@ fn main() {
         composite::harris_baseline(img),
         img.slots(),
     ));
+
+    // `--params auto|paper` overrides the fast preset: auto picks the one
+    // set covering every workload's noise requirement (charged on the
+    // noisier -O0 lowerings).
+    let params = match &policy {
+        Some(policy) => {
+            let lowered: Vec<(Program, usize)> = workloads
+                .iter()
+                .map(|(_, raw, n)| (optimize(raw, OptLevel::O0).0, *n))
+                .collect();
+            let refs: Vec<(&Program, usize)> = lowered.iter().map(|(p, n)| (p, *n)).collect();
+            porcupine_bench::params_covering(&refs, 65537, policy)
+        }
+        None if smoke => BfvParams::test_small(),
+        None => BfvParams::fast_4096(),
+    };
+    println!(
+        "# fig_opt: -O0 vs -O2, N={}, Q={} primes, {runs} timed run(s) per version{}{}",
+        params.poly_degree,
+        params.moduli.len(),
+        if smoke { " [smoke]" } else { "" },
+        if policy.is_some() { " [--params]" } else { "" },
+    );
+    let ctx = BfvContext::new(params).expect("valid parameters");
+    let model = LatencyModel::profiled_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0F70);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = bfv::encrypt::Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let decryptor = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
 
     println!(
         "{:<24} {:>14} {:>14} {:>11} {:>11} {:>10} {:>10} {:>8}",

@@ -13,7 +13,9 @@
 //!   ciphertext multiply with exact `t/Q` rescaling, RNS-decomposition
 //!   relinearization and Galois key switching ([`evaluator::Evaluator`]).
 //! * **Noise metering**: SEAL-style invariant noise budget
-//!   ([`encrypt::Decryptor::invariant_noise_budget`]).
+//!   ([`encrypt::Decryptor::invariant_noise_budget`]), a static worst-case
+//!   noise-growth model ([`noise::NoiseModel`]), and noise-aware automatic
+//!   parameter selection ([`params::ParamSelector`]).
 //!
 //! # The double-CRT representation
 //!
@@ -81,6 +83,7 @@ pub mod encoding;
 pub mod encrypt;
 pub mod evaluator;
 pub mod keys;
+pub mod noise;
 pub mod ntt;
 pub mod params;
 pub mod poly;
@@ -91,4 +94,7 @@ pub use encoding::{BatchEncoder, Plaintext};
 pub use encrypt::{Ciphertext, Decryptor, Encryptor};
 pub use evaluator::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinKey, SecretKey};
-pub use params::{BfvContext, BfvParams, ParamError};
+pub use noise::{NoiseModel, NoiseReport};
+pub use params::{
+    BfvContext, BfvParams, ParamError, ParamPolicy, ParamSelector, SelectError, Selection,
+};

@@ -1,10 +1,13 @@
-//! BFV parameter sets and the shared evaluation context.
+//! BFV parameter sets, the shared evaluation context, and noise-aware
+//! automatic parameter selection ([`ParamSelector`]).
 
 use crate::bigint::BigUint;
+use crate::noise::{NoiseModel, NoiseReport};
 use crate::ntt::NttTables;
 use crate::poly::RingContext;
 use crate::rns::{RnsBaseConverter, RnsContext};
 use crate::zq;
+use quill::program::Program;
 use std::error::Error;
 use std::fmt;
 
@@ -17,6 +20,13 @@ pub enum ParamError {
     BadPlainModulus(u64),
     /// A ciphertext modulus prime is invalid for this `N`.
     BadPrime(u64),
+    /// The same prime appears twice in the ciphertext chain (CRT needs
+    /// pairwise-coprime moduli; a duplicate used to panic inside the RNS
+    /// setup).
+    DuplicatePrime(u64),
+    /// The plaintext modulus is not coprime to the ciphertext modulus (it
+    /// appears in the chain), which breaks the `Δ = ⌊Q/t⌋` encoding.
+    PlainNotCoprime(u64),
     /// Fewer than two RNS primes (RNS-decomposition key switching needs ≥ 2).
     TooFewPrimes(usize),
 }
@@ -37,6 +47,13 @@ impl fmt::Display for ParamError {
             ParamError::BadPrime(p) => {
                 write!(f, "ciphertext modulus prime {p} must be prime and 1 mod 2N")
             }
+            ParamError::DuplicatePrime(p) => {
+                write!(f, "ciphertext modulus prime {p} appears more than once")
+            }
+            ParamError::PlainNotCoprime(t) => write!(
+                f,
+                "plaintext modulus {t} must be coprime to the ciphertext modulus chain"
+            ),
             ParamError::TooFewPrimes(k) => {
                 write!(f, "need at least 2 RNS primes for key switching, got {k}")
             }
@@ -115,6 +132,13 @@ impl BfvParams {
         BfvParams::generate(8192, 65537, 50, 4).expect("static parameters are valid")
     }
 
+    /// The fixed parameter set the paper evaluates every kernel under
+    /// (alias of [`BfvParams::secure_128`]) — the baseline the automatic
+    /// selector ([`ParamSelector`]) replaces.
+    pub fn paper() -> Self {
+        BfvParams::secure_128()
+    }
+
     /// Checks all structural requirements.
     ///
     /// # Errors
@@ -133,9 +157,15 @@ impl BfvParams {
         if self.moduli.len() < 2 {
             return Err(ParamError::TooFewPrimes(self.moduli.len()));
         }
-        for &q in &self.moduli {
-            if !zq::is_prime(q) || (q - 1) % two_n != 0 || q == t {
+        for (i, &q) in self.moduli.iter().enumerate() {
+            if !zq::is_prime(q) || (q - 1) % two_n != 0 {
                 return Err(ParamError::BadPrime(q));
+            }
+            if q == t {
+                return Err(ParamError::PlainNotCoprime(t));
+            }
+            if self.moduli[..i].contains(&q) {
+                return Err(ParamError::DuplicatePrime(q));
             }
         }
         Ok(())
@@ -149,6 +179,325 @@ impl BfvParams {
     /// Slots per batching row (`N / 2`) — the unit `rotate_rows` acts on.
     pub fn row_size(&self) -> usize {
         self.poly_degree / 2
+    }
+}
+
+/// Default safety margin for automatic parameter selection: the selected
+/// set must leave at least this many bits of predicted noise budget at
+/// decryption.
+pub const DEFAULT_MARGIN_BITS: f64 = 10.0;
+
+/// How the compiler obtains BFV parameters for a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamPolicy {
+    /// Select the smallest satisfying set from the candidate table via the
+    /// static noise analysis ([`ParamSelector`]).
+    Auto {
+        /// Required predicted budget (bits) left at decryption.
+        margin_bits: f64,
+    },
+    /// Use a caller-supplied parameter set unconditionally.
+    Fixed(BfvParams),
+}
+
+impl Default for ParamPolicy {
+    fn default() -> Self {
+        ParamPolicy::auto()
+    }
+}
+
+impl ParamPolicy {
+    /// Automatic selection with the default margin.
+    pub fn auto() -> Self {
+        ParamPolicy::Auto {
+            margin_bits: DEFAULT_MARGIN_BITS,
+        }
+    }
+
+    /// Resolves the policy for a lowered program that needs `min_slots`
+    /// batching slots per row and plaintext modulus `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`SelectError`] if no candidate satisfies an `Auto` policy, or if a
+    /// `Fixed` set fails validation / has too few slots.
+    pub fn resolve(
+        &self,
+        prog: &Program,
+        min_slots: usize,
+        t: u64,
+    ) -> Result<BfvParams, SelectError> {
+        match self {
+            ParamPolicy::Auto { margin_bits } => ParamSelector::new(t)
+                .with_margin_bits(*margin_bits)
+                .select(prog, min_slots)
+                .map(|s| s.params),
+            ParamPolicy::Fixed(params) => {
+                params
+                    .validate()
+                    .map_err(|e| SelectError::BadFixedParams(e.to_string()))?;
+                if params.row_size() < min_slots || params.plain_modulus != t {
+                    return Err(SelectError::BadFixedParams(format!(
+                        "fixed set (N = {}, t = {}) cannot hold {min_slots} slots of a \
+                         t = {t} program",
+                        params.poly_degree, params.plain_modulus
+                    )));
+                }
+                Ok(params.clone())
+            }
+        }
+    }
+}
+
+/// Why automatic parameter selection failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectError {
+    /// No candidate in the table satisfies the noise bound with the
+    /// requested margin (the program is too deep, or needs too many slots).
+    NoCandidate {
+        /// The requested margin.
+        margin_bits: f64,
+        /// Slots the program needs per batching row.
+        min_slots: usize,
+        /// Best predicted remaining budget over all size-compatible
+        /// candidates, with the `N` that achieved it.
+        best: Option<(usize, f64)>,
+    },
+    /// The plaintext modulus is incompatible with every candidate degree
+    /// (`t` must be prime and `≡ 1 mod 2N`).
+    UnsupportedPlainModulus(u64),
+    /// A `Fixed` policy carried an unusable parameter set.
+    BadFixedParams(String),
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::NoCandidate {
+                margin_bits,
+                min_slots,
+                best,
+            } => {
+                write!(
+                    f,
+                    "no candidate parameter set leaves {margin_bits} bits of noise budget \
+                     with {min_slots} slots"
+                )?;
+                if let Some((n, remaining)) = best {
+                    write!(f, " (best: N = {n} with {remaining:.1} bits remaining)")?;
+                }
+                Ok(())
+            }
+            SelectError::UnsupportedPlainModulus(t) => {
+                write!(
+                    f,
+                    "plaintext modulus {t} is incompatible with every candidate degree"
+                )
+            }
+            SelectError::BadFixedParams(why) => write!(f, "fixed parameter set unusable: {why}"),
+        }
+    }
+}
+
+impl Error for SelectError {}
+
+/// One row of the candidate table: `count` fresh primes of `bits` bits at
+/// degree `poly_degree`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Candidate {
+    poly_degree: usize,
+    prime_bits: u32,
+    count: usize,
+}
+
+/// Noise-aware automatic parameter selection.
+///
+/// Given a *lowered* program (post `-O`, explicit relinearizations), the
+/// selector walks a table of NTT-friendly candidate parameter sets in
+/// ascending cost order (degree first, then total modulus size — key
+/// switching and NTTs scale with `N·log N·k²`, so smaller `N` wins) and
+/// returns the first set whose worst-case predicted noise budget
+/// ([`NoiseModel`]) leaves at least the configured safety margin at
+/// decryption, and whose batching rows hold the program's slots.
+///
+/// Because the noise model is a sound upper bound, the selected set is
+/// *certified*: the measured budget at decryption is at least the margin.
+///
+/// **Security caveat**: like the rest of this crate, the table trades
+/// lattice-security margin for speed at small degrees (the sub-`N = 8192`
+/// rows mirror the repo's test presets). The `N = 8192` row equals
+/// [`BfvParams::paper`].
+///
+/// # Examples
+///
+/// ```
+/// use bfv::params::ParamSelector;
+/// use quill::program::{Instr, Program, ValRef};
+///
+/// // A rotate-and-add kernel needs only a small set...
+/// let shallow = Program::new(
+///     "pairsum", 1, 0,
+///     vec![
+///         Instr::RotCt(ValRef::Input(0), 1),
+///         Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+///     ],
+///     ValRef::Instr(1),
+/// );
+/// let sel = ParamSelector::new(65537);
+/// let small = sel.select(&shallow, 8).unwrap();
+/// // ...and deeper programs force a larger modulus chain.
+/// let square = Program::new(
+///     "square", 1, 0,
+///     vec![
+///         Instr::MulCtCt(ValRef::Input(0), ValRef::Input(0)),
+///         Instr::Relin(ValRef::Instr(0)),
+///     ],
+///     ValRef::Instr(1),
+/// );
+/// let larger = sel.select(&square, 8).unwrap();
+/// let q_bits = |p: &bfv::params::BfvParams| p.moduli.iter()
+///     .map(|&q| 64 - q.leading_zeros()).sum::<u32>();
+/// assert!(q_bits(&larger.params) >= q_bits(&small.params));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParamSelector {
+    plain_modulus: u64,
+    margin_bits: f64,
+}
+
+/// A successful selection: the parameters plus the analysis that
+/// certified them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The smallest satisfying parameter set.
+    pub params: BfvParams,
+    /// The noise analysis of the program under `params`.
+    pub report: NoiseReport,
+    /// How many size-compatible candidates were rejected first.
+    pub candidates_tried: usize,
+}
+
+impl ParamSelector {
+    /// The candidate table, ascending by degree then total modulus bits.
+    /// Prime sizes stay ≥ 45 bits: RNS-decomposition key switching adds
+    /// noise proportional to the *largest* chain prime over `Q`, so chains
+    /// of few large primes beat many small ones.
+    const CANDIDATES: &'static [Candidate] = &[
+        Candidate {
+            poly_degree: 1024,
+            prime_bits: 45,
+            count: 2,
+        },
+        Candidate {
+            poly_degree: 1024,
+            prime_bits: 45,
+            count: 3,
+        },
+        Candidate {
+            poly_degree: 2048,
+            prime_bits: 46,
+            count: 3,
+        },
+        Candidate {
+            poly_degree: 4096,
+            prime_bits: 46,
+            count: 3,
+        },
+        Candidate {
+            poly_degree: 4096,
+            prime_bits: 46,
+            count: 4,
+        },
+        Candidate {
+            poly_degree: 8192,
+            prime_bits: 50,
+            count: 4,
+        },
+        Candidate {
+            poly_degree: 8192,
+            prime_bits: 50,
+            count: 5,
+        },
+        Candidate {
+            poly_degree: 8192,
+            prime_bits: 53,
+            count: 6,
+        },
+        Candidate {
+            poly_degree: 16384,
+            prime_bits: 55,
+            count: 7,
+        },
+        Candidate {
+            poly_degree: 16384,
+            prime_bits: 55,
+            count: 9,
+        },
+    ];
+
+    /// A selector for plaintext modulus `t` with the default margin.
+    pub fn new(plain_modulus: u64) -> Self {
+        ParamSelector {
+            plain_modulus,
+            margin_bits: DEFAULT_MARGIN_BITS,
+        }
+    }
+
+    /// Overrides the safety margin.
+    pub fn with_margin_bits(mut self, margin_bits: f64) -> Self {
+        self.margin_bits = margin_bits;
+        self
+    }
+
+    /// Selects the smallest satisfying parameter set for a lowered program
+    /// that needs `min_slots` slots per batching row.
+    ///
+    /// # Errors
+    ///
+    /// See [`SelectError`].
+    pub fn select(&self, prog: &Program, min_slots: usize) -> Result<Selection, SelectError> {
+        let t = self.plain_modulus;
+        let mut best: Option<(usize, f64)> = None;
+        let mut tried = 0usize;
+        let mut any_compatible = false;
+        for cand in Self::CANDIDATES {
+            let two_n = 2 * cand.poly_degree as u64;
+            if cand.poly_degree / 2 < min_slots
+                || !zq::is_prime(t)
+                || !(t - 1).is_multiple_of(two_n)
+            {
+                continue;
+            }
+            any_compatible = true;
+            let params = BfvParams::generate(cand.poly_degree, t, cand.prime_bits, cand.count)
+                .expect("table candidates are valid");
+            let report = NoiseModel::for_params(&params).analyze(prog);
+            if report.predicted_budget_bits >= self.margin_bits {
+                return Ok(Selection {
+                    params,
+                    report,
+                    candidates_tried: tried,
+                });
+            }
+            tried += 1;
+            if best.is_none_or(|(_, b)| report.predicted_budget_bits > b) {
+                best = Some((cand.poly_degree, report.predicted_budget_bits));
+            }
+        }
+        if !any_compatible && best.is_none() {
+            // Distinguish "t can never batch" from "table exhausted".
+            let t_fits_somewhere = Self::CANDIDATES
+                .iter()
+                .any(|c| zq::is_prime(t) && (t - 1).is_multiple_of(2 * c.poly_degree as u64));
+            if !t_fits_somewhere {
+                return Err(SelectError::UnsupportedPlainModulus(t));
+            }
+        }
+        Err(SelectError::NoCandidate {
+            margin_bits: self.margin_bits,
+            min_slots,
+            best,
+        })
     }
 }
 
@@ -378,6 +727,143 @@ mod tests {
         let mut p = BfvParams::test_small();
         p.moduli.truncate(1);
         assert_eq!(p.validate(), Err(ParamError::TooFewPrimes(1)));
+    }
+
+    #[test]
+    fn rejects_non_ntt_friendly_prime() {
+        let mut p = BfvParams::test_small();
+        // Prime, but 2N = 2048 does not divide p − 1.
+        p.moduli[1] = 65539;
+        assert_eq!(p.validate(), Err(ParamError::BadPrime(65539)));
+        // Not prime at all.
+        p.moduli[1] = (1 << 45) - 1;
+        assert!(matches!(p.validate(), Err(ParamError::BadPrime(_))));
+    }
+
+    /// Duplicate chain primes used to sail through validation and panic
+    /// deep in the CRT/NTT setup (`inv_mod` of zero); now they are a
+    /// first-class error, and context construction reports it instead of
+    /// panicking.
+    #[test]
+    fn rejects_duplicate_primes_without_panicking() {
+        let mut p = BfvParams::test_small();
+        p.moduli[1] = p.moduli[0];
+        let dup = p.moduli[0];
+        assert_eq!(p.validate(), Err(ParamError::DuplicatePrime(dup)));
+        assert_eq!(
+            BfvContext::new(p).err(),
+            Some(ParamError::DuplicatePrime(dup))
+        );
+    }
+
+    /// `t` sharing a prime with the chain is its own error (it used to be
+    /// misreported as a bad ciphertext prime).
+    #[test]
+    fn rejects_plain_modulus_in_chain() {
+        let mut p = BfvParams::test_small();
+        // 65537 ≡ 1 mod 2048, so it is chain-eligible at N = 1024 — the
+        // coprimality check is what must reject it.
+        p.moduli[2] = p.plain_modulus;
+        assert_eq!(p.validate(), Err(ParamError::PlainNotCoprime(65537)));
+    }
+
+    #[test]
+    fn paper_params_alias_secure_128() {
+        assert_eq!(BfvParams::paper(), BfvParams::secure_128());
+    }
+
+    #[test]
+    fn selector_scales_params_with_program_depth() {
+        use quill::program::{Instr, Program, ValRef};
+        let sel = ParamSelector::new(65537);
+        let rot_add = Program::new(
+            "pairsum",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        let shallow = sel.select(&rot_add, 8).expect("shallow program selects");
+        assert!(shallow.report.predicted_budget_bits >= DEFAULT_MARGIN_BITS);
+
+        // A depth-3 squaring chain needs strictly more modulus.
+        let mut instrs = Vec::new();
+        let mut cur = ValRef::Input(0);
+        for _ in 0..3 {
+            instrs.push(Instr::MulCtCt(cur, cur));
+            instrs.push(Instr::Relin(ValRef::Instr(instrs.len() - 1)));
+            cur = ValRef::Instr(instrs.len() - 1);
+        }
+        let deep = Program::new("pow8", 1, 0, instrs, cur);
+        let selected = sel.select(&deep, 8).expect("depth-3 program selects");
+        let q_bits =
+            |p: &BfvParams| -> u32 { p.moduli.iter().map(|&q| 64 - q.leading_zeros()).sum() };
+        assert!(q_bits(&selected.params) > q_bits(&shallow.params));
+        assert!(selected.params.validate().is_ok());
+    }
+
+    #[test]
+    fn selector_honors_min_slots() {
+        use quill::program::{Instr, Program, ValRef};
+        let prog = Program::new(
+            "rot",
+            1,
+            0,
+            vec![Instr::RotCt(ValRef::Input(0), 1)],
+            ValRef::Instr(0),
+        );
+        let sel = ParamSelector::new(65537);
+        let s = sel.select(&prog, 4000).expect("needs N ≥ 8192");
+        assert!(s.params.row_size() >= 4000);
+        assert!(s.params.poly_degree >= 8192);
+    }
+
+    #[test]
+    fn selector_reports_exhaustion_with_best_attempt() {
+        use quill::program::{Instr, Program, ValRef};
+        // An absurdly deep chain no table entry can absorb.
+        let mut instrs = Vec::new();
+        let mut cur = ValRef::Input(0);
+        for _ in 0..20 {
+            instrs.push(Instr::MulCtCt(cur, cur));
+            instrs.push(Instr::Relin(ValRef::Instr(instrs.len() - 1)));
+            cur = ValRef::Instr(instrs.len() - 1);
+        }
+        let deep = Program::new("pow-2-20", 1, 0, instrs, cur);
+        match ParamSelector::new(65537).select(&deep, 8) {
+            Err(SelectError::NoCandidate {
+                best: Some((n, remaining)),
+                ..
+            }) => {
+                assert!(n >= 16384);
+                assert!(remaining < DEFAULT_MARGIN_BITS);
+            }
+            other => panic!("expected NoCandidate with best attempt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_resolution() {
+        use quill::program::{Instr, Program, ValRef};
+        let prog = Program::new(
+            "rot",
+            1,
+            0,
+            vec![Instr::RotCt(ValRef::Input(0), 1)],
+            ValRef::Instr(0),
+        );
+        let auto = ParamPolicy::auto().resolve(&prog, 8, 65537).unwrap();
+        assert!(auto.validate().is_ok());
+        let fixed = ParamPolicy::Fixed(BfvParams::test_small())
+            .resolve(&prog, 8, 65537)
+            .unwrap();
+        assert_eq!(fixed, BfvParams::test_small());
+        // A fixed set that cannot hold the slots is rejected.
+        let err = ParamPolicy::Fixed(BfvParams::test_small()).resolve(&prog, 4096, 65537);
+        assert!(matches!(err, Err(SelectError::BadFixedParams(_))));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::search::{SearchContext, SearchOutcome};
 use crate::sketch::Sketch;
 use crate::spec::{Example, KernelSpec};
 use crate::verify::verify;
+use bfv::params::{BfvParams, ParamPolicy, SelectError};
 use quill::cost::{eager_cost, LatencyModel};
 use quill::program::Program;
 use rand::rngs::StdRng;
@@ -55,6 +56,11 @@ pub struct SynthesisOptions {
     /// (the raw searched program is untouched). Defaults to
     /// [`opt::default_opt_level`] (`PORCUPINE_OPT` or `-O2`).
     pub opt_level: OptLevel,
+    /// How BFV parameters for the synthesized kernel are obtained:
+    /// noise-aware automatic selection against the lowered program (the
+    /// default), or a caller-fixed set. The resolved set lands in
+    /// [`SynthesisResult::params`].
+    pub params: ParamPolicy,
 }
 
 impl Default for SynthesisOptions {
@@ -66,6 +72,7 @@ impl Default for SynthesisOptions {
             seed: 0x9E3779B9,
             parallelism: default_parallelism(),
             opt_level: opt::default_opt_level(),
+            params: ParamPolicy::default(),
         }
     }
 }
@@ -82,6 +89,14 @@ pub struct SynthesisResult {
     /// relinearizations placed (lazily at `-O2`), ready for
     /// [`crate::codegen`].
     pub optimized: Program,
+    /// The BFV parameters resolved from [`SynthesisOptions::params`]
+    /// against [`SynthesisResult::optimized`] (what actually executes):
+    /// auto-selected by the static noise analysis, or the fixed set.
+    /// `Err` means the policy could not certify any set for this program
+    /// (too deep for the candidate table, or an unusable fixed set) — the
+    /// synthesized program itself is still returned, so callers that pick
+    /// parameters some other way lose nothing.
+    pub params: Result<BfvParams, SelectError>,
     /// Per-pass rewrite counts of the middle-end run.
     pub opt_report: opt::OptReport,
     /// The first verified program (upper bound used by the optimizer).
@@ -182,9 +197,11 @@ pub fn synthesize(
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut examples: Vec<Example> = vec![spec.sample_example(&mut rng)];
 
-    // Phase 1: find the initial solution at minimal component count.
+    // Phase 1: find the initial solution at minimal component count
+    // (deepening starts at the sketch's floor — see
+    // `Sketch::min_components`).
     let mut initial: Option<(Program, usize)> = None;
-    'deepening: for num_components in 1..=sketch.max_components {
+    'deepening: for num_components in sketch.min_components.max(1)..=sketch.max_components {
         loop {
             if Instant::now() >= deadline {
                 return Err(SynthesisError::Timeout);
@@ -294,10 +311,16 @@ pub fn synthesize(
     }
 
     let (optimized, opt_report) = opt::optimize(&best, options.opt_level);
+    // Resolve the parameter policy against the program that will actually
+    // execute — the lowered one, so lazy relin placement is what gets
+    // charged by the noise analysis. A resolution failure is recorded, not
+    // fatal: the verified program is still the synthesis result.
+    let params = options.params.resolve(&optimized, spec.n, spec.t);
     Ok(SynthesisResult {
         program: best,
         optimized,
         opt_report,
+        params,
         initial_program,
         initial_cost,
         final_cost: best_cost,
@@ -363,6 +386,28 @@ mod tests {
         let x: Vec<u64> = (1..=8).collect();
         let out = interp::eval_concrete(&r.program, &[x], &[], 65537);
         assert_eq!(out[0], 36);
+    }
+
+    /// A parameter policy the program cannot satisfy must not discard the
+    /// verified program: resolution failure is recorded in `params`, and
+    /// the synthesis result is otherwise intact.
+    #[test]
+    fn param_resolution_failure_still_returns_the_program() {
+        let spec = sum_spec(8);
+        let sketch = Sketch::new(
+            vec![SketchOp::rotated(ArithOp::AddCtCt)],
+            RotationSet::PowersOfTwo { extent: 8 },
+            4,
+        );
+        // A valid set whose plaintext modulus does not match the spec's.
+        let fixed = BfvParams::generate(1024, 12289, 45, 2).expect("valid params");
+        let options = SynthesisOptions {
+            params: ParamPolicy::Fixed(fixed),
+            ..quick_options()
+        };
+        let r = synthesize(&spec, &sketch, &options).unwrap();
+        assert!(r.params.is_err(), "resolution must fail: {:?}", r.params);
+        assert_eq!(r.program.len(), 6, "the verified program survives");
     }
 
     #[test]

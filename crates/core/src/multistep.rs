@@ -125,6 +125,30 @@ impl PipelineBuilder {
     ) -> (Program, crate::opt::OptReport) {
         crate::opt::optimize(&self.finish(output), level)
     }
+
+    /// [`PipelineBuilder::finish_optimized`] plus BFV parameter resolution
+    /// for the lowered pipeline: `policy` is resolved against the
+    /// backend-legal program (so multi-step noise — shared rotations, lazy
+    /// relins across stage seams — is what gets charged), needing
+    /// `min_slots` batching slots and plaintext modulus `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`bfv::params::SelectError`] when no parameter set
+    /// satisfies the policy for this pipeline.
+    pub fn finish_with_params(
+        self,
+        output: ValRef,
+        level: crate::opt::OptLevel,
+        policy: &bfv::params::ParamPolicy,
+        min_slots: usize,
+        t: u64,
+    ) -> Result<(Program, crate::opt::OptReport, bfv::params::BfvParams), bfv::params::SelectError>
+    {
+        let (prog, report) = self.finish_optimized(output, level);
+        let params = policy.resolve(&prog, min_slots, t)?;
+        Ok((prog, report, params))
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +247,47 @@ mod tests {
         assert_eq!(sequential, build(3));
         let out = interp::eval_concrete(&sequential, &[vec![1, 2, 3, 4]], &[], 65537);
         assert_eq!(out[0], 1 + 2 + 2 + 3);
+    }
+
+    #[test]
+    fn finish_with_params_selects_for_the_whole_pipeline() {
+        use bfv::params::ParamPolicy;
+        let square = Program::new(
+            "square",
+            1,
+            0,
+            vec![Instr::MulCtCt(ValRef::Input(0), ValRef::Input(0))],
+            ValRef::Instr(0),
+        );
+        // One squaring stage vs three chained ones: the pipeline-level
+        // selection must charge the composed depth, not the stage depth.
+        let build = |stages: usize| {
+            let mut b = PipelineBuilder::new("chain", 1, 0);
+            let mut cur = ValRef::Input(0);
+            for _ in 0..stages {
+                cur = b.add_stage(&square, &[cur], &[]);
+            }
+            let (prog, _, params) = b
+                .finish_with_params(
+                    cur,
+                    crate::opt::OptLevel::O2,
+                    &ParamPolicy::auto(),
+                    8,
+                    65537,
+                )
+                .expect("selection succeeds");
+            assert!(quill::analysis::check_backend_legal(&prog).is_ok());
+            params
+        };
+        let shallow = build(1);
+        let deep = build(3);
+        let q_bits = |p: &bfv::params::BfvParams| {
+            p.moduli
+                .iter()
+                .map(|&q| 64 - q.leading_zeros())
+                .sum::<u32>()
+        };
+        assert!(q_bits(&deep) > q_bits(&shallow));
     }
 
     #[test]

@@ -193,6 +193,12 @@ pub struct Sketch {
     pub mode: SketchMode,
     /// Upper bound on component count for iterative deepening.
     pub max_components: usize,
+    /// Lower bound on component count: iterative deepening starts here
+    /// (default 1). Sketch authors set it when the problem structure
+    /// forces a minimum — e.g. a reduction over `n` slots needs at least
+    /// `log2(n)` additions — which skips the exhaustive Unsat proofs of
+    /// the impossible levels, the dominant cost for scaled-up kernels.
+    pub min_components: usize,
 }
 
 impl Sketch {
@@ -212,7 +218,19 @@ impl Sketch {
             rotation_amounts: rotations.amounts(),
             mode: SketchMode::LocalRotate,
             max_components,
+            min_components: 1,
         }
+    }
+
+    /// Sets the deepening floor ([`Sketch::min_components`]), clamped to
+    /// `max_components`.
+    ///
+    /// **Soundness caveat**: a floor above the true minimum makes the
+    /// synthesizer miss smaller programs; only encode bounds the data
+    /// layout forces.
+    pub fn with_min_components(mut self, min: usize) -> Self {
+        self.min_components = min.clamp(1, self.max_components);
+        self
     }
 
     /// Switches to the explicit-rotation ablation mode.

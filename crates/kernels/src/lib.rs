@@ -55,18 +55,59 @@ impl std::fmt::Debug for PaperKernel {
 /// The nine directly synthesized kernels at the paper's sizes, in Figure 4
 /// order.
 pub fn all_direct() -> Vec<PaperKernel> {
-    let img = stencil::default_image();
-    vec![
-        stencil::box_blur(img),
-        reduction::dot_product(8),
-        reduction::hamming_distance(4),
-        reduction::l2_distance(8),
-        pointwise::linear_regression(8),
-        pointwise::polynomial_regression(8),
-        stencil::gx(img),
-        stencil::gy(img),
-        stencil::roberts_cross(img),
-    ]
+    DIRECT_NAMES
+        .iter()
+        .map(|name| direct_kernel(name, None).expect("registry names are valid"))
+        .collect()
+}
+
+/// The names of the nine direct kernels, in Figure 4 order.
+pub const DIRECT_NAMES: [&str; 9] = [
+    "box-blur",
+    "dot-product",
+    "hamming-distance",
+    "l2-distance",
+    "linear-regression",
+    "polynomial-regression",
+    "gx",
+    "gy",
+    "roberts-cross",
+];
+
+/// Looks up a direct kernel by name at a chosen size (`None` = the paper's
+/// size). Every constructor is size-generic, so this is the single entry
+/// point for "the paper's kernel, but bigger":
+///
+/// * image kernels (`box-blur`, `gx`, `gy`, `roberts-cross`): `size` is
+///   the square interior width — `size = 8` models an 8×8 image (10×10
+///   packed with the zero ring);
+/// * reductions (`dot-product`, `hamming-distance`, `l2-distance`):
+///   `size` is the element count and must be a power of two (the
+///   reduction tree halves);
+/// * batched models (`linear-regression`, `polynomial-regression`):
+///   `size` is the batch width.
+///
+/// Returns `None` for unknown names or a size the kernel cannot take.
+pub fn direct_kernel(name: &str, size: Option<usize>) -> Option<PaperKernel> {
+    let img = |default: usize| {
+        porcupine::layout::PaddedImage::new(size.unwrap_or(default), size.unwrap_or(default), 1)
+    };
+    let pow2 = |default: usize| {
+        let n = size.unwrap_or(default);
+        (n >= 2 && n.is_power_of_two()).then_some(n)
+    };
+    Some(match name {
+        "box-blur" => stencil::box_blur(img(3)),
+        "gx" => stencil::gx(img(3)),
+        "gy" => stencil::gy(img(3)),
+        "roberts-cross" => stencil::roberts_cross(img(3)),
+        "dot-product" => reduction::dot_product(pow2(8)?),
+        "hamming-distance" => reduction::hamming_distance(pow2(4)?),
+        "l2-distance" => reduction::l2_distance(pow2(8)?),
+        "linear-regression" => pointwise::linear_regression(size.unwrap_or(8)),
+        "polynomial-regression" => pointwise::polynomial_regression(size.unwrap_or(8)),
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -82,6 +123,32 @@ mod tests {
             assert_eq!(k.spec.output_mask.len(), k.spec.n, "{}", k.name);
             assert!(!k.sketch.ops.is_empty(), "{}", k.name);
         }
+    }
+
+    #[test]
+    fn sized_kernels_verify_at_nondefault_sizes() {
+        use porcupine::verify::verify;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for (name, size) in [
+            ("dot-product", 64),
+            ("box-blur", 8),
+            ("gx", 6),
+            ("hamming-distance", 8),
+            ("linear-regression", 16),
+        ] {
+            let k = direct_kernel(name, Some(size)).expect("sized kernel exists");
+            verify(&k.baseline, &k.spec, &mut rng)
+                .unwrap_or_else(|e| panic!("{name} at size {size}: {e}"));
+        }
+    }
+
+    #[test]
+    fn direct_kernel_rejects_bad_names_and_sizes() {
+        assert!(direct_kernel("no-such-kernel", None).is_none());
+        // Reductions need a power-of-two length.
+        assert!(direct_kernel("dot-product", Some(12)).is_none());
+        assert!(direct_kernel("dot-product", Some(16)).is_some());
     }
 
     #[test]

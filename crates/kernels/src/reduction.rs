@@ -9,10 +9,12 @@
 //! distance (no square root).
 
 use crate::PaperKernel;
+use porcupine::cegis::{SynthesisError, SynthesisOptions};
 use porcupine::layout::ReductionLayout;
+use porcupine::multistep::PipelineBuilder;
 use porcupine::sketch::{ArithOp, RotationSet, Sketch, SketchOp};
 use porcupine::spec::{GenericReference, KernelSpec};
-use quill::program::PtOperand;
+use quill::program::{Program, PtOperand, ValRef};
 use quill::ring::Ring;
 use quill::sexpr::parse_program;
 
@@ -47,6 +49,11 @@ pub fn dot_product(len: usize) -> PaperKernel {
         T,
         Box::new(DotProduct { layout }),
     );
+    // The layout forces the component count: slot 0 of the output depends
+    // on all `len` ciphertext slots and each add at most doubles that
+    // breadth (`≥ log2 len` adds), and the weights force one mul-ct-pt —
+    // so deepening can start at the ceiling it will end at, skipping the
+    // exhaustive Unsat proofs that dominate at large `len`.
     let sketch = Sketch::new(
         vec![
             SketchOp::plain(ArithOp::MulCtPt(PtOperand::Input(0))),
@@ -54,7 +61,8 @@ pub fn dot_product(len: usize) -> PaperKernel {
         ],
         RotationSet::PowersOfTwo { extent: len },
         1 + len.ilog2() as usize,
-    );
+    )
+    .with_min_components(1 + len.ilog2() as usize);
     // Depth-minimized baseline: multiply, then a balanced rotate-add tree.
     // For len = 8: 7 instructions, depth 7 (Table 2).
     let baseline = reduction_baseline("dot-product-baseline", len, 1, 1, "(mul-ct-pt c0 p0)");
@@ -94,6 +102,10 @@ fn squared_distance_kernel(name: &'static str, len: usize) -> PaperKernel {
         T,
         Box::new(SquaredDistance { layout }),
     );
+    // Output slot 0 depends on all `len` slots of *both* inputs (breadth
+    // 2·len) and every binary component at most doubles breadth, so at
+    // least `1 + log2 len` components are forced — a provable floor one
+    // below the ceiling (the sub and the square).
     let sketch = Sketch::new(
         vec![
             SketchOp::plain(ArithOp::SubCtCt),
@@ -102,7 +114,8 @@ fn squared_distance_kernel(name: &'static str, len: usize) -> PaperKernel {
         ],
         RotationSet::PowersOfTwo { extent: len },
         2 + len.ilog2() as usize,
-    );
+    )
+    .with_min_components(1 + len.ilog2() as usize);
     let baseline = reduction_baseline(
         Box::leak(format!("{name}-baseline").into_boxed_str()),
         len,
@@ -135,6 +148,181 @@ pub fn l2_distance(len: usize) -> PaperKernel {
     k.baseline = hamming_l2_baseline("l2-distance-baseline", len);
     k
 }
+
+/// Multi-step synthesis (§6.3) for a reduction kernel past the direct
+/// search's scaling wall.
+///
+/// The paper reports that monolithic synthesis stops scaling around 10–12
+/// instructions; a 64-element dot product needs 13. Its prescription is to
+/// partition at natural break points and synthesize each stage — which a
+/// reduction has in abundance: an elementwise *head* (the multiply /
+/// subtract-and-square) followed by `log2 len` distance-halving tree
+/// levels, each an independently synthesized one-component kernel. This
+/// function runs that decomposition through [`PipelineBuilder`] and
+/// returns the stitched program (identical in shape to what the direct
+/// search finds at paper sizes — head, then `add(acc, rot(acc, s))` for
+/// `s = len/2 … 1`).
+///
+/// Returns `None` for kernels that are not reductions or a non-power-of-two
+/// `len`; `Some(Err(_))` propagates a stage's [`SynthesisError`].
+pub fn synthesize_staged(
+    name: &str,
+    len: usize,
+    options: &SynthesisOptions,
+) -> Option<Result<Program, SynthesisError>> {
+    if !len.is_power_of_two() || len < 2 {
+        return None;
+    }
+    let layout = ReductionLayout::new(len);
+    let slots = layout.slots;
+
+    // The elementwise head stage: spec, sketch, and input arities.
+    struct MulHead {
+        len: usize,
+    }
+    impl GenericReference for MulHead {
+        fn compute<R: Ring>(&self, ct: &[Vec<R>], pt: &[Vec<R>]) -> Vec<R> {
+            (0..ct[0].len())
+                .map(|i| {
+                    if i < self.len {
+                        ct[0][i].mul(&pt[0][i])
+                    } else {
+                        ct[0][i].from_i64(0)
+                    }
+                })
+                .collect()
+        }
+    }
+    struct SquaredDiffHead {
+        len: usize,
+    }
+    impl GenericReference for SquaredDiffHead {
+        fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+            (0..ct[0].len())
+                .map(|i| {
+                    if i < self.len {
+                        let d = ct[0][i].sub(&ct[1][i]);
+                        d.mul(&d)
+                    } else {
+                        ct[0][i].from_i64(0)
+                    }
+                })
+                .collect()
+        }
+    }
+    let mut head_mask = vec![false; slots];
+    for m in head_mask.iter_mut().take(len) {
+        *m = true;
+    }
+    let (head_spec, head_sketch, num_ct, num_pt) = match name {
+        "dot-product" => (
+            KernelSpec::new(
+                "dot-product-head",
+                slots,
+                1,
+                1,
+                head_mask,
+                T,
+                Box::new(MulHead { len }),
+            ),
+            Sketch::new(
+                vec![SketchOp::plain(ArithOp::MulCtPt(PtOperand::Input(0)))],
+                RotationSet::Explicit(Vec::new()),
+                1,
+            ),
+            1,
+            1,
+        ),
+        "hamming-distance" | "l2-distance" => (
+            KernelSpec::new(
+                "squared-diff-head",
+                slots,
+                2,
+                0,
+                head_mask,
+                T,
+                Box::new(SquaredDiffHead { len }),
+            ),
+            Sketch::new(
+                vec![
+                    SketchOp::plain(ArithOp::SubCtCt),
+                    SketchOp::plain(ArithOp::MulCtCt),
+                ],
+                RotationSet::Explicit(Vec::new()),
+                2,
+            )
+            .with_min_components(2),
+            2,
+            0,
+        ),
+        _ => return None,
+    };
+
+    // One distance-`s` halving level of the reduction tree, masked to the
+    // slots that still carry partial sums.
+    let halving_spec = |s: usize| -> KernelSpec {
+        struct Halve {
+            s: usize,
+        }
+        impl GenericReference for Halve {
+            fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
+                let x = &ct[0];
+                let n = x.len();
+                (0..n).map(|i| x[i].add(&x[(i + self.s) % n])).collect()
+            }
+        }
+        let mut mask = vec![false; slots];
+        for m in mask.iter_mut().take(s) {
+            *m = true;
+        }
+        KernelSpec::new(
+            format!("reduce-halve-{s}"),
+            slots,
+            1,
+            0,
+            mask,
+            T,
+            Box::new(Halve { s }),
+        )
+    };
+    let halving_sketch = |s: usize| -> Sketch {
+        Sketch::new(
+            vec![SketchOp::rhs_rotated(ArithOp::AddCtCt)],
+            RotationSet::Explicit(vec![s as i64]),
+            1,
+        )
+    };
+
+    let run = || -> Result<Program, SynthesisError> {
+        let mut b = PipelineBuilder::new(name, num_ct, num_pt);
+        let ct_binding: Vec<ValRef> = (0..num_ct).map(ValRef::Input).collect();
+        let pt_binding: Vec<usize> = (0..num_pt).collect();
+        let mut cur =
+            b.synthesize_stage(&head_spec, &head_sketch, options, &ct_binding, &pt_binding)?;
+        let mut s = len / 2;
+        while s >= 1 {
+            cur = b.synthesize_stage(&halving_spec(s), &halving_sketch(s), options, &[cur], &[])?;
+            s /= 2;
+        }
+        Ok(b.finish(cur))
+    };
+    Some(run())
+}
+
+/// Component count the direct (monolithic) search needs for a reduction —
+/// past [`DIRECT_SEARCH_MAX_COMPONENTS`], use [`synthesize_staged`].
+pub fn direct_components(name: &str, len: usize) -> Option<usize> {
+    match name {
+        "dot-product" => Some(1 + len.ilog2() as usize),
+        "hamming-distance" | "l2-distance" => Some(2 + len.ilog2() as usize),
+        _ => None,
+    }
+}
+
+/// The §6.3 scaling wall: direct synthesis is exhaustive and stops being
+/// practical above this many components (the paper reports 10–12
+/// *instructions*; components materialize up to one rotation each).
+pub const DIRECT_SEARCH_MAX_COMPONENTS: usize = 5;
 
 /// Builds `first_instr` followed by a balanced rotate-add reduction over
 /// `len` slots, in surface syntax.
@@ -226,6 +414,51 @@ mod tests {
         assert_eq!(k.baseline.len(), 8);
         assert_eq!(k.baseline.logic_depth(), 8);
         assert_eq!(k.baseline.mult_depth(), 1);
+    }
+
+    /// Staged (§6.3) synthesis of a 64-element dot product — far past the
+    /// direct search's scaling wall — completes quickly and verifies
+    /// against the *monolithic* spec.
+    #[test]
+    fn staged_dot_product_64_verifies_against_full_spec() {
+        let options = porcupine::cegis::SynthesisOptions {
+            timeout: std::time::Duration::from_secs(60),
+            latency: quill::cost::LatencyModel::uniform(),
+            ..Default::default()
+        };
+        let prog = synthesize_staged("dot-product", 64, &options)
+            .expect("dot-product stages")
+            .expect("every stage synthesizes");
+        // Head + 6 rotate-add levels: 13 instructions, like the direct
+        // search's answer shape at paper sizes.
+        assert_eq!(prog.len(), 13);
+        let k = dot_product(64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        verify(&prog, &k.spec, &mut rng).expect("staged program implements the full reduction");
+    }
+
+    #[test]
+    fn staged_l2_matches_direct_shape() {
+        let options = porcupine::cegis::SynthesisOptions {
+            timeout: std::time::Duration::from_secs(60),
+            latency: quill::cost::LatencyModel::uniform(),
+            ..Default::default()
+        };
+        let prog = synthesize_staged("l2-distance", 16, &options)
+            .expect("l2 stages")
+            .expect("every stage synthesizes");
+        let k = l2_distance(16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        verify(&prog, &k.spec, &mut rng).expect("staged l2 implements the full kernel");
+    }
+
+    #[test]
+    fn staged_rejects_non_reductions_and_bad_lengths() {
+        let options = porcupine::cegis::SynthesisOptions::default();
+        assert!(synthesize_staged("box-blur", 8, &options).is_none());
+        assert!(synthesize_staged("dot-product", 12, &options).is_none());
+        assert_eq!(direct_components("dot-product", 64), Some(7));
+        assert_eq!(direct_components("box-blur", 64), None);
     }
 
     #[test]

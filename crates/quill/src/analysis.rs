@@ -1,5 +1,5 @@
-//! Static analyses over Quill programs: ciphertext sizes and
-//! multiplicative levels.
+//! Static analyses over Quill programs: ciphertext sizes, multiplicative
+//! levels, and a generic worst-case noise estimator.
 //!
 //! BFV ciphertexts carry a *size* — the number of polynomial parts. Fresh
 //! encryptions are size 2; a ciphertext–ciphertext multiply produces size 3;
@@ -79,6 +79,80 @@ pub fn ct_levels(prog: &Program) -> Vec<u32> {
         };
     }
     levels
+}
+
+/// Per-operation noise transfer rules for the worst-case noise estimator
+/// ([`noise_levels`]).
+///
+/// An implementation defines its own scale for the `f64` noise values; the
+/// walker only threads them through the dataflow graph. The concrete BFV
+/// model (`bfv::noise::NoiseModel`) uses the base-2 logarithm of the
+/// *relative invariant noise* `‖t·w mod Q‖ / Q`, so smaller (more negative)
+/// means quieter and values above `-1` mean decryption failure.
+///
+/// The rules mirror the instruction set: `Relin` and `RotCt` both
+/// key-switch (additive noise), additions combine operand noise, and the
+/// multiplies scale it. `sub` defaults to the corresponding `add` rule
+/// because noise analysis cannot distinguish a sum from a difference.
+pub trait NoiseSemantics {
+    /// Noise of a fresh encryption (every program input).
+    fn fresh(&self) -> f64;
+    /// `add-ct-ct` of operands with noise `a` and `b`.
+    fn add_ct_ct(&self, a: f64, b: f64) -> f64;
+    /// `sub-ct-ct` (defaults to the `add-ct-ct` rule).
+    fn sub_ct_ct(&self, a: f64, b: f64) -> f64 {
+        self.add_ct_ct(a, b)
+    }
+    /// `mul-ct-ct` of operands with noise `a` and `b`.
+    fn mul_ct_ct(&self, a: f64, b: f64) -> f64;
+    /// `add-ct-pt`.
+    fn add_ct_pt(&self, a: f64) -> f64;
+    /// `sub-ct-pt` (defaults to the `add-ct-pt` rule).
+    fn sub_ct_pt(&self, a: f64) -> f64 {
+        self.add_ct_pt(a)
+    }
+    /// `mul-ct-pt`.
+    fn mul_ct_pt(&self, a: f64) -> f64;
+    /// `rot-ct` (a Galois automorphism plus a key switch).
+    fn rot_ct(&self, a: f64) -> f64;
+    /// `relin-ct` (one key switch).
+    fn relin_ct(&self, a: f64) -> f64;
+}
+
+/// Worst-case noise of each instruction result under `sem`, walking the
+/// program in SSA order (inputs are fresh encryptions).
+///
+/// Run this on the *lowered* program (post `-O`), not the raw searched one:
+/// relinearizations are explicit IR here, so lazy placement at `-O2` is
+/// charged exactly where it executes.
+pub fn noise_levels(prog: &Program, sem: &impl NoiseSemantics) -> Vec<f64> {
+    let mut noise = vec![0.0f64; prog.instrs.len()];
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        let at = |r: &ValRef, noise: &[f64]| match r {
+            ValRef::Input(_) => sem.fresh(),
+            ValRef::Instr(j) => noise[*j],
+        };
+        noise[i] = match instr {
+            Instr::AddCtCt(a, b) => sem.add_ct_ct(at(a, &noise), at(b, &noise)),
+            Instr::SubCtCt(a, b) => sem.sub_ct_ct(at(a, &noise), at(b, &noise)),
+            Instr::MulCtCt(a, b) => sem.mul_ct_ct(at(a, &noise), at(b, &noise)),
+            Instr::AddCtPt(a, _) => sem.add_ct_pt(at(a, &noise)),
+            Instr::SubCtPt(a, _) => sem.sub_ct_pt(at(a, &noise)),
+            Instr::MulCtPt(a, _) => sem.mul_ct_pt(at(a, &noise)),
+            Instr::RotCt(a, _) => sem.rot_ct(at(a, &noise)),
+            Instr::Relin(a) => sem.relin_ct(at(a, &noise)),
+        };
+    }
+    noise
+}
+
+/// Worst-case noise of the program output under `sem` (the value
+/// [`noise_levels`] assigns to the output reference).
+pub fn output_noise(prog: &Program, sem: &impl NoiseSemantics) -> f64 {
+    match prog.output {
+        ValRef::Input(_) => sem.fresh(),
+        ValRef::Instr(j) => noise_levels(prog, sem)[j],
+    }
 }
 
 /// Why a program cannot execute 1:1 on the BFV backend.
@@ -224,6 +298,74 @@ mod tests {
             check_backend_legal(&mul_of_mul),
             Err(LegalityError::MulOfSize3 { instr: 1 })
         );
+    }
+
+    /// A counting semantics: fresh = 0, every multiply adds one, key
+    /// switches add nothing — the walker must reduce to `ct_levels`.
+    struct MultCount;
+    impl NoiseSemantics for MultCount {
+        fn fresh(&self) -> f64 {
+            0.0
+        }
+        fn add_ct_ct(&self, a: f64, b: f64) -> f64 {
+            a.max(b)
+        }
+        fn mul_ct_ct(&self, a: f64, b: f64) -> f64 {
+            a.max(b) + 1.0
+        }
+        fn add_ct_pt(&self, a: f64) -> f64 {
+            a
+        }
+        fn mul_ct_pt(&self, a: f64) -> f64 {
+            a + 1.0
+        }
+        fn rot_ct(&self, a: f64) -> f64 {
+            a
+        }
+        fn relin_ct(&self, a: f64) -> f64 {
+            a
+        }
+    }
+
+    #[test]
+    fn noise_walker_agrees_with_ct_levels_under_counting_semantics() {
+        let p = relin_chain();
+        let by_walker: Vec<u32> = noise_levels(&p, &MultCount)
+            .iter()
+            .map(|&x| x as u32)
+            .collect();
+        assert_eq!(by_walker, ct_levels(&p));
+        assert_eq!(output_noise(&p, &MultCount) as u32, p.mult_depth());
+    }
+
+    #[test]
+    fn noise_walker_charges_explicit_relins_only() {
+        struct KsCount;
+        impl NoiseSemantics for KsCount {
+            fn fresh(&self) -> f64 {
+                0.0
+            }
+            fn add_ct_ct(&self, a: f64, b: f64) -> f64 {
+                a.max(b)
+            }
+            fn mul_ct_ct(&self, a: f64, b: f64) -> f64 {
+                a.max(b)
+            }
+            fn add_ct_pt(&self, a: f64) -> f64 {
+                a
+            }
+            fn mul_ct_pt(&self, a: f64) -> f64 {
+                a
+            }
+            fn rot_ct(&self, a: f64) -> f64 {
+                a + 1.0
+            }
+            fn relin_ct(&self, a: f64) -> f64 {
+                a + 1.0
+            }
+        }
+        // relin_chain has one relin and one rotation on the output path.
+        assert_eq!(output_noise(&relin_chain(), &KsCount), 2.0);
     }
 
     #[test]

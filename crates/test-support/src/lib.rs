@@ -14,7 +14,7 @@ use bfv::encoding::{BatchEncoder, Plaintext};
 use bfv::encrypt::{Ciphertext, Decryptor, Encryptor};
 use bfv::evaluator::Evaluator;
 use bfv::keys::KeyGenerator;
-use bfv::params::{BfvContext, BfvParams};
+use bfv::params::{BfvContext, BfvParams, ParamPolicy};
 use porcupine::cegis::SynthesisOptions;
 use porcupine::codegen::BfvRunner;
 use porcupine::opt::{self, OptLevel};
@@ -46,6 +46,39 @@ pub fn small_ctx() -> BfvContext {
 /// and `2`) or the library default.
 pub fn test_opt_level() -> OptLevel {
     opt::default_opt_level()
+}
+
+/// The parameter policy selected by the `PORCUPINE_PARAMS` environment
+/// variable: `auto` → noise-aware automatic selection, `paper` → the
+/// paper's fixed `N = 8192` set, unset → `None` (suites fall back to
+/// their fast fixed presets).
+///
+/// # Panics
+///
+/// Panics on any other value. A typo'd CI leg silently falling back to
+/// the fast preset would go green without exercising the selector at all.
+pub fn param_policy_from_env() -> Option<ParamPolicy> {
+    match std::env::var("PORCUPINE_PARAMS").ok()?.trim() {
+        "auto" => Some(ParamPolicy::auto()),
+        "paper" => Some(ParamPolicy::Fixed(BfvParams::paper())),
+        other => panic!("PORCUPINE_PARAMS must be 'auto' or 'paper', got '{other}'"),
+    }
+}
+
+/// The parameter set a noise/backend suite should evaluate `prog` under:
+/// honors `PORCUPINE_PARAMS` (the dedicated CI leg sets `auto`, exercising
+/// the selector end to end on every generated program), defaulting to the
+/// fast `test_small` preset. Auto selection that exhausts the candidate
+/// table (a random program deeper than any real kernel) falls back to the
+/// paper set — the suites assert inequalities that hold under *any*
+/// parameters, so the fallback keeps them meaningful.
+pub fn noise_test_params(prog: &Program, min_slots: usize) -> BfvParams {
+    match param_policy_from_env() {
+        Some(policy) => policy
+            .resolve(prog, min_slots, T)
+            .unwrap_or_else(|_| BfvParams::paper()),
+        None => BfvParams::test_small(),
+    }
 }
 
 /// Synthesis options for property tests: uniform latency model and a budget
@@ -228,6 +261,145 @@ pub fn assert_backend_matches_interp(
         mask[slot] = true;
     }
     assert_masked_slots_eq(&decoded, &expected, &mask, &prog.name);
+}
+
+/// Differential testing across the whole pipeline: one program, one set of
+/// inputs, three executions — the Quill interpreter, the BFV backend under
+/// the paper's fixed parameters, and the BFV backend under auto-selected
+/// parameters — all asserted slot-identical.
+pub mod differential {
+    use super::*;
+    use bfv::noise::NoiseModel;
+    use bfv::params::DEFAULT_MARGIN_BITS;
+
+    /// What the auto leg measured, for reporting/extra assertions.
+    #[derive(Debug, Clone)]
+    pub struct DifferentialReport {
+        /// The auto-selected parameter set.
+        pub auto_params: BfvParams,
+        /// Predicted remaining budget (bits) under the auto set.
+        pub predicted_budget_bits: f64,
+        /// Measured remaining budget (bits) under the auto set.
+        pub measured_budget_auto: i64,
+        /// Measured remaining budget (bits) under the paper set.
+        pub measured_budget_paper: i64,
+    }
+
+    /// Encrypt-run-decrypt of a lowered program under one parameter set,
+    /// returning the decoded slots and the measured remaining budget.
+    fn run_under(
+        params: BfvParams,
+        lowered: &Program,
+        ct_model: &[Vec<u64>],
+        pt_model: &[Vec<u64>],
+        seed: u64,
+    ) -> (Vec<u64>, i64) {
+        let ctx = BfvContext::new(params).expect("differential params are valid");
+        let mut rng = seeded_rng(seed);
+        let session = HeSession::new(&ctx, &mut rng);
+        let runner = BfvRunner::for_programs(&ctx, &session.keygen, &[lowered], &mut rng);
+        let encoder = runner.encoder();
+        let cts: Vec<Ciphertext> = ct_model
+            .iter()
+            .map(|v| session.encryptor.encrypt(&encoder.encode(v), &mut rng))
+            .collect();
+        let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
+        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
+        let pt_refs: Vec<&Plaintext> = pts.iter().collect();
+        let out = runner.run(lowered, &ct_refs, &pt_refs);
+        (
+            encoder.decode(&session.decryptor.decrypt(&out)),
+            session.decryptor.invariant_noise_budget(&out),
+        )
+    }
+
+    /// Runs `prog` (lowered at [`test_opt_level`]) on random
+    /// `[0, input_bound)` inputs through the interpreter and through the
+    /// BFV backend under **both** the paper parameters and auto-selected
+    /// parameters, asserting:
+    ///
+    /// * all three agree on every slot in `slots`;
+    /// * both backend legs retain positive measured budget;
+    /// * the auto leg's measured budget is at least the selection margin
+    ///   (the selector's certificate holds in practice).
+    pub fn assert_differential(
+        prog: &Program,
+        model_n: usize,
+        slots: &[usize],
+        input_bound: u64,
+        seed: u64,
+    ) -> DifferentialReport {
+        let (lowered, _) = opt::optimize(prog, test_opt_level());
+        let mut rng = seeded_rng(seed);
+        let ct_model = sample_model_inputs(prog.num_ct_inputs, model_n, input_bound, &mut rng);
+        let pt_model = sample_model_inputs(prog.num_pt_inputs, model_n, input_bound, &mut rng);
+        let expected = interp::eval_concrete(prog, &ct_model, &pt_model, T);
+
+        let auto_params = bfv::params::ParamPolicy::auto()
+            .resolve(&lowered, model_n, T)
+            .unwrap_or_else(|e| panic!("{}: auto selection failed: {e}", prog.name));
+        let predicted = NoiseModel::for_params(&auto_params)
+            .analyze(&lowered)
+            .predicted_budget_bits;
+
+        let mut mask = vec![false; model_n];
+        for &slot in slots {
+            mask[slot] = true;
+        }
+        let mut budgets = Vec::new();
+        for (label, params) in [("paper", BfvParams::paper()), ("auto", auto_params.clone())] {
+            let (decoded, budget) = run_under(params, &lowered, &ct_model, &pt_model, seed ^ 0xD1F);
+            assert!(
+                budget > 0,
+                "{} [{label}]: noise budget exhausted ({budget})",
+                prog.name
+            );
+            assert_masked_slots_eq(
+                &decoded,
+                &expected,
+                &mask,
+                &format!("{} [{label}]", prog.name),
+            );
+            budgets.push(budget);
+        }
+        let report = DifferentialReport {
+            auto_params,
+            predicted_budget_bits: predicted,
+            measured_budget_paper: budgets[0],
+            measured_budget_auto: budgets[1],
+        };
+        assert!(
+            report.measured_budget_auto as f64 >= DEFAULT_MARGIN_BITS,
+            "{}: auto-selected params left {} bits measured, margin is {DEFAULT_MARGIN_BITS}",
+            prog.name,
+            report.measured_budget_auto
+        );
+        assert!(
+            report.measured_budget_auto as f64 >= report.predicted_budget_bits,
+            "{}: measured {} below predicted {:.1} — noise model unsound",
+            prog.name,
+            report.measured_budget_auto,
+            report.predicted_budget_bits
+        );
+        report
+    }
+
+    /// [`assert_differential`] with the comparison slots taken from a
+    /// spec's output mask.
+    pub fn assert_differential_spec(
+        prog: &Program,
+        spec: &KernelSpec,
+        input_bound: u64,
+        seed: u64,
+    ) -> DifferentialReport {
+        let slots: Vec<usize> = spec
+            .output_mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &on)| on.then_some(i))
+            .collect();
+        assert_differential(prog, spec.n, &slots, input_bound, seed)
+    }
 }
 
 /// Like [`assert_backend_matches_interp`] but takes the slots to compare

@@ -9,6 +9,9 @@
 //! porcupine synth box-blur --auto        # infer the sketch from the spec
 //! porcupine synth gx --jobs 4            # search with 4 worker threads
 //! porcupine synth sobel-combine -O0      # middle-end level (also -O1/-O2)
+//! porcupine synth dot-product --size 64 --params auto
+//!                                        # bigger kernel, auto-selected
+//!                                        # BFV params, encrypted check
 //! porcupine baseline gx                  # print the hand-written baseline
 //! ```
 //!
@@ -18,26 +21,88 @@
 //! (default: `PORCUPINE_OPT` or `-O2`) — backend-legal IR with explicit
 //! `relin-ct` placement; `-O0` reproduces the eager
 //! relin-after-every-multiply lowering.
+//!
+//! `--size` scales a kernel past the paper's toy dimensions (image
+//! interior width for the stencils, element count for the reductions,
+//! batch width for the regressions). `--params auto` lets the static
+//! noise analysis pick the smallest safe BFV parameter set for the
+//! lowered program (`--margin-bits` adjusts the safety margin;
+//! `--params paper` pins the paper's fixed `N = 8192` set) and then
+//! actually encrypts, runs, and decrypts the kernel, asserting the
+//! backend matches the interpreter slot for slot.
 
+use bfv::params::{BfvContext, BfvParams, ParamPolicy};
 use porcupine::autosketch::auto_sketch;
 use porcupine::cegis::{default_parallelism, synthesize, SynthesisOptions};
-use porcupine::codegen::emit_seal_cpp;
+use porcupine::codegen::{emit_seal_cpp, BfvRunner};
 use porcupine::opt::{self, OptLevel};
-use porcupine_kernels::{all_direct, PaperKernel};
+use porcupine::spec::KernelSpec;
+use porcupine_kernels::{all_direct, direct_kernel, PaperKernel};
 use quill::cost::{eager_cost, LatencyModel};
+use rand::{Rng, SeedableRng};
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
+        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>] [--size <n>] [--params auto|paper] [--margin-bits <n>]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
     );
     ExitCode::FAILURE
 }
 
-fn find_kernel(name: &str) -> Option<PaperKernel> {
-    all_direct().into_iter().find(|k| k.name == name)
+fn find_kernel(name: &str, size: Option<usize>) -> Option<PaperKernel> {
+    direct_kernel(name, size)
+}
+
+/// Encrypts seeded random inputs, executes the lowered program on the BFV
+/// backend under `params`, decrypts, and compares against the interpreter
+/// on the spec's masked slots. Returns the measured remaining noise budget.
+fn run_encrypted_check(
+    prog: &quill::program::Program,
+    spec: &KernelSpec,
+    params: BfvParams,
+    seed: u64,
+) -> Result<i64, String> {
+    let ctx = BfvContext::new(params).map_err(|e| e.to_string())?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let t = spec.t;
+    let sample = |count: usize, rng: &mut rand::rngs::StdRng| -> Vec<Vec<u64>> {
+        (0..count)
+            .map(|_| (0..spec.n).map(|_| rng.gen_range(0..t)).collect())
+            .collect()
+    };
+    let ct_model = sample(prog.num_ct_inputs, &mut rng);
+    let pt_model = sample(prog.num_pt_inputs, &mut rng);
+    let expected = quill::interp::eval_concrete(prog, &ct_model, &pt_model, t);
+
+    let keygen = bfv::keys::KeyGenerator::new(&ctx, &mut rng);
+    let encryptor = bfv::encrypt::Encryptor::new(&ctx, keygen.public_key(&mut rng));
+    let decryptor = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
+    let runner = BfvRunner::for_programs(&ctx, &keygen, &[prog], &mut rng);
+    let encoder = runner.encoder();
+    let cts: Vec<bfv::Ciphertext> = ct_model
+        .iter()
+        .map(|v| encryptor.encrypt(&encoder.encode(v), &mut rng))
+        .collect();
+    let pts: Vec<bfv::Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
+    let ct_refs: Vec<&bfv::Ciphertext> = cts.iter().collect();
+    let pt_refs: Vec<&bfv::Plaintext> = pts.iter().collect();
+    let out = runner.run(prog, &ct_refs, &pt_refs);
+    let budget = decryptor.invariant_noise_budget(&out);
+    if budget <= 0 {
+        return Err(format!("noise budget exhausted at decryption ({budget})"));
+    }
+    let decoded = encoder.decode(&decryptor.decrypt(&out));
+    for (i, &on) in spec.output_mask.iter().enumerate() {
+        if on && decoded[i] != expected[i] {
+            return Err(format!(
+                "slot {i}: backend {} != interpreter {}",
+                decoded[i], expected[i]
+            ));
+        }
+    }
+    Ok(budget)
 }
 
 /// Extracts an `-O0`/`-O1`/`-O2` (or `--opt-level <n>`) flag, if present.
@@ -54,10 +119,84 @@ fn parse_opt_level(args: &[String]) -> Result<Option<OptLevel>, String> {
     }
 }
 
+/// Prints the resolved parameter set and, for auto selection, the noise
+/// analysis behind it.
+fn report_params(
+    optimized: &quill::program::Program,
+    params: &BfvParams,
+    policy: &ParamPolicy,
+    verbose: bool,
+) {
+    let total_bits: u32 = params.moduli.iter().map(|&q| 64 - q.leading_zeros()).sum();
+    let mode = match policy {
+        ParamPolicy::Auto { .. } => "auto",
+        ParamPolicy::Fixed(_) => "fixed",
+    };
+    eprintln!(
+        "; params ({mode}): N = {}, t = {}, q = {} primes / {total_bits} bits",
+        params.poly_degree,
+        params.plain_modulus,
+        params.moduli.len(),
+    );
+    if verbose {
+        let report = bfv::NoiseModel::for_params(params).analyze(optimized);
+        eprintln!(
+            "; noise: fresh budget {:.1} bits, worst-case consumed {:.1}, predicted >= {:.1} at decryption",
+            report.fresh_budget_bits, report.consumed_bits, report.predicted_budget_bits,
+        );
+    }
+}
+
+/// The shared tail of every synth path: params report, the optional
+/// encrypted cross-check, and program/SEAL emission.
+#[allow(clippy::too_many_arguments)]
+fn finish_synth(
+    k: &PaperKernel,
+    optimized: &quill::program::Program,
+    params: &Result<BfvParams, bfv::params::SelectError>,
+    options: &SynthesisOptions,
+    args: &[String],
+    run_check: bool,
+) -> ExitCode {
+    match params {
+        Ok(params) => {
+            report_params(optimized, params, &options.params, run_check);
+            if run_check {
+                // `--params` asks for the full flow: encrypt, run on the
+                // BFV backend under the resolved set, decrypt, and
+                // cross-check against the interpreter.
+                match run_encrypted_check(optimized, &k.spec, params.clone(), options.seed) {
+                    Ok(budget) => eprintln!(
+                        "; encrypted check: backend matches interpreter on all masked \
+                         slots, {budget} bits of noise budget left"
+                    ),
+                    Err(e) => {
+                        eprintln!("encrypted check failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        // With `--params` the user asked for certified parameters: fail.
+        // Without, emission needs no parameters; note the failure and go on.
+        Err(e) if run_check => {
+            eprintln!("parameter selection failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => eprintln!("; params: selection failed ({e}); emitting code only"),
+    }
+    if args.iter().any(|a| a == "seal") {
+        print!("{}", emit_seal_cpp(optimized));
+    } else {
+        print!("{optimized}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `porcupine dot-product` is shorthand for `porcupine synth dot-product`.
-    if args.first().is_some_and(|a| find_kernel(a).is_some()) {
+    if args.first().is_some_and(|a| find_kernel(a, None).is_some()) {
         args.insert(0, "synth".to_string());
     }
     let model = LatencyModel::profiled_default();
@@ -83,7 +222,7 @@ fn main() -> ExitCode {
             let Some(name) = args.get(1) else {
                 return usage();
             };
-            let Some(k) = find_kernel(name) else {
+            let Some(k) = find_kernel(name, None) else {
                 eprintln!("unknown kernel '{name}' (try `porcupine list`)");
                 return ExitCode::FAILURE;
             };
@@ -112,15 +251,46 @@ fn main() -> ExitCode {
             let Some(name) = args.get(1) else {
                 return usage();
             };
-            let Some(k) = find_kernel(name) else {
-                eprintln!("unknown kernel '{name}' (try `porcupine list`)");
-                return ExitCode::FAILURE;
-            };
             let grab = |flag: &str| -> Option<u64> {
                 args.iter()
                     .position(|a| a == flag)
                     .and_then(|i| args.get(i + 1))
                     .and_then(|v| v.parse().ok())
+            };
+            let size = grab("--size").map(|n| n as usize);
+            let Some(k) = find_kernel(name, size) else {
+                match size {
+                    Some(s) => eprintln!(
+                        "kernel '{name}' does not exist or cannot take size {s} \
+                         (reductions need a power of two; try `porcupine list`)"
+                    ),
+                    None => eprintln!("unknown kernel '{name}' (try `porcupine list`)"),
+                }
+                return ExitCode::FAILURE;
+            };
+            // `--params` present with a missing value is an error, not a
+            // silently skipped encrypted check.
+            let params_mode = match args.iter().position(|a| a == "--params") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some(mode @ ("auto" | "paper")) => Some(mode),
+                    other => {
+                        eprintln!(
+                            "--params requires 'auto' or 'paper', got {:?}",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            let policy = match params_mode {
+                Some("paper") => ParamPolicy::Fixed(BfvParams::paper()),
+                _ => match grab("--margin-bits") {
+                    Some(m) => ParamPolicy::Auto {
+                        margin_bits: m as f64,
+                    },
+                    None => ParamPolicy::auto(),
+                },
             };
             let jobs = match grab("--jobs") {
                 Some(n) => match NonZeroUsize::new(n as usize) {
@@ -144,8 +314,54 @@ fn main() -> ExitCode {
                 seed: grab("--seed").unwrap_or(0x9E3779B9),
                 parallelism: jobs,
                 opt_level,
+                params: policy,
                 ..SynthesisOptions::default()
             };
+            // Reductions scaled past the §6.3 wall synthesize stage-wise
+            // (the direct search is exhaustive and stops scaling around
+            // 10–12 instructions, as the paper reports).
+            if let Some(len) = size {
+                use porcupine_kernels::reduction as red;
+                if red::direct_components(name, len)
+                    .is_some_and(|c| c > red::DIRECT_SEARCH_MAX_COMPONENTS)
+                {
+                    let start = std::time::Instant::now();
+                    let program = match red::synthesize_staged(name, len, &options)
+                        .expect("direct_components implies a staged reduction")
+                    {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("staged synthesis failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let (optimized, opt_report) = opt::optimize(&program, options.opt_level);
+                    let params = options.params.resolve(&optimized, k.spec.n, k.spec.t);
+                    eprintln!(
+                        "; multi-step (§6.3): {} stages, total {:.2?}, jobs: {}",
+                        1 + len.ilog2(),
+                        start.elapsed(),
+                        options.parallelism,
+                    );
+                    eprintln!(
+                        "; -{}: {} ({} instrs stitched → {} lowered, {} relin, {} rot)",
+                        options.opt_level,
+                        opt_report,
+                        program.len(),
+                        optimized.len(),
+                        optimized.relin_count(),
+                        optimized.rot_count(),
+                    );
+                    return finish_synth(
+                        &k,
+                        &optimized,
+                        &params,
+                        &options,
+                        &args,
+                        params_mode.is_some(),
+                    );
+                }
+            }
             let sketch = if args.iter().any(|a| a == "--auto") {
                 auto_sketch(&k.spec)
             } else if args.iter().any(|a| a == "--explicit") {
@@ -180,12 +396,14 @@ fn main() -> ExitCode {
                         r.optimized.relin_count(),
                         r.optimized.rot_count(),
                     );
-                    if args.iter().any(|a| a == "seal") {
-                        print!("{}", emit_seal_cpp(&r.optimized));
-                    } else {
-                        print!("{}", r.optimized);
-                    }
-                    ExitCode::SUCCESS
+                    finish_synth(
+                        &k,
+                        &r.optimized,
+                        &r.params,
+                        &options,
+                        &args,
+                        params_mode.is_some(),
+                    )
                 }
                 Err(e) => {
                     eprintln!("synthesis failed: {e}");

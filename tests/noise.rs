@@ -1,0 +1,136 @@
+//! The noise model's contracts, checked against the real evaluator:
+//!
+//! * **Soundness** (property test): for random valid programs, the
+//!   *measured* remaining invariant-noise budget after encrypted
+//!   evaluation is never below the static analyzer's *predicted*
+//!   remaining budget — the model is a sound lower bound on safety, at
+//!   `-O0` and `-O2` alike. Honors `PORCUPINE_PARAMS=auto` (the dedicated
+//!   CI leg), which evaluates each program under the parameters the
+//!   selector picks for it, exercising selection end to end.
+//! * **Regression pins**: the predicted consumed budget of the nine
+//!   Table 2/3 kernels plus Sobel and Harris, lowered at `-O2` under the
+//!   paper parameters, is pinned — a cost-model or optimizer change that
+//!   silently worsens noise fails loudly here.
+
+use bfv::encrypt::Ciphertext;
+use bfv::noise::NoiseModel;
+use bfv::params::{BfvContext, BfvParams};
+use porcupine::codegen::BfvRunner;
+use porcupine::opt::{optimize, OptLevel};
+use porcupine_kernels::{all_direct, composite, stencil};
+use proptest::prelude::*;
+use quill::program::Program;
+use rand::Rng;
+use test_support::{arb_program, noise_test_params, seeded_rng, HeSession, T};
+
+/// Model size the generated programs' rotations stay within.
+const MODEL_N: usize = 8;
+
+/// Lowers `prog` at `level`, evaluates it under the suite's parameters on
+/// encrypted full-range inputs, and returns (measured budget, predicted
+/// budget).
+fn measured_vs_predicted(prog: &Program, level: OptLevel, seed: u64) -> (i64, f64) {
+    let (lowered, _) = optimize(prog, level);
+    let params = noise_test_params(&lowered, MODEL_N);
+    let predicted = NoiseModel::for_params(&params)
+        .analyze(&lowered)
+        .predicted_budget_bits;
+
+    let ctx = BfvContext::new(params).expect("suite params are valid");
+    let mut rng = seeded_rng(seed);
+    let session = HeSession::new(&ctx, &mut rng);
+    let runner = BfvRunner::for_programs(&ctx, &session.keygen, &[&lowered], &mut rng);
+    let encoder = runner.encoder();
+    let slots = encoder.slot_count();
+    let cts: Vec<Ciphertext> = (0..lowered.num_ct_inputs)
+        .map(|_| {
+            let v: Vec<u64> = (0..slots).map(|_| rng.gen_range(0..T)).collect();
+            session.encryptor.encrypt(&encoder.encode(&v), &mut rng)
+        })
+        .collect();
+    let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
+    let out = runner.run(&lowered, &ct_refs, &[]);
+    (session.decryptor.invariant_noise_budget(&out), predicted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The static model never promises more budget than the evaluator
+    /// delivers, whichever way the middle-end places relinearizations.
+    #[test]
+    fn measured_budget_never_below_predicted(
+        prog in arb_program(2, 8),
+        seed in any::<u64>(),
+    ) {
+        for level in [OptLevel::O0, OptLevel::O2] {
+            let (measured, predicted) = measured_vs_predicted(&prog, level, seed);
+            prop_assert!(
+                measured as f64 >= predicted,
+                "-{level}: measured {measured} < predicted {predicted:.1}\n{prog}"
+            );
+        }
+    }
+}
+
+/// Predicted worst-case consumed budget (bits, at one decimal) for every
+/// paper workload's baseline, lowered at `-O2`, under the paper's fixed
+/// parameter set. These values are pure functions of the noise model, the
+/// optimizer, and the parameter table — any change that silently worsens
+/// (or improves) noise shows up as an exact-digit diff here. Regenerate by
+/// running this test and copying the values from the failure message.
+#[test]
+fn predicted_consumed_budget_pins() {
+    let model = NoiseModel::for_params(&BfvParams::paper());
+    let img = stencil::default_image();
+    let mut workloads: Vec<(String, Program)> = all_direct()
+        .into_iter()
+        .map(|k| (k.name.to_string(), k.baseline))
+        .collect();
+    workloads.push(("sobel".into(), composite::sobel_baseline(img)));
+    workloads.push(("harris".into(), composite::harris_baseline(img)));
+
+    let pins: &[(&str, f64)] = &[
+        ("box-blur", 52.1),
+        ("dot-product", 53.3),
+        ("hamming-distance", 53.3),
+        ("l2-distance", 54.4),
+        ("linear-regression", 30.0),
+        ("polynomial-regression", 73.0),
+        ("gx", 53.5),
+        ("gy", 53.5),
+        ("roberts-cross", 96.1),
+        ("sobel", 98.5),
+        ("harris", 173.5),
+    ];
+    let mut failures = Vec::new();
+    for ((name, baseline), (pin_name, pin)) in workloads.into_iter().zip(pins) {
+        assert_eq!(name, *pin_name, "pin table out of order");
+        let (lowered, _) = optimize(&baseline, OptLevel::O2);
+        let consumed = model.analyze(&lowered).consumed_bits;
+        if (consumed - pin).abs() > 0.05 {
+            failures.push(format!("        (\"{name}\", {consumed:.1}),"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "consumed-budget pins moved; new values:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The consumed-budget ordering the pins encode is also stable in
+/// qualitative terms: multiply-free stencils are the quietest, one-level
+/// multiplies sit in the middle, and the depth-4 Harris response consumes
+/// the most.
+#[test]
+fn consumed_budget_ordering_is_sane() {
+    let model = NoiseModel::for_params(&BfvParams::paper());
+    let consumed = |p: &Program| model.analyze(&optimize(p, OptLevel::O2).0).consumed_bits;
+    let img = stencil::default_image();
+    let blur = consumed(&stencil::box_blur(img).baseline);
+    let roberts = consumed(&stencil::roberts_cross(img).baseline);
+    let harris = consumed(&composite::harris_baseline(img));
+    assert!(blur < roberts, "rotation-only < one multiply level");
+    assert!(roberts < harris, "one multiply level < depth-4 pipeline");
+}
