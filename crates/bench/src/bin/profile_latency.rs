@@ -43,33 +43,46 @@ fn main() {
     let a = encryptor.encrypt(&pt, &mut rng);
     let b = encryptor.encrypt(&pt, &mut rng);
 
+    // Profile the steady-state hot path the runner executes: cached
+    // EvalPlaintexts, in-place variants, pool-recycled results (warm the
+    // pool untimed first). `he_ops` measures the same paths against the
+    // seed baseline.
+    let ept = ev.preencode(&pt);
+    let mut acc = a.clone();
+    let mut acc_rot = a.clone();
+    ev.recycle(ev.multiply_relin(&a, &b, &rk));
+    ev.rotate_rows_assign(&mut acc_rot, 1, &gk);
+
     let add = time_us(reps, || {
-        std::hint::black_box(ev.add(&a, &b));
+        ev.add_assign(std::hint::black_box(&mut acc), &b);
     });
     let sub = time_us(reps, || {
-        std::hint::black_box(ev.sub(&a, &b));
+        ev.sub_assign(std::hint::black_box(&mut acc), &b);
     });
     let add_pt = time_us(reps, || {
-        std::hint::black_box(ev.add_plain(&a, &pt));
+        ev.add_plain_assign(std::hint::black_box(&mut acc), &ept);
     });
     let sub_pt = time_us(reps, || {
-        std::hint::black_box(ev.sub_plain(&a, &pt));
+        ev.sub_plain_assign(std::hint::black_box(&mut acc), &ept);
     });
     let mul_pt = time_us(reps, || {
-        std::hint::black_box(ev.mul_plain(&a, &pt));
+        ev.mul_plain_assign(std::hint::black_box(&mut acc), &ept);
     });
     let rot = time_us(reps, || {
-        std::hint::black_box(ev.rotate_rows(&a, 1, &gk));
+        ev.rotate_rows_assign(std::hint::black_box(&mut acc_rot), 1, &gk);
     });
     let mul = time_us(reps, || {
-        std::hint::black_box(ev.multiply(&a, &b));
+        ev.recycle(std::hint::black_box(ev.multiply(&a, &b)));
     });
     let prod3 = ev.multiply(&a, &b);
     let relin = time_us(reps, || {
-        std::hint::black_box(ev.relinearize(&prod3, &rk));
+        ev.recycle(std::hint::black_box(ev.relinearize(&prod3, &rk)));
     });
     let mul_relin = time_us(reps, || {
-        std::hint::black_box(ev.multiply_relin(&a, &b, &rk));
+        ev.recycle(std::hint::black_box(ev.multiply_relin(&a, &b, &rk)));
+    });
+    let pt_encode = time_us(reps, || {
+        std::hint::black_box(ev.preencode(&pt));
     });
     let enc_t = time_us(reps, || {
         std::hint::black_box(encryptor.encrypt(&pt, &mut rng));
@@ -87,6 +100,7 @@ fn main() {
     println!("{:<28} {}", "mul-ct-ct (raw tensor)", fmt_us(mul));
     println!("{:<28} {}", "relin-ct (keyswitch)", fmt_us(relin));
     println!("{:<28} {}", "mul-ct-ct + relin", fmt_us(mul_relin));
+    println!("{:<28} {}", "pt encode (once per pt)", fmt_us(pt_encode));
     println!("{:<28} {}", "encrypt", fmt_us(enc_t));
     println!("{:<28} {}", "decrypt", fmt_us(dec_t));
     println!();

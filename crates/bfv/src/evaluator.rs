@@ -12,8 +12,9 @@
 //! never touch an NTT:
 //!
 //! * `add`/`sub`/`negate` and the plaintext ops are componentwise on
-//!   evaluation residues (`add_plain`/`sub_plain`/`mul_plain` pay only the
-//!   forward transforms of the freshly encoded plaintext);
+//!   evaluation residues — a plaintext operand is converted to evaluation
+//!   form **once** at [`Evaluator::preencode`] (an [`EvalPlaintext`]
+//!   caching both `Δ·m` and raw `m`) and reused by every later op;
 //! * the Galois automorphism inside rotations is a cached index
 //!   permutation of evaluation slots ([`crate::keys::GaloisKeys`] stores
 //!   one per element);
@@ -39,15 +40,32 @@
 //! BEHZ-style all-RNS data flow, except that the mixed-radix conversions
 //! are exact, so no approximation error is introduced.
 
-use crate::encoding::{galois_element_for_column_swap, galois_element_for_rotation, Plaintext};
+use crate::encoding::{
+    galois_element_for_column_swap, galois_element_for_rotation, EvalPlaintext, Plaintext,
+};
 use crate::encrypt::Ciphertext;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
-use crate::ntt::pointwise_mul;
+use crate::ntt::{pointwise_mul_add_into, pointwise_mul_into};
 use crate::params::BfvContext;
-use crate::poly::{PolyForm, RnsPoly};
-use crate::zq::{add_mod, mul_mod_shoup, sub_mod, Barrett};
+use crate::poly::{PolyForm, RingContext, RnsPoly};
+use crate::pool::{PoolStats, ScratchPool};
+use crate::zq::{add_mod, mul_mod_shoup, sub_mod};
 
-/// Stateless evaluator over one context.
+/// Evaluator over one context, with a private [`ScratchPool`] backing the
+/// allocation-free hot path.
+///
+/// Every operation comes in two flavors: a pure function returning a fresh
+/// ciphertext (`add`, `mul_plain`, `rotate_rows`, ...) and an in-place
+/// `_assign` variant mutating its first operand (`add_assign`,
+/// `mul_plain_assign`, `rotate_rows_assign`, ...). The `_assign` variants
+/// plus cached [`EvalPlaintext`]s (see [`Evaluator::preencode`]) are the
+/// hot path: after a warm-up call per operation shape they perform **zero**
+/// heap allocations — temporaries come from the pool, and dead ciphertexts
+/// can be returned to it with [`Evaluator::recycle`]. The pure variants are
+/// `clone` + `_assign`, so both flavors are bit-identical.
+///
+/// The pool uses interior mutability, so an `Evaluator` is not `Sync`;
+/// create one per worker thread over a shared context.
 ///
 /// # Examples
 ///
@@ -64,90 +82,169 @@ use crate::zq::{add_mod, mul_mod_shoup, sub_mod, Barrett};
 /// let coder = BatchEncoder::new(&ctx);
 /// let ev = Evaluator::new(&ctx);
 ///
-/// let a = enc.encrypt(&coder.encode(&[3, 4]), &mut rng);
+/// let mut a = enc.encrypt(&coder.encode(&[3, 4]), &mut rng);
 /// let b = enc.encrypt(&coder.encode(&[10, 20]), &mut rng);
-/// let sum = ev.add(&a, &b);
-/// assert_eq!(&coder.decode(&dec.decrypt(&sum))[..2], &[13, 24]);
+/// ev.add_assign(&mut a, &b);
+/// assert_eq!(&coder.decode(&dec.decrypt(&a))[..2], &[13, 24]);
 /// # Ok::<(), bfv::params::ParamError>(())
 /// ```
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     ctx: &'a BfvContext,
+    pool: ScratchPool,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator.
+    /// Creates an evaluator with an empty scratch pool.
     pub fn new(ctx: &'a BfvContext) -> Self {
-        Evaluator { ctx }
+        Evaluator {
+            ctx,
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// Allocation counters of the scratch pool — `fresh` staying constant
+    /// across a window of operations proves the window allocated nothing
+    /// (the allocation-regression tests pin exactly that).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Returns a dead ciphertext's buffers to the scratch pool so later
+    /// operations reuse them instead of allocating. Callers that know a
+    /// value's last use (e.g. the IR runner's liveness analysis) feed the
+    /// steady state this way.
+    pub fn recycle(&self, ct: Ciphertext) {
+        for part in ct.parts {
+            self.pool.put_matrix(part.residues);
+        }
+    }
+
+    /// A pooled all-zero polynomial in evaluation form.
+    fn take_poly_zeroed(&self) -> RnsPoly {
+        let ring = self.ctx.ring();
+        RnsPoly {
+            residues: self
+                .pool
+                .take_matrix_zeroed(ring.num_primes(), ring.degree()),
+            form: PolyForm::Eval,
+        }
+    }
+
+    fn put_poly(&self, p: RnsPoly) {
+        self.pool.put_matrix(p.residues);
     }
 
     /// Slot-wise sum of two ciphertexts. Mismatched sizes zero-pad the
     /// shorter operand (a missing part is the zero polynomial).
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.zip(a, b, |r, x, y| r.add(x, y))
+        let mut out = a.clone();
+        self.add_assign(&mut out, b);
+        out
+    }
+
+    /// `a += b` slot-wise, in place and allocation-free in the steady
+    /// state (pool buffers pad `a` if `b` is larger).
+    pub fn add_assign(&self, a: &mut Ciphertext, b: &Ciphertext) {
+        self.zip_assign(a, b, RingContext::add_assign)
     }
 
     /// Slot-wise difference of two ciphertexts (same zero-padding contract
     /// as [`Evaluator::add`]).
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.zip(a, b, |r, x, y| r.sub(x, y))
+        let mut out = a.clone();
+        self.sub_assign(&mut out, b);
+        out
+    }
+
+    /// `a -= b` slot-wise, in place (same contract as
+    /// [`Evaluator::add_assign`]).
+    pub fn sub_assign(&self, a: &mut Ciphertext, b: &Ciphertext) {
+        self.zip_assign(a, b, RingContext::sub_assign)
+    }
+
+    fn zip_assign(
+        &self,
+        a: &mut Ciphertext,
+        b: &Ciphertext,
+        f: fn(&RingContext, &mut RnsPoly, &RnsPoly),
+    ) {
+        let ring = self.ctx.ring();
+        // Extra parts of `a` combine with zero and are already correct;
+        // extra parts of `b` need explicit zero-padding on `a`.
+        while a.parts.len() < b.parts.len() {
+            a.parts.push(self.take_poly_zeroed());
+        }
+        for (x, y) in a.parts.iter_mut().zip(&b.parts) {
+            f(ring, x, y);
+        }
     }
 
     /// Slot-wise negation.
     pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let mut out = a.clone();
+        self.negate_assign(&mut out);
+        out
+    }
+
+    /// `a = -a` slot-wise, in place, allocation-free.
+    pub fn negate_assign(&self, a: &mut Ciphertext) {
         let ring = self.ctx.ring();
-        Ciphertext {
-            parts: a.parts.iter().map(|p| ring.neg(p)).collect(),
+        for p in a.parts.iter_mut() {
+            ring.neg_assign(p);
         }
     }
 
-    fn zip(
-        &self,
-        a: &Ciphertext,
-        b: &Ciphertext,
-        f: impl Fn(&crate::poly::RingContext, &RnsPoly, &RnsPoly) -> RnsPoly,
-    ) -> Ciphertext {
-        let ring = self.ctx.ring();
-        let len = a.parts.len().max(b.parts.len());
-        let zero = ring.zero_eval();
-        let parts = (0..len)
-            .map(|i| {
-                let x = a.parts.get(i).unwrap_or(&zero);
-                let y = b.parts.get(i).unwrap_or(&zero);
-                f(ring, x, y)
-            })
-            .collect();
-        Ciphertext { parts }
+    /// Lifts a plaintext into cached evaluation form for reuse across many
+    /// operations — encode once, then feed the `_plain_assign` ops. See
+    /// [`EvalPlaintext`].
+    pub fn preencode(&self, pt: &Plaintext) -> EvalPlaintext {
+        EvalPlaintext::new(self.ctx, pt)
     }
 
-    /// Adds an encoded plaintext to a ciphertext (`c0 += Δ·m`).
+    /// Adds an encoded plaintext to a ciphertext (`c0 += Δ·m`). Encodes on
+    /// the fly; for plaintexts used more than once, [`Evaluator::preencode`]
+    /// + [`Evaluator::add_plain_assign`] skips the repeated transforms.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        let ring = self.ctx.ring();
-        let m = ring.from_u64_coeffs(&pt.coeffs);
-        let dm = ring.to_eval(&ring.mul_scalar_residues(&m, self.ctx.delta_residues()));
-        let mut parts = a.parts.clone();
-        parts[0] = ring.add(&parts[0], &dm);
-        Ciphertext { parts }
+        let mut out = a.clone();
+        self.add_plain_assign(&mut out, &self.preencode(pt));
+        out
     }
 
-    /// Subtracts an encoded plaintext from a ciphertext.
+    /// `c0 += Δ·m` with a cached plaintext: one componentwise vector add,
+    /// no transforms, no allocation.
+    pub fn add_plain_assign(&self, a: &mut Ciphertext, pt: &EvalPlaintext) {
+        self.ctx.ring().add_assign(&mut a.parts[0], &pt.delta_m);
+    }
+
+    /// Subtracts an encoded plaintext from a ciphertext (encodes on the
+    /// fly; see [`Evaluator::sub_plain_assign`] for the cached path).
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        let ring = self.ctx.ring();
-        let m = ring.from_u64_coeffs(&pt.coeffs);
-        let dm = ring.to_eval(&ring.mul_scalar_residues(&m, self.ctx.delta_residues()));
-        let mut parts = a.parts.clone();
-        parts[0] = ring.sub(&parts[0], &dm);
-        Ciphertext { parts }
+        let mut out = a.clone();
+        self.sub_plain_assign(&mut out, &self.preencode(pt));
+        out
     }
 
-    /// Multiplies a ciphertext by an encoded plaintext (slot-wise). The
-    /// plaintext is transformed once; both ciphertext parts then multiply
-    /// pointwise.
+    /// `c0 -= Δ·m` with a cached plaintext (no transforms, no allocation).
+    pub fn sub_plain_assign(&self, a: &mut Ciphertext, pt: &EvalPlaintext) {
+        self.ctx.ring().sub_assign(&mut a.parts[0], &pt.delta_m);
+    }
+
+    /// Multiplies a ciphertext by an encoded plaintext (slot-wise).
+    /// Encodes on the fly; see [`Evaluator::mul_plain_assign`] for the
+    /// cached path.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let mut out = a.clone();
+        self.mul_plain_assign(&mut out, &self.preencode(pt));
+        out
+    }
+
+    /// `a *= m` slot-wise with a cached plaintext: pointwise products on
+    /// every part, no transforms, no allocation.
+    pub fn mul_plain_assign(&self, a: &mut Ciphertext, pt: &EvalPlaintext) {
         let ring = self.ctx.ring();
-        let m = ring.to_eval(&ring.from_u64_coeffs(&pt.coeffs));
-        Ciphertext {
-            parts: a.parts.iter().map(|p| ring.mul(p, &m)).collect(),
+        for p in a.parts.iter_mut() {
+            ring.mul_assign(p, &pt.m);
         }
     }
 
@@ -174,117 +271,174 @@ impl<'a> Evaluator<'a> {
         );
         let ring = self.ctx.ring();
         let aux = self.ctx.aux_ring();
+        let k = ring.num_primes();
         let l = aux.num_primes();
+        let n = ring.degree();
+        let pool = &self.pool;
 
-        // Extend every operand part into the combined base Q ∪ B, in the
-        // transform domain of each prime: over Q the input is already
-        // evaluation-resident; over B we base-convert the centered
-        // coefficients and transform.
-        let extend = |p: &RnsPoly| -> (RnsPoly, Vec<Vec<u64>>) {
-            let p_eval = ring.to_eval(p);
-            let p_coeff = ring.to_coeff(p);
-            let mut ext = self.ctx.q_to_aux().convert_centered(&p_coeff.residues);
+        // Q-side operands: borrowed directly when already
+        // evaluation-resident (the steady state); a coefficient-form
+        // operand converts into a temporary on the cold path.
+        let (mut s0, mut s1, mut s2, mut s3) = (None, None, None, None);
+        let c0 = eval_ref(ring, &a.parts[0], &mut s0);
+        let c1 = eval_ref(ring, &a.parts[1], &mut s1);
+        let d0 = eval_ref(ring, &b.parts[0], &mut s2);
+        let d1 = eval_ref(ring, &b.parts[1], &mut s3);
+
+        // B-side extension of each part: centered base conversion of the
+        // coefficients, then forward transforms — all in pooled buffers.
+        let extend_aux = |p: &RnsPoly| -> Vec<Vec<u64>> {
+            let mut coeff = pool.take_matrix(k, n);
+            for ((i, row), src) in coeff.iter_mut().enumerate().zip(&p.residues) {
+                row.copy_from_slice(src);
+                if p.form() == PolyForm::Eval {
+                    ring.ntt(i).inverse(row);
+                }
+            }
+            let mut ext = pool.take_matrix(l, n);
+            self.ctx
+                .q_to_aux()
+                .convert_centered_into(&coeff, pool, &mut ext);
+            pool.put_matrix(coeff);
             for (j, r) in ext.iter_mut().enumerate() {
                 aux.ntt(j).forward(r);
             }
-            (p_eval, ext)
+            ext
         };
-        let (c0, c0_aux) = extend(&a.parts[0]);
-        let (c1, c1_aux) = extend(&a.parts[1]);
-        let (d0, d0_aux) = extend(&b.parts[0]);
-        let (d1, d1_aux) = extend(&b.parts[1]);
+        let c0_aux = extend_aux(&a.parts[0]);
+        let c1_aux = extend_aux(&a.parts[1]);
+        let d0_aux = extend_aux(&b.parts[0]);
+        let d1_aux = extend_aux(&b.parts[1]);
 
-        // Tensor pointwise over the combined base:
+        // Tensor pointwise over the combined base, into pooled buffers:
         //   e0 = c0·d0, e1 = c0·d1 + c1·d0, e2 = c1·d1.
-        let tensor_aux = |x: &[Vec<u64>], y: &[Vec<u64>]| -> Vec<Vec<u64>> {
-            (0..l)
-                .map(|j| pointwise_mul(&x[j], &y[j], aux.primes()[j]))
-                .collect()
-        };
-        let add_aux = |mut x: Vec<Vec<u64>>, y: Vec<Vec<u64>>| -> Vec<Vec<u64>> {
-            for (j, (xr, yr)) in x.iter_mut().zip(&y).enumerate() {
-                let p = aux.primes()[j];
-                for (xc, &yc) in xr.iter_mut().zip(yr) {
-                    *xc = add_mod(*xc, yc, p);
-                }
+        let tensor_q = |x: &RnsPoly, y: &RnsPoly| -> Vec<Vec<u64>> {
+            let mut out = pool.take_matrix(k, n);
+            for (i, &bar) in ring.barretts().iter().enumerate() {
+                pointwise_mul_into(&x.residues[i], &y.residues[i], bar, &mut out[i]);
             }
-            x
+            out
         };
-        let e = [
-            (ring.mul(&c0, &d0), tensor_aux(&c0_aux, &d0_aux)),
-            (
-                ring.add(&ring.mul(&c0, &d1), &ring.mul(&c1, &d0)),
-                add_aux(tensor_aux(&c0_aux, &d1_aux), tensor_aux(&c1_aux, &d0_aux)),
-            ),
-            (ring.mul(&c1, &d1), tensor_aux(&c1_aux, &d1_aux)),
-        ];
+        let tensor_aux = |x: &[Vec<u64>], y: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            let mut out = pool.take_matrix(l, n);
+            for (j, &bar) in aux.barretts().iter().enumerate() {
+                pointwise_mul_into(&x[j], &y[j], bar, &mut out[j]);
+            }
+            out
+        };
+        let e0_q = tensor_q(c0, d0);
+        let mut e1_q = tensor_q(c0, d1);
+        for (i, &bar) in ring.barretts().iter().enumerate() {
+            pointwise_mul_add_into(&mut e1_q[i], &c1.residues[i], &d0.residues[i], bar);
+        }
+        let e2_q = tensor_q(c1, d1);
+        let e0_aux = tensor_aux(&c0_aux, &d0_aux);
+        let mut e1_aux = tensor_aux(&c0_aux, &d1_aux);
+        for (j, &bar) in aux.barretts().iter().enumerate() {
+            pointwise_mul_add_into(&mut e1_aux[j], &c1_aux[j], &d0_aux[j], bar);
+        }
+        let e2_aux = tensor_aux(&c1_aux, &d1_aux);
+        for m in [c0_aux, c1_aux, d0_aux, d1_aux] {
+            pool.put_matrix(m);
+        }
 
-        // Rescale each tensor part: y = (t·x − [t·x]_Q) / Q, all in RNS.
-        let parts = e
-            .into_iter()
-            .map(|(e_q, mut e_aux)| {
-                let e_q = ring.to_coeff(&e_q);
-                for (j, r) in e_aux.iter_mut().enumerate() {
-                    aux.ntt(j).inverse(r);
-                }
-                // s = t·x mod Q, then its centered remainder lifted Q → B.
-                let s: Vec<Vec<u64>> = e_q
-                    .residues
-                    .iter()
-                    .zip(ring.primes())
-                    .zip(self.ctx.t_mod_q())
-                    .map(|((r, &q), &(t_q, t_q_shoup))| {
-                        r.iter()
-                            .map(|&x| mul_mod_shoup(x, t_q, t_q_shoup, q))
-                            .collect()
-                    })
-                    .collect();
-                let r_aux = self.ctx.q_to_aux().convert_centered(&s);
-                // y mod b_j = (t·x − r)·Q⁻¹ = x·(t·Q⁻¹) − r·Q⁻¹ mod b_j,
-                // two Shoup multiplies per slot (constants precomputed on
-                // the context).
-                let mut y_aux = e_aux;
-                for (j, yr) in y_aux.iter_mut().enumerate() {
-                    let b = aux.primes()[j];
-                    let (q_inv, q_inv_shoup) = self.ctx.q_inv_mod_aux()[j];
-                    let (tq, tq_shoup) = self.ctx.t_q_inv_mod_aux()[j];
-                    for (yc, &rc) in yr.iter_mut().zip(&r_aux[j]) {
-                        *yc = sub_mod(
-                            mul_mod_shoup(*yc, tq, tq_shoup, b),
-                            mul_mod_shoup(rc, q_inv, q_inv_shoup, b),
-                            b,
-                        );
-                    }
-                }
-                // Shrink B → Q and return to evaluation form.
-                let y_q = self.ctx.aux_to_q().convert_centered(&y_aux);
-                let mut out = RnsPoly {
-                    residues: y_q,
-                    form: PolyForm::Coeff,
-                };
-                ring.make_eval(&mut out);
-                out
-            })
-            .collect();
-        Ciphertext { parts }
+        Ciphertext {
+            parts: vec![
+                self.rescale(e0_q, e0_aux),
+                self.rescale(e1_q, e1_aux),
+                self.rescale(e2_q, e2_aux),
+            ],
+        }
+    }
+
+    /// Rescales one tensor part: `y = (t·x − [t·x]_Q) / Q`, all in RNS and
+    /// entirely in pooled buffers. Consumes (and recycles) both input
+    /// matrices; the returned evaluation-form part owns a pooled matrix.
+    fn rescale(&self, mut e_q: Vec<Vec<u64>>, mut e_aux: Vec<Vec<u64>>) -> RnsPoly {
+        let ring = self.ctx.ring();
+        let aux = self.ctx.aux_ring();
+        let pool = &self.pool;
+        for (i, r) in e_q.iter_mut().enumerate() {
+            ring.ntt(i).inverse(r);
+        }
+        for (j, r) in e_aux.iter_mut().enumerate() {
+            aux.ntt(j).inverse(r);
+        }
+        // s = t·x mod Q, scaled in place (the raw tensor part is dead),
+        // then its centered remainder lifted Q → B.
+        for ((r, &q), &(t_q, t_q_shoup)) in
+            e_q.iter_mut().zip(ring.primes()).zip(self.ctx.t_mod_q())
+        {
+            for x in r.iter_mut() {
+                *x = mul_mod_shoup(*x, t_q, t_q_shoup, q);
+            }
+        }
+        let mut r_aux = pool.take_matrix(aux.num_primes(), aux.degree());
+        self.ctx
+            .q_to_aux()
+            .convert_centered_into(&e_q, pool, &mut r_aux);
+        pool.put_matrix(e_q);
+        // y mod b_j = (t·x − r)·Q⁻¹ = x·(t·Q⁻¹) − r·Q⁻¹ mod b_j, two Shoup
+        // multiplies per slot (constants precomputed on the context).
+        for (j, yr) in e_aux.iter_mut().enumerate() {
+            let b = aux.primes()[j];
+            let (q_inv, q_inv_shoup) = self.ctx.q_inv_mod_aux()[j];
+            let (tq, tq_shoup) = self.ctx.t_q_inv_mod_aux()[j];
+            for (yc, &rc) in yr.iter_mut().zip(&r_aux[j]) {
+                *yc = sub_mod(
+                    mul_mod_shoup(*yc, tq, tq_shoup, b),
+                    mul_mod_shoup(rc, q_inv, q_inv_shoup, b),
+                    b,
+                );
+            }
+        }
+        pool.put_matrix(r_aux);
+        // Shrink B → Q and return to evaluation form.
+        let mut y_q = pool.take_matrix(ring.num_primes(), ring.degree());
+        self.ctx
+            .aux_to_q()
+            .convert_centered_into(&e_aux, pool, &mut y_q);
+        pool.put_matrix(e_aux);
+        let mut out = RnsPoly {
+            residues: y_q,
+            form: PolyForm::Coeff,
+        };
+        ring.make_eval(&mut out);
+        out
     }
 
     /// Key-switches polynomial `d` (under the source key of `ksk`) to the
-    /// canonical secret, returning the two accumulated parts in evaluation
-    /// form. Only the RNS digits of `d` are transformed; the key is
-    /// NTT-resident with Shoup companions, so the inner products are
-    /// pointwise Shoup multiplies.
-    fn key_switch(&self, d: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+    /// canonical secret, accumulating the two parts into caller-provided
+    /// evaluation-form accumulators (pre-zeroed by the caller). Only the
+    /// RNS digits of `d` are transformed; the key is NTT-resident with
+    /// Shoup companions, so the inner products are pointwise Shoup
+    /// multiplies. All scratch comes from the pool.
+    fn key_switch_into(
+        &self,
+        d: &RnsPoly,
+        ksk: &KeySwitchKey,
+        acc_b: &mut RnsPoly,
+        acc_a: &mut RnsPoly,
+    ) {
         let ring = self.ctx.ring();
         let k = ring.num_primes();
         let n = ring.degree();
-        let d_coeff = ring.to_coeff(d);
-        let mut acc_b = ring.zero_eval();
-        let mut acc_a = ring.zero_eval();
-        let mut digit = vec![0u64; n];
-        let reducers: Vec<Barrett> = ring.primes().iter().map(|&p| Barrett::new(p)).collect();
-        for i in 0..k {
-            let src = d_coeff.component(i);
+        let pool = &self.pool;
+        // Coefficient-domain view of d: borrowed if already there, else a
+        // pooled copy through k inverse transforms.
+        let mut d_store: Option<Vec<Vec<u64>>> = None;
+        let d_coeff: &[Vec<u64>] = if d.form() == PolyForm::Coeff {
+            &d.residues
+        } else {
+            let mut m = pool.take_matrix(k, n);
+            for ((i, row), src) in m.iter_mut().enumerate().zip(&d.residues) {
+                row.copy_from_slice(src);
+                ring.ntt(i).inverse(row);
+            }
+            &*d_store.insert(m)
+        };
+        let mut digit = pool.take_row(n);
+        for (i, src) in d_coeff.iter().enumerate().take(k) {
             let (b_i, a_i) = &ksk.parts[i];
             let (b_shoup, a_shoup) = &ksk.shoup[i];
             for j in 0..k {
@@ -292,7 +446,7 @@ impl<'a> Evaluator<'a> {
                 if i == j {
                     digit.copy_from_slice(src);
                 } else {
-                    let bar = reducers[j];
+                    let bar = ring.barretts()[j];
                     for (dst, &x) in digit.iter_mut().zip(src) {
                         *dst = bar.reduce_u64(x);
                     }
@@ -308,7 +462,10 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
-        (acc_b, acc_a)
+        pool.put_row(digit);
+        if let Some(m) = d_store {
+            pool.put_matrix(m);
+        }
     }
 
     /// Relinearizes a size-3 ciphertext back to size 2.
@@ -317,18 +474,38 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the ciphertext is not size 3.
     pub fn relinearize(&self, a: &Ciphertext, rk: &RelinKey) -> Ciphertext {
+        let mut out = a.clone();
+        self.relinearize_assign(&mut out, rk);
+        out
+    }
+
+    /// In-place relinearization: drops `c2`, folds its key switch into
+    /// `c0`/`c1`, and recycles the dead part — allocation-free in the
+    /// steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not size 3.
+    pub fn relinearize_assign(&self, a: &mut Ciphertext, rk: &RelinKey) {
         assert_eq!(a.size(), 3, "relinearize expects a size-3 ciphertext");
         let ring = self.ctx.ring();
-        let (ks_b, ks_a) = self.key_switch(&a.parts[2], &rk.0);
-        Ciphertext {
-            parts: vec![ring.add(&a.parts[0], &ks_b), ring.add(&a.parts[1], &ks_a)],
-        }
+        let mut acc_b = self.take_poly_zeroed();
+        let mut acc_a = self.take_poly_zeroed();
+        let c2 = a.parts.pop().expect("size checked");
+        self.key_switch_into(&c2, &rk.0, &mut acc_b, &mut acc_a);
+        self.put_poly(c2);
+        ring.add_assign(&mut a.parts[0], &acc_b);
+        ring.add_assign(&mut a.parts[1], &acc_a);
+        self.put_poly(acc_b);
+        self.put_poly(acc_a);
     }
 
     /// Multiply then relinearize — the shape Porcupine's codegen emits for
     /// every ct×ct product.
     pub fn multiply_relin(&self, a: &Ciphertext, b: &Ciphertext, rk: &RelinKey) -> Ciphertext {
-        self.relinearize(&self.multiply(a, b), rk)
+        let mut prod = self.multiply(a, b);
+        self.relinearize_assign(&mut prod, rk);
+        prod
     }
 
     /// Applies the Galois automorphism `x → x^g` homomorphically. In
@@ -339,25 +516,45 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the ciphertext is not size 2 or no key for `g` is present.
     pub fn apply_galois(&self, a: &Ciphertext, g: u64, gk: &GaloisKeys) -> Ciphertext {
+        let mut out = a.clone();
+        self.apply_galois_assign(&mut out, g, gk);
+        out
+    }
+
+    /// In-place Galois automorphism: permutes both parts through one
+    /// pooled scratch row, key-switches `c1` into pooled accumulators, and
+    /// recycles the dead part — allocation-free in the steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not size 2 or no key for `g` is present.
+    pub fn apply_galois_assign(&self, a: &mut Ciphertext, g: u64, gk: &GaloisKeys) {
         assert_eq!(
             a.size(),
             2,
             "apply_galois expects size-2 (relinearize first)"
         );
         if g == 1 {
-            return a.clone();
+            return;
         }
         let ring = self.ctx.ring();
         let entry = gk
             .keys
             .get(&g)
             .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
-        let c0 = ring.apply_eval_permutation(&ring.to_eval(&a.parts[0]), &entry.perm);
-        let c1 = ring.apply_eval_permutation(&ring.to_eval(&a.parts[1]), &entry.perm);
-        let (ks_b, ks_a) = self.key_switch(&c1, &entry.key);
-        Ciphertext {
-            parts: vec![ring.add(&c0, &ks_b), ks_a],
+        let mut scratch = self.pool.take_row(ring.degree());
+        for part in a.parts.iter_mut() {
+            ring.make_eval(part);
+            ring.apply_eval_permutation_assign(part, &entry.perm, &mut scratch);
         }
+        self.pool.put_row(scratch);
+        let mut acc_b = self.take_poly_zeroed();
+        let mut acc_a = self.take_poly_zeroed();
+        self.key_switch_into(&a.parts[1], &entry.key, &mut acc_b, &mut acc_a);
+        ring.add_assign(&mut a.parts[0], &acc_b);
+        self.put_poly(acc_b);
+        let old_c1 = std::mem::replace(&mut a.parts[1], acc_a);
+        self.put_poly(old_c1);
     }
 
     /// Rotates both batching rows left by `steps` (negative = right) —
@@ -368,8 +565,19 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the required Galois key is missing.
     pub fn rotate_rows(&self, a: &Ciphertext, steps: i64, gk: &GaloisKeys) -> Ciphertext {
+        let mut out = a.clone();
+        self.rotate_rows_assign(&mut out, steps, gk);
+        out
+    }
+
+    /// In-place [`Evaluator::rotate_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the required Galois key is missing.
+    pub fn rotate_rows_assign(&self, a: &mut Ciphertext, steps: i64, gk: &GaloisKeys) {
         let n = self.ctx.params().poly_degree;
-        self.apply_galois(a, galois_element_for_rotation(n, steps), gk)
+        self.apply_galois_assign(a, galois_element_for_rotation(n, steps), gk)
     }
 
     /// Swaps the two batching rows — SEAL's `rotate_columns`.
@@ -378,8 +586,29 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the required Galois key is missing.
     pub fn rotate_columns(&self, a: &Ciphertext, gk: &GaloisKeys) -> Ciphertext {
+        let mut out = a.clone();
+        self.rotate_columns_assign(&mut out, gk);
+        out
+    }
+
+    /// In-place [`Evaluator::rotate_columns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the required Galois key is missing.
+    pub fn rotate_columns_assign(&self, a: &mut Ciphertext, gk: &GaloisKeys) {
         let n = self.ctx.params().poly_degree;
-        self.apply_galois(a, galois_element_for_column_swap(n), gk)
+        self.apply_galois_assign(a, galois_element_for_column_swap(n), gk)
+    }
+}
+
+/// Borrows `p` if already evaluation-resident, otherwise converts into
+/// `store` (cold path) and borrows that.
+fn eval_ref<'p>(ring: &RingContext, p: &'p RnsPoly, store: &'p mut Option<RnsPoly>) -> &'p RnsPoly {
+    if p.form() == PolyForm::Eval {
+        p
+    } else {
+        &*store.insert(ring.to_eval(p))
     }
 }
 

@@ -24,8 +24,9 @@
 //! tag, and the evaluator keeps everything in evaluation form. Under that
 //! invariant
 //!
-//! * add/sub/negate and plaintext ops are componentwise (the plaintext side
-//!   pays only its own forward transforms),
+//! * add/sub/negate and plaintext ops are componentwise (a plaintext is
+//!   converted to evaluation form once — [`encoding::EvalPlaintext`] — and
+//!   reused across every op that references it),
 //! * polynomial products are pointwise,
 //! * rotations permute evaluation slots through a cached index map, and
 //! * ciphertext multiply runs entirely in 64-bit RNS arithmetic: exact
@@ -87,6 +88,7 @@ pub mod noise;
 pub mod ntt;
 pub mod params;
 pub mod poly;
+pub mod pool;
 pub mod rns;
 pub mod zq;
 

@@ -222,11 +222,42 @@ impl NttTables {
 /// `p` — the whole multiply for operands already resident in the transform
 /// domain, as double-CRT ciphertexts are. Barrett-reduced: the one-off
 /// reducer setup amortizes over the vector, replacing a 128-bit division
-/// per slot with a few word multiplies.
+/// per slot with a few word multiplies. Allocates; hot paths use the
+/// `_into`/`_assign` variants with a precomputed reducer instead.
 pub fn pointwise_mul(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
     debug_assert_eq!(a.len(), b.len());
     let bar = crate::zq::Barrett::new(p);
-    a.iter().zip(b).map(|(&x, &y)| bar.mul_mod(x, y)).collect()
+    let mut out = vec![0u64; a.len()];
+    pointwise_mul_into(a, b, bar, &mut out);
+    out
+}
+
+/// `out[i] = a[i] * b[i] mod p` into an existing buffer (no allocation).
+pub fn pointwise_mul_into(a: &[u64], b: &[u64], bar: crate::zq::Barrett, out: &mut [u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = bar.mul_mod(x, y);
+    }
+}
+
+/// `a[i] *= b[i] mod p` in place (no allocation).
+pub fn pointwise_mul_assign(a: &mut [u64], b: &[u64], bar: crate::zq::Barrett) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = bar.mul_mod(*x, y);
+    }
+}
+
+/// `acc[i] += a[i] * b[i] mod p` in place (no allocation) — the
+/// fused-multiply-accumulate the tensor's cross term needs.
+pub fn pointwise_mul_add_into(acc: &mut [u64], a: &[u64], b: &[u64], bar: crate::zq::Barrett) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), acc.len());
+    let p = bar.modulus();
+    for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+        *o = add_mod(*o, bar.mul_mod(x, y), p);
+    }
 }
 
 /// Schoolbook negacyclic multiplication, O(n²) — reference for tests.

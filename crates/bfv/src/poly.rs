@@ -19,7 +19,7 @@
 use crate::bigint::{center, BigInt, BigUint};
 use crate::ntt::NttTables;
 use crate::rns::RnsContext;
-use crate::zq::{add_mod, sub_mod};
+use crate::zq::{add_mod, sub_mod, Barrett};
 use rand::Rng;
 
 /// The representation of an [`RnsPoly`]'s residue vectors.
@@ -39,6 +39,7 @@ pub struct RingContext {
     n: usize,
     rns: RnsContext,
     ntt: Vec<NttTables>,
+    barrett: Vec<Barrett>,
 }
 
 impl RingContext {
@@ -50,10 +51,12 @@ impl RingContext {
     /// Panics if any prime is not NTT-friendly for degree `n`.
     pub fn new(n: usize, primes: Vec<u64>) -> Self {
         let ntt = primes.iter().map(|&p| NttTables::new(p, n)).collect();
+        let barrett = primes.iter().map(|&p| Barrett::new(p)).collect();
         RingContext {
             n,
             rns: RnsContext::new(primes),
             ntt,
+            barrett,
         }
     }
 
@@ -85,6 +88,12 @@ impl RingContext {
     /// NTT tables for RNS component `i`.
     pub fn ntt(&self, i: usize) -> &NttTables {
         &self.ntt[i]
+    }
+
+    /// Precomputed Barrett reducers, one per RNS prime — shared by every
+    /// hot-path caller so no per-call reducer setup is needed.
+    pub fn barretts(&self) -> &[Barrett] {
+        &self.barrett
     }
 
     /// The all-zero polynomial in coefficient form.
@@ -275,18 +284,49 @@ impl RingContext {
         self.zip(a, b, sub_mod)
     }
 
-    /// Negation (form-preserving).
-    pub fn neg(&self, a: &RnsPoly) -> RnsPoly {
-        let residues = self
+    /// `a += b`, allocation-free when the forms already match (the
+    /// evaluator's steady state). Mixed forms normalize to evaluation form,
+    /// which pays `b`'s transform into a temporary.
+    pub fn add_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        self.zip_assign(a, b, add_mod)
+    }
+
+    /// `a -= b` (same form rules as [`RingContext::add_assign`]).
+    pub fn sub_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        self.zip_assign(a, b, sub_mod)
+    }
+
+    fn zip_assign(&self, a: &mut RnsPoly, b: &RnsPoly, f: fn(u64, u64, u64) -> u64) {
+        if a.form != b.form {
+            self.make_eval(a);
+            let be = self.to_eval(b);
+            return self.zip_assign(a, &be, f);
+        }
+        for (&p, (ar, br)) in self
             .rns
             .primes()
             .iter()
-            .zip(&a.residues)
-            .map(|(&p, r)| r.iter().map(|&x| if x == 0 { 0 } else { p - x }).collect())
-            .collect();
-        RnsPoly {
-            residues,
-            form: a.form,
+            .zip(a.residues.iter_mut().zip(&b.residues))
+        {
+            for (x, &y) in ar.iter_mut().zip(br) {
+                *x = f(*x, y, p);
+            }
+        }
+    }
+
+    /// Negation (form-preserving).
+    pub fn neg(&self, a: &RnsPoly) -> RnsPoly {
+        let mut out = a.clone();
+        self.neg_assign(&mut out);
+        out
+    }
+
+    /// `a = -a` (form-preserving, allocation-free).
+    pub fn neg_assign(&self, a: &mut RnsPoly) {
+        for (&p, r) in self.rns.primes().iter().zip(a.residues.iter_mut()) {
+            for x in r.iter_mut() {
+                *x = if *x == 0 { 0 } else { p - *x };
+            }
         }
     }
 
@@ -331,15 +371,33 @@ impl RingContext {
             &be
         };
         let residues = self
-            .rns
-            .primes()
+            .barrett
             .iter()
             .enumerate()
-            .map(|(i, &p)| crate::ntt::pointwise_mul(&a.residues[i], &b.residues[i], p))
+            .map(|(i, &bar)| {
+                let mut out = vec![0u64; self.n];
+                crate::ntt::pointwise_mul_into(&a.residues[i], &b.residues[i], bar, &mut out);
+                out
+            })
             .collect();
         RnsPoly {
             residues,
             form: PolyForm::Eval,
+        }
+    }
+
+    /// `a *= b` pointwise in the transform domain, allocation-free when
+    /// both operands are already evaluation-resident. `a` is transformed in
+    /// place if needed; a coefficient-form `b` pays its transform into a
+    /// temporary (cold path).
+    pub fn mul_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        self.make_eval(a);
+        if b.form != PolyForm::Eval {
+            let be = self.to_eval(b);
+            return self.mul_assign(a, &be);
+        }
+        for (i, &bar) in self.barrett.iter().enumerate() {
+            crate::ntt::pointwise_mul_assign(&mut a.residues[i], &b.residues[i], bar);
         }
     }
 
@@ -404,6 +462,31 @@ impl RingContext {
         RnsPoly {
             residues,
             form: PolyForm::Eval,
+        }
+    }
+
+    /// Applies a precomputed evaluation-domain permutation in place, using
+    /// one caller-provided `N`-length scratch row (no allocation). The
+    /// scratch contents on return are unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not in evaluation form or the permutation length
+    /// differs from `N`.
+    pub fn apply_eval_permutation_assign(
+        &self,
+        a: &mut RnsPoly,
+        perm: &[u32],
+        scratch: &mut Vec<u64>,
+    ) {
+        assert_eq!(a.form, PolyForm::Eval, "permutation needs evaluation form");
+        assert_eq!(perm.len(), self.n);
+        scratch.resize(self.n, 0);
+        for r in a.residues.iter_mut() {
+            for (dst, &j) in scratch.iter_mut().zip(perm) {
+                *dst = r[j as usize];
+            }
+            std::mem::swap(r, scratch);
         }
     }
 

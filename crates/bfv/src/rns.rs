@@ -159,13 +159,36 @@ impl RnsContext {
         let k = self.primes.len();
         assert_eq!(residues.len(), k);
         let n = residues[0].len();
-        let mut digits: Vec<Vec<u64>> = Vec::with_capacity(k);
+        let mut digits = vec![vec![0u64; n]; k];
         let mut acc = vec![0u64; n];
+        self.mixed_radix_digit_matrix_into(residues, &mut digits, &mut acc);
+        digits
+    }
+
+    /// [`RnsContext::mixed_radix_digit_matrix`] into caller-provided
+    /// buffers — `digits` is the `k × n` output and `acc` an `n`-length
+    /// scratch row — so the multiply hot path allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer shape does not match.
+    pub fn mixed_radix_digit_matrix_into(
+        &self,
+        residues: &[Vec<u64>],
+        digits: &mut [Vec<u64>],
+        acc: &mut [u64],
+    ) {
+        let k = self.primes.len();
+        assert_eq!(residues.len(), k);
+        assert_eq!(digits.len(), k);
+        let n = residues[0].len();
+        assert_eq!(acc.len(), n);
         for (i, res_i) in residues.iter().enumerate() {
             let p = self.primes[i];
             // acc = Σ_{j<i} d_j · P_{j,i} (mod p_i)
             acc.iter_mut().for_each(|a| *a = 0);
-            for (j, dj) in digits.iter().enumerate() {
+            let (prev, rest) = digits.split_at_mut(i);
+            for (j, dj) in prev.iter().enumerate() {
                 let w = self.partial_mod[j][i];
                 let ws = self.partial_mod_shoup[j][i];
                 for (a, &d) in acc.iter_mut().zip(dj) {
@@ -174,14 +197,10 @@ impl RnsContext {
             }
             let gi = self.garner_inv[i];
             let gis = self.garner_inv_shoup[i];
-            let d: Vec<u64> = res_i
-                .iter()
-                .zip(&acc)
-                .map(|(&r, &a)| mul_mod_shoup(sub_mod(r, a, p), gi, gis, p))
-                .collect();
-            digits.push(d);
+            for ((d, &r), &a) in rest[0].iter_mut().zip(res_i).zip(acc.iter()) {
+                *d = mul_mod_shoup(sub_mod(r, a, p), gi, gis, p);
+            }
         }
-        digits
     }
 
     /// Exact CRT reconstruction into `[0, Q)` via Garner's mixed-radix
@@ -275,29 +294,56 @@ impl RnsBaseConverter {
     ///
     /// Panics if the matrix shape does not match the source base.
     pub fn convert_centered(&self, src_residues: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let pool = crate::pool::ScratchPool::new();
+        let n = src_residues[0].len();
+        let mut out = vec![vec![0u64; n]; self.targets.len()];
+        self.convert_centered_into(src_residues, &pool, &mut out);
+        out
+    }
+
+    /// [`RnsBaseConverter::convert_centered`] into a caller-provided
+    /// `targets × n` output matrix, drawing all internal scratch (Garner
+    /// digits, accumulator, sign mask) from `pool` — the allocation-free
+    /// variant the evaluator's multiply uses. Output rows are fully
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes do not match the bases.
+    pub fn convert_centered_into(
+        &self,
+        src_residues: &[Vec<u64>],
+        pool: &crate::pool::ScratchPool,
+        out: &mut [Vec<u64>],
+    ) {
         let k = self.src.len();
         assert_eq!(src_residues.len(), k);
+        assert_eq!(out.len(), self.targets.len());
         let n = src_residues[0].len();
-        let digits = self.src.mixed_radix_digit_matrix(src_residues);
+        let mut digits = pool.take_matrix(k, n);
+        let mut acc = pool.take_row(n);
+        self.src
+            .mixed_radix_digit_matrix_into(src_residues, &mut digits, &mut acc);
         // neg[c] = all-ones mask when the value's centered representative
-        // is negative (mixed-radix lexicographic compare against ⌊A/2⌋).
-        let neg: Vec<u64> = (0..n)
-            .map(|c| {
-                let mut is_neg = false;
-                for i in (0..k).rev() {
-                    let d = digits[i][c];
-                    let h = self.half_digits[i];
-                    if d != h {
-                        is_neg = d > h;
-                        break;
-                    }
+        // is negative (mixed-radix lexicographic compare against ⌊A/2⌋);
+        // the Garner accumulator row is dead, so it doubles as the mask.
+        let mut neg = acc;
+        for (c, m) in neg.iter_mut().enumerate() {
+            let mut is_neg = false;
+            for i in (0..k).rev() {
+                let d = digits[i][c];
+                let h = self.half_digits[i];
+                if d != h {
+                    is_neg = d > h;
+                    break;
                 }
-                (is_neg as u64).wrapping_neg()
-            })
-            .collect();
-        let mut out = Vec::with_capacity(self.targets.len());
+            }
+            *m = (is_neg as u64).wrapping_neg();
+        }
         for (t, &b) in self.targets.iter().enumerate() {
-            let mut row = vec![0u64; n];
+            let row = &mut out[t];
+            assert_eq!(row.len(), n);
+            row.iter_mut().for_each(|o| *o = 0);
             for (j, dj) in digits.iter().enumerate() {
                 let w = self.partials[t][j];
                 let ws = self.partials_shoup[t][j];
@@ -306,12 +352,12 @@ impl RnsBaseConverter {
                 }
             }
             let a_mod = self.src_mod[t];
-            for (o, &mask) in row.iter_mut().zip(&neg) {
+            for (o, &mask) in row.iter_mut().zip(neg.iter()) {
                 *o = sub_mod(*o, a_mod & mask, b);
             }
-            out.push(row);
         }
-        out
+        pool.put_row(neg);
+        pool.put_matrix(digits);
     }
 }
 

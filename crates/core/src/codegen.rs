@@ -17,22 +17,40 @@
 //! lifted kernel passes the padding-stability check ([`crate::lift`]): data
 //! lives in row-0 slots `[0, n)` and all other slots are zero.
 
-use bfv::encoding::{BatchEncoder, Plaintext};
+use bfv::encoding::{BatchEncoder, EvalPlaintext, Plaintext};
 use bfv::encrypt::Ciphertext;
 use bfv::evaluator::Evaluator;
 use bfv::keys::{GaloisKeys, KeyGenerator, RelinKey};
 use bfv::params::BfvContext;
 use quill::program::{Instr, Program, PtOperand, ValRef};
 use rand::Rng;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// Execution statistics from [`BfvRunner::run_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Splat constants encoded during this call — cache misses against the
+    /// runner's session-level splat cache. A program referencing one
+    /// constant `k` times on a fresh runner reports 1; running it again
+    /// reports 0.
+    pub splat_encodes: usize,
+}
+
 /// Executes Quill programs on the BFV backend with the keys they need.
+///
+/// The runner is encode-once at session level: splat constants are encoded
+/// into a cache the first time any program references them and reused for
+/// the runner's lifetime, and callers holding plaintexts that outlive one
+/// `run` call can pre-encode them with [`Evaluator::preencode`] and use
+/// [`BfvRunner::run_encoded`] so no encode work lands on the timed path.
 pub struct BfvRunner<'a> {
     ctx: &'a BfvContext,
     encoder: BatchEncoder<'a>,
     evaluator: Evaluator<'a>,
     relin: Option<RelinKey>,
     galois: GaloisKeys,
+    splats: std::cell::RefCell<BTreeMap<i64, EvalPlaintext>>,
 }
 
 impl std::fmt::Debug for BfvRunner<'_> {
@@ -72,6 +90,7 @@ impl<'a> BfvRunner<'a> {
             evaluator: Evaluator::new(ctx),
             relin,
             galois,
+            splats: std::cell::RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -100,6 +119,49 @@ impl<'a> BfvRunner<'a> {
         ct_inputs: &[&Ciphertext],
         pt_inputs: &[&Plaintext],
     ) -> Ciphertext {
+        self.run_with_stats(prog, ct_inputs, pt_inputs).0
+    }
+
+    /// [`BfvRunner::run`] plus [`RunStats`]. Encodes each plaintext input
+    /// once (per call) and delegates to [`BfvRunner::run_encoded_with_stats`].
+    pub fn run_with_stats(
+        &self,
+        prog: &Program,
+        ct_inputs: &[&Ciphertext],
+        pt_inputs: &[&Plaintext],
+    ) -> (Ciphertext, RunStats) {
+        let pts: Vec<EvalPlaintext> = pt_inputs
+            .iter()
+            .map(|p| self.evaluator.preencode(p))
+            .collect();
+        let pt_refs: Vec<&EvalPlaintext> = pts.iter().collect();
+        self.run_encoded_with_stats(prog, ct_inputs, &pt_refs)
+    }
+
+    /// [`BfvRunner::run_encoded_with_stats`] without the stats.
+    pub fn run_encoded(
+        &self,
+        prog: &Program,
+        ct_inputs: &[&Ciphertext],
+        pt_inputs: &[&EvalPlaintext],
+    ) -> Ciphertext {
+        self.run_encoded_with_stats(prog, ct_inputs, pt_inputs).0
+    }
+
+    /// Runs a backend-legal program over encrypted inputs and pre-encoded
+    /// plaintexts. The hot path is in place and encode-once: operands are
+    /// borrowed (never cloned per use), splat constants hit the runner's
+    /// session-level cache (each distinct value is encoded at most once
+    /// per runner — the runtime mirror of `emit_seal_cpp`'s pre-encoded
+    /// splats), and a last-use analysis lets each instruction mutate a
+    /// dying operand's buffers — or recycle them into the evaluator's
+    /// scratch pool — instead of allocating.
+    pub fn run_encoded_with_stats(
+        &self,
+        prog: &Program,
+        ct_inputs: &[&Ciphertext],
+        pt_inputs: &[&EvalPlaintext],
+    ) -> (Ciphertext, RunStats) {
         assert_eq!(ct_inputs.len(), prog.num_ct_inputs, "ct input arity");
         assert_eq!(pt_inputs.len(), prog.num_pt_inputs, "pt input arity");
         if let Err(e) = quill::analysis::check_backend_legal(prog) {
@@ -109,44 +171,164 @@ impl<'a> BfvRunner<'a> {
             );
         }
         let ev = &self.evaluator;
-        let mut results: Vec<Ciphertext> = Vec::with_capacity(prog.instrs.len());
-        let get = |r: &ValRef, results: &[Ciphertext]| -> Ciphertext {
-            match r {
-                ValRef::Input(i) => ct_inputs[*i].clone(),
-                ValRef::Instr(j) => results[*j].clone(),
+        // Fill splat-cache misses before execution; entries are never
+        // evicted, so the shared borrow below stays valid for the whole
+        // program.
+        let t = self.ctx.params().plain_modulus as i64;
+        let mut splat_encodes = 0usize;
+        {
+            let mut cache = self.splats.borrow_mut();
+            for instr in &prog.instrs {
+                if let Instr::AddCtPt(_, PtOperand::Splat(v))
+                | Instr::SubCtPt(_, PtOperand::Splat(v))
+                | Instr::MulCtPt(_, PtOperand::Splat(v)) = instr
+                {
+                    cache.entry(*v).or_insert_with(|| {
+                        splat_encodes += 1;
+                        let val = v.rem_euclid(t) as u64;
+                        self.encoder
+                            .encode_eval(&vec![val; self.encoder.slot_count()])
+                    });
+                }
             }
-        };
-        let splat = |v: i64| -> Plaintext {
-            let t = self.ctx.params().plain_modulus as i64;
-            let val = v.rem_euclid(t) as u64;
-            self.encoder.encode(&vec![val; self.encoder.slot_count()])
-        };
-        let get_pt = |p: &PtOperand| -> Plaintext {
+        }
+        let stats = RunStats { splat_encodes };
+        let splats = self.splats.borrow();
+        let get_pt = |p: &PtOperand| -> &EvalPlaintext {
             match p {
-                PtOperand::Input(i) => pt_inputs[*i].clone(),
-                PtOperand::Splat(v) => splat(*v),
+                PtOperand::Input(i) => pt_inputs[*i],
+                PtOperand::Splat(v) => &splats[v],
             }
         };
-        for instr in &prog.instrs {
+
+        let last = crate::opt::last_uses(prog);
+        let mut results: Vec<Option<Ciphertext>> = (0..prog.instrs.len()).map(|_| None).collect();
+        // Borrow an operand without cloning — inputs stay owned by the
+        // caller, intermediate results live in `results` until recycled.
+        fn operand<'v>(
+            r: ValRef,
+            ct_inputs: &[&'v Ciphertext],
+            results: &'v [Option<Ciphertext>],
+        ) -> &'v Ciphertext {
+            match r {
+                ValRef::Input(i) => ct_inputs[i],
+                ValRef::Instr(j) => results[j].as_ref().expect("operand still live"),
+            }
+        }
+        // Move a dying intermediate out for in-place mutation. Only fires
+        // when `r` is an instruction result whose last use is `j`.
+        fn take_dying(
+            r: ValRef,
+            j: usize,
+            last: &[Option<usize>],
+            results: &mut [Option<Ciphertext>],
+        ) -> Option<Ciphertext> {
+            match r {
+                ValRef::Instr(i) if last[i] == Some(j) => results[i].take(),
+                _ => None,
+            }
+        }
+        // Take-or-clone for single-ct-operand instructions.
+        fn acquire(
+            r: ValRef,
+            j: usize,
+            last: &[Option<usize>],
+            ct_inputs: &[&Ciphertext],
+            results: &mut [Option<Ciphertext>],
+        ) -> Ciphertext {
+            take_dying(r, j, last, results)
+                .unwrap_or_else(|| operand(r, ct_inputs, results).clone())
+        }
+
+        for (j, instr) in prog.instrs.iter().enumerate() {
             let out = match instr {
-                Instr::AddCtCt(a, b) => ev.add(&get(a, &results), &get(b, &results)),
-                Instr::SubCtCt(a, b) => ev.sub(&get(a, &results), &get(b, &results)),
-                Instr::MulCtCt(a, b) => ev.multiply(&get(a, &results), &get(b, &results)),
+                // Addition commutes bitwise, so either dying operand can
+                // become the destination; the `a != b` guard keeps an
+                // aliased operand borrowable.
+                Instr::AddCtCt(a, b) => {
+                    if let Some(mut x) = (a != b)
+                        .then(|| take_dying(*a, j, &last, &mut results))
+                        .flatten()
+                    {
+                        ev.add_assign(&mut x, operand(*b, ct_inputs, &results));
+                        x
+                    } else if let Some(mut x) = (a != b)
+                        .then(|| take_dying(*b, j, &last, &mut results))
+                        .flatten()
+                    {
+                        ev.add_assign(&mut x, operand(*a, ct_inputs, &results));
+                        x
+                    } else {
+                        let mut x = operand(*a, ct_inputs, &results).clone();
+                        ev.add_assign(&mut x, operand(*b, ct_inputs, &results));
+                        x
+                    }
+                }
+                Instr::SubCtCt(a, b) => {
+                    if let Some(mut x) = (a != b)
+                        .then(|| take_dying(*a, j, &last, &mut results))
+                        .flatten()
+                    {
+                        ev.sub_assign(&mut x, operand(*b, ct_inputs, &results));
+                        x
+                    } else {
+                        let mut x = operand(*a, ct_inputs, &results).clone();
+                        ev.sub_assign(&mut x, operand(*b, ct_inputs, &results));
+                        x
+                    }
+                }
+                Instr::MulCtCt(a, b) => ev.multiply(
+                    operand(*a, ct_inputs, &results),
+                    operand(*b, ct_inputs, &results),
+                ),
                 Instr::Relin(a) => {
                     let rk = self
                         .relin
                         .as_ref()
                         .expect("relin key prepared for relin-ct");
-                    ev.relinearize(&get(a, &results), rk)
+                    let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
+                    ev.relinearize_assign(&mut x, rk);
+                    x
                 }
-                Instr::AddCtPt(a, p) => ev.add_plain(&get(a, &results), &get_pt(p)),
-                Instr::SubCtPt(a, p) => ev.sub_plain(&get(a, &results), &get_pt(p)),
-                Instr::MulCtPt(a, p) => ev.mul_plain(&get(a, &results), &get_pt(p)),
-                Instr::RotCt(a, r) => ev.rotate_rows(&get(a, &results), *r, &self.galois),
+                Instr::AddCtPt(a, p) => {
+                    let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
+                    ev.add_plain_assign(&mut x, get_pt(p));
+                    x
+                }
+                Instr::SubCtPt(a, p) => {
+                    let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
+                    ev.sub_plain_assign(&mut x, get_pt(p));
+                    x
+                }
+                Instr::MulCtPt(a, p) => {
+                    let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
+                    ev.mul_plain_assign(&mut x, get_pt(p));
+                    x
+                }
+                Instr::RotCt(a, r) => {
+                    let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
+                    ev.rotate_rows_assign(&mut x, *r, &self.galois);
+                    x
+                }
             };
-            results.push(out);
+            // Any operand dying here that was not moved out above (e.g.
+            // both multiply operands) goes back to the scratch pool.
+            for op in instr.ct_operands() {
+                if let ValRef::Instr(i) = op {
+                    if last[i] == Some(j) {
+                        if let Some(dead) = results[i].take() {
+                            ev.recycle(dead);
+                        }
+                    }
+                }
+            }
+            results[j] = Some(out);
         }
-        get(&prog.output, &results)
+        let out = match prog.output {
+            ValRef::Input(i) => ct_inputs[i].clone(),
+            ValRef::Instr(j) => results[j].take().expect("output live"),
+        };
+        (out, stats)
     }
 }
 
@@ -345,6 +527,40 @@ mod tests {
         );
         // slot i reads i and i-2: valid for slots 2..8.
         run_and_compare(&prog, 8, &[2, 3, 4, 5, 6, 7]);
+    }
+
+    /// A program referencing one splat constant from several instructions
+    /// encodes it exactly once on a fresh runner — and not at all on a
+    /// second run, thanks to the session-level cache.
+    #[test]
+    fn runner_encodes_each_splat_constant_once() {
+        use bfv::keys::KeyGenerator;
+
+        let prog = Program::new(
+            "splat-reuse",
+            1,
+            0,
+            vec![
+                Instr::AddCtPt(ValRef::Input(0), PtOperand::Splat(7)),
+                Instr::MulCtPt(ValRef::Instr(0), PtOperand::Splat(7)),
+                Instr::SubCtPt(ValRef::Instr(1), PtOperand::Splat(7)),
+                Instr::AddCtPt(ValRef::Instr(2), PtOperand::Splat(3)),
+            ],
+            ValRef::Instr(3),
+        );
+        let ctx = small_ctx();
+        let mut rng = seeded_rng(0x59A7);
+        let keygen = KeyGenerator::new(&ctx, &mut rng);
+        let runner = BfvRunner::for_programs(&ctx, &keygen, &[&prog], &mut rng);
+        let encryptor = bfv::encrypt::Encryptor::new(&ctx, keygen.public_key(&mut rng));
+        let ct = encryptor.encrypt(&runner.encoder().encode(&[1, 2, 3, 4]), &mut rng);
+        let (_, stats) = runner.run_with_stats(&prog, &[&ct], &[]);
+        assert_eq!(
+            stats.splat_encodes, 2,
+            "two distinct constants, one encode each"
+        );
+        let (_, stats) = runner.run_with_stats(&prog, &[&ct], &[]);
+        assert_eq!(stats.splat_encodes, 0, "second run hits the session cache");
     }
 
     #[test]

@@ -39,33 +39,34 @@ impl LatencyModel {
     /// 3 × 46-bit primes (the `fast_4096` preset), median of repeated runs.
     /// Regenerate with `cargo run -p porcupine-bench --release --bin
     /// profile_latency` (or compare against the seed baseline with the
-    /// `he_ops` binary, which writes `BENCH_he_ops.json`; both now track
+    /// `he_ops` binary, which writes `BENCH_he_ops.json`; both track
     /// `relinearize` and the raw multiply separately). `relin_ct` is the
-    /// freshly measured standalone key switch (~840 µs via `he_ops`);
-    /// `mul_ct_ct` is the previous combined multiply+relin constant minus
-    /// it, which matches the measured raw multiply (~4.8 ms) and keeps the
-    /// eager-lowered total identical to the pre-split model.
+    /// measured standalone key switch; `mul_ct_ct` is the *raw*
+    /// tensor/rescale (the seed model folded the relin key switch into
+    /// it), so lazy relinearization placement shows up in
+    /// `program_latency`.
     ///
-    /// These constants reflect the RNS-native double-CRT evaluator:
-    /// relative to the original BigInt-CRT backend, ct×ct multiply is
-    /// ~7.5× cheaper and rotation ~16× cheaper, while `add_ct_pt` /
-    /// `sub_ct_pt` pay the plaintext's forward NTTs to keep ciphertexts
-    /// transform-resident. Relinearization is profiled as its own entry
-    /// (`mul_ct_ct` is the *raw* tensor/rescale; the seed model folded the
-    /// relin key switch into it), so lazy relinearization placement shows
-    /// up in `program_latency`. The key-switching ops (rotation, multiply
-    /// plus relin) still dominate, so the synthesizer's incentives are
-    /// unchanged in direction, only in magnitude.
+    /// These constants reflect the allocation-free, encode-once hot path:
+    /// plaintext operands are cached `EvalPlaintext`s (the forward NTTs
+    /// are paid once at `Evaluator::preencode`, not per op), destinations
+    /// are mutated in place, and scratch comes from the evaluator's pool —
+    /// exactly what `BfvRunner::run` executes. That makes `add_ct_pt` /
+    /// `sub_ct_pt` *cheaper* than `add_ct_ct` (one ciphertext part touched
+    /// instead of two) where the previous calibration had them ~4× more
+    /// expensive from the per-op re-encode. The key-switching ops
+    /// (rotation, multiply plus relin) still dominate, so the
+    /// synthesizer's incentives are unchanged in direction, only in
+    /// magnitude.
     pub fn profiled_default() -> Self {
         LatencyModel {
-            add_ct_ct: 45.5,
-            sub_ct_ct: 45.4,
-            mul_ct_ct: 5_039.9,
-            add_ct_pt: 200.3,
-            sub_ct_pt: 202.4,
-            mul_ct_pt: 271.7,
-            rot_ct: 865.5,
-            relin_ct: 843.8,
+            add_ct_ct: 45.4,
+            sub_ct_ct: 45.6,
+            mul_ct_ct: 5_100.0,
+            add_ct_pt: 22.4,
+            sub_ct_pt: 22.1,
+            mul_ct_pt: 67.0,
+            rot_ct: 1_050.0,
+            relin_ct: 1_140.0,
         }
     }
 
