@@ -115,9 +115,11 @@ impl<'a> Evaluator<'a> {
     /// value's last use (e.g. the IR runner's liveness analysis) feed the
     /// steady state this way.
     pub fn recycle(&self, ct: Ciphertext) {
-        for part in ct.parts {
+        let mut parts = ct.parts;
+        for part in parts.drain(..) {
             self.pool.put_matrix(part.residues);
         }
+        self.pool.put_parts(parts);
     }
 
     /// A pooled all-zero polynomial in evaluation form.
@@ -342,13 +344,13 @@ impl<'a> Evaluator<'a> {
             pool.put_matrix(m);
         }
 
-        Ciphertext {
-            parts: vec![
-                self.rescale(e0_q, e0_aux),
-                self.rescale(e1_q, e1_aux),
-                self.rescale(e2_q, e2_aux),
-            ],
-        }
+        // The outer part shell comes from the pool too, so a steady-state
+        // multiply of recycled operands allocates nothing at all.
+        let mut parts = pool.take_parts();
+        parts.push(self.rescale(e0_q, e0_aux));
+        parts.push(self.rescale(e1_q, e1_aux));
+        parts.push(self.rescale(e2_q, e2_aux));
+        Ciphertext { parts }
     }
 
     /// Rescales one tensor part: `y = (t·x − [t·x]_Q) / Q`, all in RNS and

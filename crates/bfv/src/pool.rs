@@ -45,11 +45,13 @@ pub struct PoolStats {
     pub reused: u64,
 }
 
-/// Free lists of row (`N`-element) and matrix (`rows × N`) scratch buffers.
+/// Free lists of row (`N`-element) and matrix (`rows × N`) scratch buffers,
+/// plus the outer part-vector shells of dead ciphertexts.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     rows: RefCell<Vec<Vec<u64>>>,
     matrices: RefCell<Vec<Vec<Vec<u64>>>>,
+    parts: RefCell<Vec<Vec<crate::poly::RnsPoly>>>,
     fresh: Cell<u64>,
     reused: Cell<u64>,
 }
@@ -135,6 +137,31 @@ impl ScratchPool {
     pub fn put_matrix(&self, m: Vec<Vec<u64>>) {
         self.matrices.borrow_mut().push(m);
     }
+
+    /// An empty part-vector shell (a `Ciphertext`'s outer `Vec`) with
+    /// capacity for the usual two or three parts.
+    pub fn take_parts(&self) -> Vec<crate::poly::RnsPoly> {
+        match self.parts.borrow_mut().pop() {
+            Some(mut v) => {
+                self.reused.set(self.reused.get() + 1);
+                debug_assert!(v.is_empty(), "recycled part shells are drained first");
+                v.clear();
+                v
+            }
+            None => {
+                self.fresh.set(self.fresh.get() + 1);
+                Vec::with_capacity(3)
+            }
+        }
+    }
+
+    /// Returns a drained part-vector shell to the pool. Any parts still
+    /// inside are dropped (missed reuse, never corruption) — drain them
+    /// with [`ScratchPool::put_matrix`] first.
+    pub fn put_parts(&self, mut v: Vec<crate::poly::RnsPoly>) {
+        v.clear();
+        self.parts.borrow_mut().push(v);
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +211,29 @@ mod tests {
         let m = pool.take_matrix(3, 4);
         assert_eq!(pool.stats().fresh, fresh_after_warmup);
         pool.put_matrix(m);
+    }
+
+    #[test]
+    fn part_shells_are_reused_and_counted() {
+        let pool = ScratchPool::new();
+        let v = pool.take_parts();
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                fresh: 1,
+                reused: 0
+            }
+        );
+        pool.put_parts(v);
+        let v = pool.take_parts();
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                fresh: 1,
+                reused: 1
+            }
+        );
+        assert!(v.is_empty());
     }
 
     #[test]

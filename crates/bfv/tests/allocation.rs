@@ -68,6 +68,48 @@ fn hot_path_ops_take_no_fresh_buffers_after_warmup() {
     );
 }
 
+/// The outer `Ciphertext` part shells are pooled too (ISSUE 7): a
+/// multiply → recycle loop reuses the product's part vector and residue
+/// matrices, so the steady state performs **zero** fresh shell
+/// allocations.
+#[test]
+fn recycled_ciphertext_shells_are_reused_by_multiply() {
+    let ctx = small_ctx();
+    let mut rng = seeded_rng(0x5E11);
+    let session = HeSession::new(&ctx, &mut rng);
+    let HeSession {
+        keygen,
+        encryptor,
+        encoder,
+        evaluator: ev,
+        ..
+    } = &session;
+    let rk = keygen.relin_key(&mut rng);
+    let pt = encoder.encode(&[4, 5, 6]);
+    let a = encryptor.encrypt(&pt, &mut rng);
+    let b = encryptor.encrypt(&pt, &mut rng);
+
+    // Warm-up: first multiply builds the working set (including the
+    // size-3 part shell) from fresh allocations.
+    ev.recycle(ev.multiply(&a, &b));
+    ev.recycle(ev.multiply_relin(&a, &b, &rk));
+    let warm = ev.pool_stats();
+    for _ in 0..8 {
+        ev.recycle(ev.multiply(&a, &b));
+        ev.recycle(ev.multiply_relin(&a, &b, &rk));
+    }
+    let steady = ev.pool_stats();
+    assert_eq!(
+        steady.fresh, warm.fresh,
+        "steady-state multiply/recycle allocated fresh shells \
+         (warm: {warm:?}, steady: {steady:?})"
+    );
+    assert!(
+        steady.reused > warm.reused,
+        "multiply/recycle never touched the pool (warm: {warm:?}, steady: {steady:?})"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 

@@ -20,6 +20,12 @@
 //! the reference recomputed literally, usually looser (slower to search)
 //! than a hand-tuned one — exactly the trade-off §4.4 describes for the
 //! "all holes rotated" fallback.
+//!
+//! Synthesis against the generated sketch runs through
+//! [`crate::cegis::synthesize`], so it inherits the phase-1 strategy
+//! selection and the persistent synthesis cache — the derived sketch is
+//! part of the cache key, so regenerating the same sketch re-hits the
+//! same entry.
 
 use crate::cegis::{synthesize, SynthesisError, SynthesisOptions, SynthesisResult};
 use crate::sketch::{ArithOp, RotationSet, Sketch, SketchOp};

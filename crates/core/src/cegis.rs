@@ -6,9 +6,25 @@
 //!    add the counter-example and retry. The first verified program has the
 //!    minimum component count.
 //! 2. **Optimization.** Re-issue the query with the constraint
-//!    `cost < cost(best)` until the search proves no cheaper program exists
-//!    (yielding the optimum within the sketch) or the timeout fires.
+//!    `cost ≤ cost(best)` until the search returns the canonical cheapest
+//!    program under the bound (the optimum within the sketch) or the
+//!    timeout fires.
+//!
+//! Two enumeration strategies implement step 1 — the complete top-down DFS
+//! of [`crate::search`] and the bottom-up term bank of `crate::bottom_up`
+//! — selected by [`SynthesisOptions::strategy`] (default:
+//! [`SearchStrategy::BottomUp`] with automatic DFS fallback, since the
+//! bank's retention caps make it incomplete). Finished queries are stored
+//! in a two-tier content-addressed cache governed by
+//! [`SynthesisOptions::cache`]: an in-process memo (a repeated query in
+//! one process — staged pipelines re-issue identical stage queries —
+//! replays the already-verified result in microseconds) in front of the
+//! persistent disk tier ([`crate::cache`]), whose entries are
+//! **re-verified on read** before being trusted. Either tier's hit skips
+//! the search entirely.
 
+use crate::cache::{self, CacheEntry, CacheKey};
+use crate::bottom_up::BottomUpOutcome;
 use crate::opt::{self, OptLevel};
 use crate::search::{SearchContext, SearchOutcome};
 use crate::sketch::Sketch;
@@ -19,10 +35,48 @@ use quill::cost::{eager_cost, LatencyModel};
 use quill::program::Program;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// The in-process memo tier: full results of finished queries this
+/// process already verified, keyed by cache directory plus the same
+/// canonical key text as the disk tier (the directory keeps the memo a
+/// faithful mirror of one on-disk cache — two [`CachePolicy::At`]
+/// directories never share entries, on disk or in memory). Serving from
+/// here skips the disk read *and* the re-verification a disk entry
+/// requires — entries only get in after this process verified them
+/// (either by synthesizing or by re-verifying a disk entry), so a memo
+/// hit is a trusted replay.
+static MEMO: Mutex<BTreeMap<String, SynthesisResult>> = Mutex::new(BTreeMap::new());
+
+fn memo_key(dir: &std::path::Path, key: &CacheKey) -> String {
+    format!("{}\u{0}{}", dir.display(), key.text())
+}
+
+fn memo_lookup(dir: &std::path::Path, key: &CacheKey) -> Option<SynthesisResult> {
+    MEMO.lock().ok()?.get(&memo_key(dir, key)).cloned()
+}
+
+fn memo_store(dir: &std::path::Path, key: &CacheKey, result: &SynthesisResult) {
+    if let Ok(mut memo) = MEMO.lock() {
+        memo.insert(memo_key(dir, key), result.clone());
+    }
+}
+
+/// Drops every in-process memoized synthesis result, forcing the next
+/// query of each key down to the persistent disk tier (read + re-verify).
+/// For tests and benchmarks that target the disk tier specifically; a
+/// normal caller never needs this.
+pub fn clear_synthesis_memo() {
+    if let Ok(mut memo) = MEMO.lock() {
+        memo.clear();
+    }
+}
 
 /// The default worker-thread count for the enumerative search: the
 /// `PORCUPINE_JOBS` environment variable when set to a positive integer,
@@ -33,6 +87,67 @@ pub fn default_parallelism() -> NonZeroUsize {
         .and_then(|v| v.trim().parse::<NonZeroUsize>().ok())
         .or_else(|| std::thread::available_parallelism().ok())
         .unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Which enumerator answers the phase-1 synthesis queries.
+///
+/// Both strategies honor the determinism contract — same query, same
+/// program, at any thread count — and phase 2 (cost minimization) always
+/// runs on the DFS, whose bounded query returns the canonical cheapest
+/// program of the space. They differ in scaling: the DFS is complete (its
+/// `Unsat` is a proof) but exponential in the component count; the term
+/// bank reuses deduplicated sub-terms and reaches past the ~10–12
+/// instruction wall, at the price of retention caps that make a fruitless
+/// search inconclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Bottom-up observational-equivalence term bank, falling back to the
+    /// DFS when the capped bank exhausts without an answer (the default).
+    BottomUp,
+    /// Top-down iterative-deepening DFS only.
+    Dfs,
+}
+
+impl fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchStrategy::BottomUp => write!(f, "bottom-up"),
+            SearchStrategy::Dfs => write!(f, "dfs"),
+        }
+    }
+}
+
+/// The default search strategy: `PORCUPINE_STRATEGY` (`bottom-up` or
+/// `dfs`) when set to a recognized value, otherwise bottom-up.
+pub fn default_strategy() -> SearchStrategy {
+    match std::env::var("PORCUPINE_STRATEGY").ok().as_deref().map(str::trim) {
+        Some("dfs") => SearchStrategy::Dfs,
+        _ => SearchStrategy::BottomUp,
+    }
+}
+
+/// Where (and whether) finished synthesis queries are cached on disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Never read or write the cache.
+    Disabled,
+    /// Use [`cache::default_cache_dir`] (`$PORCUPINE_CACHE_DIR`, else
+    /// `$HOME/.cache/porcupine`); silently disabled when neither resolves.
+    #[default]
+    Enabled,
+    /// Use a caller-chosen directory.
+    At(PathBuf),
+}
+
+impl CachePolicy {
+    /// The directory this policy reads and writes, if any.
+    pub fn directory(&self) -> Option<PathBuf> {
+        match self {
+            CachePolicy::Disabled => None,
+            CachePolicy::Enabled => cache::default_cache_dir(),
+            CachePolicy::At(dir) => Some(dir.clone()),
+        }
+    }
 }
 
 /// Knobs for one synthesis run.
@@ -61,6 +176,15 @@ pub struct SynthesisOptions {
     /// default), or a caller-fixed set. The resolved set lands in
     /// [`SynthesisResult::params`].
     pub params: ParamPolicy,
+    /// Phase-1 enumeration strategy. Defaults to [`default_strategy`]
+    /// (`PORCUPINE_STRATEGY`, else bottom-up with DFS fallback).
+    pub strategy: SearchStrategy,
+    /// Persistent synthesis cache policy. Defaults to
+    /// [`CachePolicy::Enabled`]. Cached entries are re-verified against
+    /// the spec before being trusted, and only fully finished results
+    /// (optimality proved, or phase 2 disabled) are written back, so a
+    /// timed-out partial answer is never served to a later run.
+    pub cache: CachePolicy,
 }
 
 impl Default for SynthesisOptions {
@@ -73,6 +197,8 @@ impl Default for SynthesisOptions {
             parallelism: default_parallelism(),
             opt_level: opt::default_opt_level(),
             params: ParamPolicy::default(),
+            strategy: default_strategy(),
+            cache: CachePolicy::default(),
         }
     }
 }
@@ -117,6 +243,14 @@ pub struct SynthesisResult {
     /// True if the optimizer exhausted the space (proved optimality within
     /// the sketch) rather than hitting the timeout.
     pub proved_optimal: bool,
+    /// The strategy that produced the initial program: the requested one,
+    /// or [`SearchStrategy::Dfs`] after a bottom-up bank exhausted and the
+    /// complete search took over. On a cache hit: the requested strategy.
+    pub strategy_used: SearchStrategy,
+    /// True when the program came from the persistent cache (re-verified,
+    /// no search ran). `initial_*` then mirror the final program, and the
+    /// reported times are the verification time.
+    pub cache_hit: bool,
 }
 
 /// Synthesis failures.
@@ -195,13 +329,110 @@ pub fn synthesize(
     let start = Instant::now();
     let deadline = start + options.timeout;
     let mut rng = StdRng::seed_from_u64(options.seed);
+
+    // Cache consult: a usable entry skips both search phases. The entry
+    // is never trusted as-is — full symbolic verification runs first, so
+    // a corrupted or maliciously edited cache degrades to a miss.
+    let cache_dir = options.cache.directory();
+    let cache_key = cache_dir.as_ref().map(|_| cache_key_for(spec, sketch, options));
+    if let (Some(dir), Some(key)) = (&cache_dir, &cache_key) {
+        // Memo tier first: a result this process already verified replays
+        // without touching the disk or re-verifying.
+        if let Some(mut hit) = memo_lookup(dir, key) {
+            cache::record_hit();
+            hit.cache_hit = true;
+            hit.time_to_initial = start.elapsed();
+            hit.time_total = start.elapsed();
+            return Ok(hit);
+        }
+        if let Some(entry) = cache::lookup(dir, key) {
+            if verify(&entry.program, spec, &mut rng).is_ok() {
+                cache::record_hit();
+                let (optimized, opt_report) = opt::optimize(&entry.program, options.opt_level);
+                let params = options.params.resolve(&optimized, spec.n, spec.t);
+                let time_to_initial = start.elapsed();
+                let result = SynthesisResult {
+                    initial_program: entry.program.clone(),
+                    program: entry.program,
+                    optimized,
+                    opt_report,
+                    params,
+                    initial_cost: entry.final_cost,
+                    final_cost: entry.final_cost,
+                    components: entry.components,
+                    examples_used: entry.examples_used,
+                    time_to_initial,
+                    time_total: start.elapsed(),
+                    proved_optimal: entry.proved_optimal,
+                    strategy_used: options.strategy,
+                    cache_hit: true,
+                };
+                memo_store(dir, key, &result);
+                return Ok(result);
+            }
+            cache::record_rejected();
+        }
+        cache::record_miss();
+    }
+
     let mut examples: Vec<Example> = vec![spec.sample_example(&mut rng)];
 
-    // Phase 1: find the initial solution at minimal component count
-    // (deepening starts at the sketch's floor — see
-    // `Sketch::min_components`).
+    // Phase 1: find the initial solution at minimal component count.
+    // Bottom-up grows its bank level-by-level to the same effect as the
+    // DFS's iterative deepening: both return a program with the fewest
+    // components in the sketch.
     let mut initial: Option<(Program, usize)> = None;
+    let mut strategy_used = options.strategy;
+    if options.strategy == SearchStrategy::BottomUp {
+        loop {
+            if Instant::now() >= deadline {
+                return Err(SynthesisError::Timeout);
+            }
+            let searcher = SearchContext::new(
+                spec,
+                sketch,
+                &examples,
+                &options.latency,
+                Some(deadline),
+                None,
+            );
+            match searcher.run_bottom_up(
+                sketch.min_components.max(1),
+                sketch.max_components,
+                options.parallelism,
+            ) {
+                BottomUpOutcome::Found {
+                    program,
+                    components,
+                } => match verify(&program, spec, &mut rng) {
+                    Ok(()) => {
+                        initial = Some((program, components));
+                        break;
+                    }
+                    Err(failure) => {
+                        let cex = failure
+                            .counter_example
+                            .ok_or(SynthesisError::CounterExampleExtraction)?;
+                        examples.push(cex);
+                    }
+                },
+                BottomUpOutcome::Exhausted => {
+                    // The capped bank came up dry; that is *not* an Unsat
+                    // proof. Hand the query to the complete DFS below.
+                    strategy_used = SearchStrategy::Dfs;
+                    break;
+                }
+                BottomUpOutcome::Timeout => return Err(SynthesisError::Timeout),
+            }
+        }
+    }
+    // Top-down iterative deepening: the requested strategy, or the
+    // completeness fallback after an exhausted bank (deepening starts at
+    // the sketch's floor — see `Sketch::min_components`).
     'deepening: for num_components in sketch.min_components.max(1)..=sketch.max_components {
+        if initial.is_some() {
+            break 'deepening;
+        }
         loop {
             if Instant::now() >= deadline {
                 return Err(SynthesisError::Timeout);
@@ -288,10 +519,13 @@ pub fn synthesize(
                     }
                     break;
                 }
-                // With a cost bound the search is exhaustive: `Found` is the
-                // cheapest example-satisfying program under the bound, so a
+                // With a cost bound the search is exhaustive and
+                // tie-inclusive: `Found` is the canonical cheapest
+                // example-satisfying program of cost ≤ the bound, so a
                 // verified result is optimal within the sketch (every
-                // spec-correct program also satisfies the examples).
+                // spec-correct program also satisfies the examples), and —
+                // because the incumbent itself is in the space — `Unsat`
+                // is unreachable here.
                 SearchOutcome::Found(program) => match verify(&program, spec, &mut rng) {
                     Ok(()) => {
                         best_cost = eager_cost(&program, &options.latency);
@@ -310,13 +544,33 @@ pub fn synthesize(
         }
     }
 
+    // Write back a finished answer. Timed-out partials are deliberately
+    // not cached: they are timing-dependent, and the cache must only ever
+    // serve the canonical result of a query.
+    let finished = proved_optimal || !options.optimize;
+    if finished {
+        if let (Some(dir), Some(key)) = (&cache_dir, &cache_key) {
+            let _ = cache::store(
+                dir,
+                key,
+                &CacheEntry {
+                    program: best.clone(),
+                    components,
+                    examples_used: examples.len(),
+                    final_cost: best_cost,
+                    proved_optimal,
+                },
+            );
+        }
+    }
+
     let (optimized, opt_report) = opt::optimize(&best, options.opt_level);
     // Resolve the parameter policy against the program that will actually
     // execute — the lowered one, so lazy relin placement is what gets
     // charged by the noise analysis. A resolution failure is recorded, not
     // fatal: the verified program is still the synthesis result.
     let params = options.params.resolve(&optimized, spec.n, spec.t);
-    Ok(SynthesisResult {
+    let result = SynthesisResult {
         program: best,
         optimized,
         opt_report,
@@ -329,7 +583,41 @@ pub fn synthesize(
         time_to_initial,
         time_total: start.elapsed(),
         proved_optimal,
-    })
+        strategy_used,
+        cache_hit: false,
+    };
+    // Memoize under the same finished-only condition as the disk tier.
+    if finished {
+        if let (Some(dir), Some(key)) = (&cache_dir, &cache_key) {
+            memo_store(dir, key, &result);
+        }
+    }
+    Ok(result)
+}
+
+/// Renders the content-addressed cache key for one query (see
+/// [`crate::cache`] for the schema).
+fn cache_key_for(spec: &KernelSpec, sketch: &Sketch, options: &SynthesisOptions) -> CacheKey {
+    let params_desc = match &options.params {
+        ParamPolicy::Auto { margin_bits } => {
+            format!("auto margin-bits {:016x}", margin_bits.to_bits())
+        }
+        ParamPolicy::Fixed(p) => format!(
+            "fixed n {} t {} q {:?}",
+            p.poly_degree, p.plain_modulus, p.moduli
+        ),
+    };
+    CacheKey::new(
+        spec,
+        sketch,
+        &options.latency,
+        &[
+            ("opt-level", options.opt_level.to_string()),
+            ("optimize", options.optimize.to_string()),
+            ("strategy", options.strategy.to_string()),
+            ("params", params_desc),
+        ],
+    )
 }
 
 #[cfg(test)]
@@ -365,6 +653,9 @@ mod tests {
             optimize: true,
             latency: LatencyModel::uniform(),
             seed: 17,
+            // Hermetic: unit tests must exercise the real search, not a
+            // previous run's cache entry.
+            cache: CachePolicy::Disabled,
             ..SynthesisOptions::default()
         }
     }

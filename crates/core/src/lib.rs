@@ -9,7 +9,13 @@
 //! * [`cegis`] — the CEGIS engine (Algorithm 1): iterative sketch
 //!   deepening, counter-example refinement, cost minimization.
 //! * [`search`] — the pruned enumerative solver standing in for the paper's
-//!   Rosette/Boolector queries (sound and complete within a sketch).
+//!   Rosette/Boolector queries (sound and complete within a sketch), plus
+//!   a bottom-up observational-equivalence term bank for queries past the
+//!   DFS scaling wall (selected via `SynthesisOptions::strategy`).
+//! * [`cache`] — the persistent content-addressed synthesis cache
+//!   (`$PORCUPINE_CACHE_DIR`, else `~/.cache/porcupine`): finished queries
+//!   are stored on disk and re-verified on read, so a warm process skips
+//!   the search entirely.
 //! * [`verify`] — exact equivalence checking via canonical polynomial
 //!   forms, with Schwartz–Zippel counter-example extraction.
 //! * [`lift`] — the padding-stability theorem that lets kernels synthesized
@@ -59,6 +65,8 @@
 //! ```
 
 pub mod autosketch;
+pub(crate) mod bottom_up;
+pub mod cache;
 pub mod cegis;
 pub mod codegen;
 pub mod layout;
@@ -72,8 +80,10 @@ pub mod verify;
 
 pub use autosketch::{auto_sketch, auto_synthesize};
 pub use cegis::{
-    default_parallelism, synthesize, SynthesisError, SynthesisOptions, SynthesisResult,
+    clear_synthesis_memo, default_parallelism, default_strategy, synthesize, CachePolicy,
+    SearchStrategy, SynthesisError, SynthesisOptions, SynthesisResult,
 };
+pub use search::search_invocations;
 pub use opt::{default_opt_level, optimize, OptLevel, OptReport, Pass, PassManager};
 pub use sketch::{ArithOp, RotationSet, Sketch, SketchMode, SketchOp};
 pub use spec::{Example, GenericReference, KernelSpec, Reference};

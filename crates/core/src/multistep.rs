@@ -12,6 +12,12 @@
 //! rotations), and [`PipelineBuilder::finish_optimized`] additionally runs
 //! the full `-O` pipeline — global CSE, rotation folding, lazy
 //! relinearization, DCE — and returns backend-legal IR.
+//!
+//! Each stage goes through [`crate::cegis::synthesize`] unchanged, so
+//! staged pipelines inherit both the phase-1 strategy selection
+//! ([`crate::cegis::SearchStrategy`]) and the persistent synthesis cache
+//! ([`crate::cache`]) per stage: a warm cache replays every previously
+//! synthesized stage without searching.
 
 use crate::cegis::{synthesize, SynthesisError, SynthesisOptions};
 use crate::sketch::Sketch;

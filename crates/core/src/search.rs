@@ -24,6 +24,24 @@
 //! the given component count, satisfying the examples, under the cost
 //! bound) exists in the sketch.
 //!
+//! # Two strategies over one space
+//!
+//! The same `SearchContext` drives two enumeration strategies, selected
+//! through [`crate::cegis::SynthesisOptions::strategy`]:
+//!
+//! * **top-down DFS** (this module) — complete at a fixed component count;
+//!   an `Unsat` is a proof. This is what iterative deepening and the
+//!   cost-minimization phase run.
+//! * **bottom-up term bank** ([`crate::bottom_up`]) — grows a bank of
+//!   sub-terms level by level, deduplicated by their output vector on the
+//!   CEGIS examples (observational equivalence) and by cost within a
+//!   class, so shared subprograms are derived once instead of re-derived
+//!   at every DFS prefix. The bank is capped for breadth, which makes the
+//!   strategy incomplete: CEGIS falls back to the DFS when the bank
+//!   exhausts without a solution, so `SketchTooRestrictive` remains a real
+//!   proof. See the `bottom_up` module docs for the bank layout, the
+//!   retention policy, and its determinism contract.
+//!
 //! # Architecture: `SearchContext` + per-worker state
 //!
 //! The search is split into two layers:
@@ -96,7 +114,7 @@ pub(crate) enum Comp {
 pub enum SearchOutcome {
     /// A satisfying program. Without a cost bound this is the first program
     /// in canonical DFS order; with one, the search space was exhausted and
-    /// this is the cheapest program under the bound (ties broken by
+    /// this is the cheapest program of cost ≤ the bound (ties broken by
     /// serialization), so a verified `Found` is optimal within the sketch.
     Found(Program),
     /// The space at this component count is exhausted — a completeness
@@ -132,24 +150,39 @@ enum Goal {
 
 /// The immutable, `Sync` half of the search: everything a worker needs to
 /// read but never writes. Shared by reference across the `thread::scope`
-/// workers of [`SearchContext::run`].
+/// workers of [`SearchContext::run`], and by the bottom-up term bank in
+/// [`crate::bottom_up`].
 pub(crate) struct SearchContext<'a> {
-    sketch: &'a Sketch,
-    examples: &'a [Example],
-    n: usize,
-    t: u64,
-    num_inputs: usize,
+    pub(crate) sketch: &'a Sketch,
+    pub(crate) examples: &'a [Example],
+    pub(crate) n: usize,
+    pub(crate) t: u64,
+    pub(crate) num_inputs: usize,
     /// Target output, concatenated; compared only at `mask_idx`.
-    target: Vec<u64>,
-    mask_idx: Vec<usize>,
+    pub(crate) target: Vec<u64>,
+    pub(crate) mask_idx: Vec<usize>,
     /// Plaintext operand value per sketch op (concatenated), if any.
-    pt_values: Vec<Option<Vec<u64>>>,
-    op_latencies: Vec<f64>,
-    min_op_latency: f64,
-    rot_latency: f64,
-    deadline: Option<Instant>,
-    cost_bound: Option<f64>,
-    name: String,
+    pub(crate) pt_values: Vec<Option<Vec<u64>>>,
+    pub(crate) op_latencies: Vec<f64>,
+    pub(crate) min_op_latency: f64,
+    pub(crate) rot_latency: f64,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) cost_bound: Option<f64>,
+    pub(crate) name: String,
+}
+
+/// Total [`SearchContext::run`] / bottom-up invocations in this process.
+/// The synthesis cache's "a hit skips the search entirely" contract is
+/// asserted against this counter (not just timing) in the test suite.
+static SEARCH_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many search queries (DFS or bottom-up) this process has started.
+pub fn search_invocations() -> u64 {
+    SEARCH_INVOCATIONS.load(Relaxed)
+}
+
+pub(crate) fn count_search_invocation() {
+    SEARCH_INVOCATIONS.fetch_add(1, Relaxed);
 }
 
 /// Deadline/cancellation checks happen every `TIMEOUT_CHECK_MASK + 1`
@@ -294,6 +327,7 @@ impl<'a> SearchContext<'a> {
             num_components >= 1,
             "a program needs at least one component"
         );
+        count_search_invocation();
         let goal = if self.cost_bound.is_some() {
             Goal::Cheapest
         } else {
@@ -419,17 +453,23 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Branch-and-bound (cheapest mode): cut a prefix whose cost lower
-    /// bound cannot beat the caller's bound, or *strictly* exceeds the best
-    /// cost found anywhere so far. The strict comparison keeps programs
-    /// tied with the global optimum alive in every subtree, which is what
-    /// makes the canonical merge partition-independent.
+    /// bound *strictly* exceeds the caller's bound or the best cost found
+    /// anywhere so far. Both comparisons are strict — the bound is
+    /// *tie-inclusive* — so every program costing exactly the bound (or
+    /// tied with the global optimum) stays alive in every subtree. That is
+    /// what makes the canonical `(cost, serialization)` merge
+    /// partition-independent, and it also makes the cheapest-mode result a
+    /// canonical function of the query alone: the CEGIS optimizer passes
+    /// the incumbent's cost as the bound and always gets the canonical
+    /// minimum of the whole tied-or-better class back, regardless of which
+    /// strategy produced the incumbent.
     fn bnb_cut(&self, sh: &SharedSearch, state: &WorkerState, remaining: usize) -> bool {
         let Some(bound) = self.cost_bound else {
             return false;
         };
         let lb = (state.latency_sum + remaining as f64 * self.min_op_latency)
             * (1.0 + state.max_mdepth as f64);
-        lb >= bound || lb > f64::from_bits(sh.best_bound.load(Relaxed))
+        lb > bound || lb > f64::from_bits(sh.best_bound.load(Relaxed))
     }
 
     /// Accepts or rejects a fully placed component list. In first-solution
@@ -459,7 +499,9 @@ impl<'a> SearchContext<'a> {
         match goal {
             Goal::First => Some(self.materialize(comps)),
             Goal::Cheapest => {
-                if self.cost_bound.is_some_and(|b| final_cost >= b) {
+                // Tie-inclusive: a program costing exactly the bound is
+                // kept and competes on the serialization tie-break.
+                if self.cost_bound.is_some_and(|b| final_cost > b) {
                     return None;
                 }
                 let cost_bits = final_cost.to_bits();
@@ -532,7 +574,7 @@ impl<'a> SearchContext<'a> {
         None
     }
 
-    fn rotate_concat(&self, v: &[u64], r: i64) -> Vec<u64> {
+    pub(crate) fn rotate_concat(&self, v: &[u64], r: i64) -> Vec<u64> {
         if r == 0 {
             return v.to_vec();
         }
@@ -546,7 +588,13 @@ impl<'a> SearchContext<'a> {
         out
     }
 
-    fn apply_op(&self, op: &ArithOp, op_idx: usize, lhs: &[u64], rhs: Option<&[u64]>) -> Vec<u64> {
+    pub(crate) fn apply_op(
+        &self,
+        op: &ArithOp,
+        op_idx: usize,
+        lhs: &[u64],
+        rhs: Option<&[u64]>,
+    ) -> Vec<u64> {
         let t = self.t as u128;
         match op {
             ArithOp::AddCtCt => zip_mod(lhs, rhs.unwrap(), self.t, |a, b| a + b),
@@ -576,7 +624,7 @@ impl<'a> SearchContext<'a> {
         }
     }
 
-    fn matches_target(&self, v: &[u64]) -> bool {
+    pub(crate) fn matches_target(&self, v: &[u64]) -> bool {
         self.mask_idx.iter().all(|&i| v[i] == self.target[i])
     }
 
@@ -872,7 +920,13 @@ impl<'a> SearchContext<'a> {
 
     /// Early-exit check that `op(lhs, rhs)` equals the target on every
     /// masked slot.
-    fn masked_match(&self, op: &ArithOp, op_idx: usize, lhs: &[u64], rhs: Option<&[u64]>) -> bool {
+    pub(crate) fn masked_match(
+        &self,
+        op: &ArithOp,
+        op_idx: usize,
+        lhs: &[u64],
+        rhs: Option<&[u64]>,
+    ) -> bool {
         let t = self.t as u128;
         let rhs: &[u64] = match op {
             ArithOp::AddCtCt | ArithOp::SubCtCt | ArithOp::MulCtCt => rhs.unwrap(),

@@ -55,6 +55,12 @@ pub struct KernelSpec {
     pub t: u64,
     /// The reference implementation.
     pub reference: Box<dyn Reference>,
+    /// Memoized canonical symbolic form, filled by the first
+    /// [`KernelSpec::eval_symbolic`] call. Both the verifier and the
+    /// synthesis-cache key derivation consult the canonical form on every
+    /// query, so it is computed once per spec; treat the public fields as
+    /// immutable once the spec is in use.
+    sym: std::sync::OnceLock<Vec<SymPoly>>,
 }
 
 impl std::fmt::Debug for KernelSpec {
@@ -103,6 +109,7 @@ impl KernelSpec {
             output_mask,
             t,
             reference,
+            sym: std::sync::OnceLock::new(),
         }
     }
 
@@ -138,25 +145,27 @@ impl KernelSpec {
     /// Symbolic reference outputs with the standard variable numbering
     /// (ciphertext input `j` slot `i` → var `j·n + i`; plaintext inputs
     /// follow).
-    pub fn eval_symbolic(&self) -> Vec<SymPoly> {
-        let n = self.n;
-        let t = self.t;
-        let ct_inputs: Vec<Vec<SymPoly>> = (0..self.num_ct_inputs)
-            .map(|j| {
-                (0..n)
-                    .map(|i| SymPoly::var((j * n + i) as u32, t))
-                    .collect()
-            })
-            .collect();
-        let ct_vars = self.num_ct_inputs * n;
-        let pt_inputs: Vec<Vec<SymPoly>> = (0..self.num_pt_inputs)
-            .map(|j| {
-                (0..n)
-                    .map(|i| SymPoly::var((ct_vars + j * n + i) as u32, t))
-                    .collect()
-            })
-            .collect();
-        self.reference.eval_sym(&ct_inputs, &pt_inputs)
+    pub fn eval_symbolic(&self) -> &[SymPoly] {
+        self.sym.get_or_init(|| {
+            let n = self.n;
+            let t = self.t;
+            let ct_inputs: Vec<Vec<SymPoly>> = (0..self.num_ct_inputs)
+                .map(|j| {
+                    (0..n)
+                        .map(|i| SymPoly::var((j * n + i) as u32, t))
+                        .collect()
+                })
+                .collect();
+            let ct_vars = self.num_ct_inputs * n;
+            let pt_inputs: Vec<Vec<SymPoly>> = (0..self.num_pt_inputs)
+                .map(|j| {
+                    (0..n)
+                        .map(|i| SymPoly::var((ct_vars + j * n + i) as u32, t))
+                        .collect()
+                })
+                .collect();
+            self.reference.eval_sym(&ct_inputs, &pt_inputs)
+        })
     }
 }
 

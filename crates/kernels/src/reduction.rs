@@ -324,6 +324,24 @@ pub fn direct_components(name: &str, len: usize) -> Option<usize> {
 /// *instructions*; components materialize up to one rotation each).
 pub const DIRECT_SEARCH_MAX_COMPONENTS: usize = 5;
 
+/// The wall for the bottom-up term-bank strategy
+/// (`SearchStrategy::BottomUp`): observational-equivalence deduplication
+/// keeps the per-level work polynomial in the bank size, so monolithic
+/// specs that the DFS cannot finish (e.g. a 16-element dot product or a
+/// 16-element L2 distance, 5–6 components with their rotations) synthesize
+/// directly. Past this, stage-wise decomposition is still the answer.
+pub const BOTTOM_UP_MAX_COMPONENTS: usize = 6;
+
+/// The direct-search component wall for a strategy: how many components a
+/// monolithic reduction spec may need before the driver should switch to
+/// [`synthesize_staged`].
+pub fn direct_search_wall(strategy: porcupine::cegis::SearchStrategy) -> usize {
+    match strategy {
+        porcupine::cegis::SearchStrategy::BottomUp => BOTTOM_UP_MAX_COMPONENTS,
+        porcupine::cegis::SearchStrategy::Dfs => DIRECT_SEARCH_MAX_COMPONENTS,
+    }
+}
+
 /// Builds `first_instr` followed by a balanced rotate-add reduction over
 /// `len` slots, in surface syntax.
 fn reduction_baseline(
@@ -424,6 +442,7 @@ mod tests {
         let options = porcupine::cegis::SynthesisOptions {
             timeout: std::time::Duration::from_secs(60),
             latency: quill::cost::LatencyModel::uniform(),
+            cache: porcupine::cegis::CachePolicy::Disabled,
             ..Default::default()
         };
         let prog = synthesize_staged("dot-product", 64, &options)
@@ -442,6 +461,7 @@ mod tests {
         let options = porcupine::cegis::SynthesisOptions {
             timeout: std::time::Duration::from_secs(60),
             latency: quill::cost::LatencyModel::uniform(),
+            cache: porcupine::cegis::CachePolicy::Disabled,
             ..Default::default()
         };
         let prog = synthesize_staged("l2-distance", 16, &options)

@@ -15,7 +15,7 @@ use bfv::encrypt::{Ciphertext, Decryptor, Encryptor};
 use bfv::evaluator::Evaluator;
 use bfv::keys::KeyGenerator;
 use bfv::params::{BfvContext, BfvParams, ParamPolicy};
-use porcupine::cegis::SynthesisOptions;
+use porcupine::cegis::{CachePolicy, SynthesisOptions};
 use porcupine::codegen::BfvRunner;
 use porcupine::opt::{self, OptLevel};
 use porcupine::spec::KernelSpec;
@@ -83,27 +83,35 @@ pub fn noise_test_params(prog: &Program, min_slots: usize) -> BfvParams {
 
 /// Synthesis options for property tests: uniform latency model and a budget
 /// far below tier-1's patience. Honors `PORCUPINE_JOBS` (the CI matrix sets
-/// it to exercise the parallel-determinism contract on every push) and
-/// `PORCUPINE_OPT` (ditto, for the middle-end).
+/// it to exercise the parallel-determinism contract on every push),
+/// `PORCUPINE_OPT` (ditto, for the middle-end), and `PORCUPINE_STRATEGY`
+/// (the CI determinism legs run the suites under both enumerators). The
+/// persistent cache is **disabled**: a test must exercise the search it
+/// claims to test, never a previous run's on-disk answer — suites that
+/// test the cache itself opt in with an explicit temp directory.
 pub fn quick_synthesis_options(seed: u64) -> SynthesisOptions {
     SynthesisOptions {
         timeout: Duration::from_secs(30),
         optimize: true,
         latency: LatencyModel::uniform(),
         seed,
+        cache: CachePolicy::Disabled,
         ..SynthesisOptions::default()
     }
 }
 
 /// Synthesis options for the end-to-end kernel tests: the paper's profiled
 /// latency model with a generous (but bounded) budget. Honors
-/// `PORCUPINE_JOBS` and `PORCUPINE_OPT` like [`quick_synthesis_options`].
+/// `PORCUPINE_JOBS`, `PORCUPINE_OPT`, and `PORCUPINE_STRATEGY` like
+/// [`quick_synthesis_options`], and disables the persistent cache for the
+/// same hermeticity reason.
 pub fn fast_synthesis_options() -> SynthesisOptions {
     SynthesisOptions {
         timeout: Duration::from_secs(300),
         optimize: true,
         latency: LatencyModel::profiled_default(),
         seed: 1,
+        cache: CachePolicy::Disabled,
         ..SynthesisOptions::default()
     }
 }
@@ -112,6 +120,16 @@ pub fn fast_synthesis_options() -> SynthesisOptions {
 /// determinism suites turn to compare jobs = 1 / 2 / 4 runs bit for bit.
 pub fn with_jobs(mut options: SynthesisOptions, jobs: usize) -> SynthesisOptions {
     options.parallelism = std::num::NonZeroUsize::new(jobs).expect("jobs must be nonzero");
+    options
+}
+
+/// The same options with an explicit phase-1 enumeration strategy — the
+/// knob the cross-strategy agreement suites turn.
+pub fn with_strategy(
+    mut options: SynthesisOptions,
+    strategy: porcupine::cegis::SearchStrategy,
+) -> SynthesisOptions {
+    options.strategy = strategy;
     options
 }
 

@@ -33,7 +33,10 @@
 
 use bfv::params::{BfvContext, BfvParams, ParamPolicy};
 use porcupine::autosketch::auto_sketch;
-use porcupine::cegis::{default_parallelism, synthesize, SynthesisOptions};
+use porcupine::cegis::{
+    default_parallelism, default_strategy, synthesize, CachePolicy, SearchStrategy,
+    SynthesisOptions,
+};
 use porcupine::codegen::{emit_seal_cpp, BfvRunner};
 use porcupine::opt::{self, OptLevel};
 use porcupine::spec::KernelSpec;
@@ -46,7 +49,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>] [--size <n>] [--params auto|paper] [--margin-bits <n>]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
+        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>] [--size <n>] [--params auto|paper] [--margin-bits <n>] [--strategy bottom-up|dfs] [--cache <dir>] [--no-cache]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
     );
     ExitCode::FAILURE
 }
@@ -309,21 +312,52 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let strategy = match args.iter().position(|a| a == "--strategy") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some("bottom-up") => SearchStrategy::BottomUp,
+                    Some("dfs") => SearchStrategy::Dfs,
+                    other => {
+                        eprintln!(
+                            "--strategy requires 'bottom-up' or 'dfs', got {:?}",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => default_strategy(),
+            };
+            let cache = if args.iter().any(|a| a == "--no-cache") {
+                CachePolicy::Disabled
+            } else {
+                match args.iter().position(|a| a == "--cache") {
+                    Some(i) => match args.get(i + 1) {
+                        Some(dir) => CachePolicy::At(dir.into()),
+                        None => {
+                            eprintln!("--cache requires a directory");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => CachePolicy::Enabled,
+                }
+            };
             let options = SynthesisOptions {
                 timeout: Duration::from_secs(grab("--timeout").unwrap_or(600)),
                 seed: grab("--seed").unwrap_or(0x9E3779B9),
                 parallelism: jobs,
                 opt_level,
                 params: policy,
+                strategy,
+                cache,
                 ..SynthesisOptions::default()
             };
-            // Reductions scaled past the §6.3 wall synthesize stage-wise
-            // (the direct search is exhaustive and stops scaling around
-            // 10–12 instructions, as the paper reports).
+            // Reductions scaled past the strategy's wall synthesize
+            // stage-wise (§6.3). The bottom-up term bank pushes the wall
+            // past the DFS's ~10–12 instructions, so sizes that used to
+            // require staging now go through the direct search.
             if let Some(len) = size {
                 use porcupine_kernels::reduction as red;
                 if red::direct_components(name, len)
-                    .is_some_and(|c| c > red::DIRECT_SEARCH_MAX_COMPONENTS)
+                    .is_some_and(|c| c > red::direct_search_wall(options.strategy))
                 {
                     let start = std::time::Instant::now();
                     let program = match red::synthesize_staged(name, len, &options)
@@ -381,6 +415,11 @@ fn main() -> ExitCode {
                         r.time_total,
                         r.proved_optimal,
                         options.parallelism,
+                    );
+                    eprintln!(
+                        "; strategy: {}, cache: {}",
+                        r.strategy_used,
+                        if r.cache_hit { "hit" } else { "miss" },
                     );
                     eprintln!(
                         "; cost {:.0} (baseline {:.0})",

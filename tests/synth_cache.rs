@@ -1,0 +1,157 @@
+//! Persistent synthesis-cache integration (ISSUE 7): a warm cache answers
+//! the same query with the byte-identical program **without invoking the
+//! search at all**, and every corruption mode falls back to a cold
+//! rebuild.
+//!
+//! The cache is two-tier — an in-process memo in front of the disk
+//! entries — so the disk-tier tests call
+//! [`porcupine::clear_synthesis_memo`] before each warm query: without
+//! it the memo would answer and the disk path (read, parse, re-verify)
+//! would go untested.
+//!
+//! The cold/warm pairs and the invocation-counter deltas live inside
+//! single `#[test]` functions — `porcupine::search_invocations` is a
+//! process-wide counter (and the memo is process-wide state), and
+//! splitting the assertions across tests would race under the parallel
+//! test runner.
+
+use porcupine::cegis::{synthesize, CachePolicy, SearchStrategy};
+use porcupine::{clear_synthesis_memo, search_invocations};
+use porcupine_kernels::{reduction, stencil};
+use test_support::{fast_synthesis_options, with_strategy};
+
+/// A fresh cache directory under the target-dir scratch space.
+fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "porcupine-cache-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cold run populates the cache; the warm run returns the byte-identical
+/// program as a cache hit with **zero** search invocations.
+#[test]
+fn warm_cache_skips_the_search_entirely() {
+    let dir = temp_cache_dir("warm");
+    let k = stencil::box_blur(stencil::default_image());
+    let mut options = fast_synthesis_options();
+    options.cache = CachePolicy::At(dir.clone());
+
+    let cold = synthesize(&k.spec, &k.sketch, &options).expect("cold box blur");
+    assert!(!cold.cache_hit);
+
+    // Disk tier: clear the memo so the warm query must read, parse, and
+    // re-verify the persisted entry.
+    clear_synthesis_memo();
+    let before = search_invocations();
+    let warm = synthesize(&k.spec, &k.sketch, &options).expect("warm box blur");
+    let after = search_invocations();
+    assert!(warm.cache_hit, "second identical query must hit the cache");
+    assert_eq!(
+        after - before,
+        0,
+        "a cache hit must not invoke the search at all"
+    );
+    assert_eq!(
+        warm.program.to_string(),
+        cold.program.to_string(),
+        "cold and warm programs must be byte-identical"
+    );
+    assert_eq!(warm.final_cost.to_bits(), cold.final_cost.to_bits());
+
+    // Memo tier: the entry is now in-process; even with the disk entry
+    // deleted, the same query replays as a hit with zero searches.
+    for entry in std::fs::read_dir(&dir).expect("cache dir").flatten() {
+        let _ = std::fs::remove_file(entry.path());
+    }
+    let before = search_invocations();
+    let memo = synthesize(&k.spec, &k.sketch, &options).expect("memoized box blur");
+    assert!(memo.cache_hit, "in-process memo must answer repeat queries");
+    assert_eq!(
+        search_invocations() - before,
+        0,
+        "a memo hit must not invoke the search at all"
+    );
+    assert_eq!(memo.program.to_string(), cold.program.to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cache key covers the whole query: changing the strategy, the
+/// optimization flag, or the kernel misses instead of returning a stale
+/// program.
+#[test]
+fn cache_keys_separate_distinct_queries() {
+    let dir = temp_cache_dir("keys");
+    let k = stencil::box_blur(stencil::default_image());
+    let mut options = with_strategy(fast_synthesis_options(), SearchStrategy::BottomUp);
+    options.cache = CachePolicy::At(dir.clone());
+    let _ = synthesize(&k.spec, &k.sketch, &options).expect("cold box blur");
+
+    // Different strategy: same semantics, different key — a miss.
+    let dfs = synthesize(
+        &k.spec,
+        &k.sketch,
+        &with_strategy(options.clone(), SearchStrategy::Dfs),
+    )
+    .expect("dfs box blur");
+    assert!(!dfs.cache_hit, "strategy is part of the cache key");
+
+    // Different kernel, same cache dir: a miss, not a collision.
+    let other = reduction::hamming_distance(4);
+    let r = synthesize(&other.spec, &other.sketch, &options).expect("hamming");
+    assert!(!r.cache_hit, "distinct specs must not share entries");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every corruption mode — truncation, bit flips, a version bump, or raw
+/// garbage — turns into a silent cold rebuild that repairs the entry.
+#[test]
+fn corrupted_entries_rebuild_cold() {
+    let dir = temp_cache_dir("corrupt");
+    let k = stencil::gx(stencil::default_image());
+    let mut options = fast_synthesis_options();
+    options.cache = CachePolicy::At(dir.clone());
+    let cold = synthesize(&k.spec, &k.sketch, &options).expect("cold gx");
+
+    let entry = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "synth"))
+        .expect("cold run stored an entry");
+    let pristine = std::fs::read(&entry).expect("entry readable");
+
+    let corruptions: Vec<(&str, Vec<u8>)> = vec![
+        ("truncated", pristine[..pristine.len() / 2].to_vec()),
+        ("empty", Vec::new()),
+        ("flipped", {
+            let mut b = pristine.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x55;
+            b
+        }),
+        ("garbage", b"not a cache entry at all\xff\xfe".to_vec()),
+    ];
+    for (name, bytes) in corruptions {
+        std::fs::write(&entry, &bytes).expect("rewrite entry");
+        // Force each query down to the disk tier: with the memo in place
+        // the corrupted file would never even be read.
+        clear_synthesis_memo();
+        let r = synthesize(&k.spec, &k.sketch, &options)
+            .unwrap_or_else(|e| panic!("{name}: corrupted cache must not fail synthesis: {e}"));
+        assert!(!r.cache_hit, "{name}: corrupted entry must miss");
+        assert_eq!(
+            r.program.to_string(),
+            cold.program.to_string(),
+            "{name}: rebuild must reproduce the canonical program"
+        );
+        // The rebuild wrote the entry back; confirm the *disk* entry (not
+        // the memo) hits again.
+        clear_synthesis_memo();
+        let warm = synthesize(&k.spec, &k.sketch, &options).expect("repaired gx");
+        assert!(warm.cache_hit, "{name}: rebuilt entry must hit");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,121 @@
+//! Cross-strategy agreement and parallel determinism (ISSUE 7).
+//!
+//! Phase 2 of CEGIS re-searches with a tie-inclusive cost bound and picks
+//! the canonical `(cost, serialization)` minimum among *all* correct
+//! programs at the found component count — so whichever phase-1 strategy
+//! produced the first correct program, the optimized result must be
+//! byte-identical. These suites pin exactly that: bottom-up vs DFS on
+//! every paper kernel, and bottom-up at jobs = 1/2/4.
+
+use porcupine::cegis::{synthesize, SearchStrategy};
+use porcupine::verify::verify;
+use porcupine_kernels::{composite, reduction, stencil, PaperKernel};
+use proptest::prelude::*;
+use test_support::{
+    fast_synthesis_options, quick_synthesis_options, seeded_rng, with_jobs, with_strategy,
+};
+
+/// The paper's kernel suite at test-friendly sizes: the nine direct
+/// kernels plus the sobel and harris combine stages (the composite
+/// kernels' synthesized pieces).
+///
+/// Debug builds (tier-1's `cargo test -q`) drop the two search-heaviest
+/// kernels: unoptimized, their searches run long enough to hit the
+/// per-call timeout, and a timed-out phase 2 salvages a *partial* best
+/// program whose identity is cut-point-dependent — the agreement
+/// assertion is only meaningful on proved-optimal results. Release runs
+/// (`cargo test --release --test synth_strategies`) cover the full set.
+fn paper_kernels() -> Vec<PaperKernel> {
+    let img = stencil::default_image();
+    let mut kernels: Vec<PaperKernel> = porcupine_kernels::DIRECT_NAMES
+        .iter()
+        .map(|name| porcupine_kernels::direct_kernel(name, None).expect("registry names"))
+        .collect();
+    kernels.push(composite::sobel_combine(img.slots()));
+    kernels.push(composite::harris_det(img.slots()));
+    kernels.push(composite::harris_trace(img.slots()));
+    if cfg!(debug_assertions) {
+        kernels.retain(|k| k.name != "l2-distance" && k.name != "roberts-cross");
+    }
+    kernels
+}
+
+/// Bottom-up and DFS converge to the byte-identical optimized program
+/// (same cost, same canonical tie-break) on every paper kernel.
+#[test]
+fn strategies_agree_on_every_paper_kernel() {
+    for k in paper_kernels() {
+        let bu = synthesize(
+            &k.spec,
+            &k.sketch,
+            &with_strategy(fast_synthesis_options(), SearchStrategy::BottomUp),
+        )
+        .unwrap_or_else(|e| panic!("{} (bottom-up): {e}", k.name));
+        let dfs = synthesize(
+            &k.spec,
+            &k.sketch,
+            &with_strategy(fast_synthesis_options(), SearchStrategy::Dfs),
+        )
+        .unwrap_or_else(|e| panic!("{} (dfs): {e}", k.name));
+        assert_eq!(
+            bu.program.to_string(),
+            dfs.program.to_string(),
+            "{}: strategies disagree",
+            k.name
+        );
+        assert_eq!(bu.components, dfs.components, "{}", k.name);
+        assert_eq!(
+            bu.final_cost.to_bits(),
+            dfs.final_cost.to_bits(),
+            "{}",
+            k.name
+        );
+        let mut rng = seeded_rng(5);
+        verify(&bu.program, &k.spec, &mut rng)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", k.name));
+    }
+}
+
+/// A kernel at the direct-search wall — the 16-element dot product's
+/// monolithic spec is nine instructions, the scale the repo previously
+/// reached only via `synthesize_staged` — synthesizes end-to-end through
+/// the term bank with no DFS fallback, verified against the monolithic
+/// spec.
+#[test]
+fn bottom_up_reaches_past_the_dfs_wall() {
+    let k = reduction::dot_product(16);
+    let mut options = with_strategy(fast_synthesis_options(), SearchStrategy::BottomUp);
+    // Skip phase-2 cost minimization: this pins the scaling claim (phase 1
+    // finds *a* correct program), not the optimizer.
+    options.optimize = false;
+    let r = synthesize(&k.spec, &k.sketch, &options).expect("dot-16 synthesizes bottom-up");
+    assert_eq!(r.strategy_used, SearchStrategy::BottomUp, "no DFS fallback");
+    assert!(!r.cache_hit);
+    assert_eq!(r.components, 5);
+    let mut rng = seeded_rng(17);
+    verify(&r.program, &k.spec, &mut rng).expect("past-wall program verifies");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The bottom-up determinism contract under CEGIS: the same seed
+    /// yields the byte-identical program at jobs = 1, 2, and 4.
+    #[test]
+    fn bottom_up_is_thread_count_invariant(seed in 0u64..1000) {
+        let k = reduction::dot_product(8);
+        let base = with_strategy(quick_synthesis_options(seed), SearchStrategy::BottomUp);
+        let reference = synthesize(&k.spec, &k.sketch, &with_jobs(base.clone(), 1))
+            .expect("dot-8 synthesizes");
+        for jobs in [2usize, 4] {
+            let r = synthesize(&k.spec, &k.sketch, &with_jobs(base.clone(), jobs))
+                .expect("dot-8 synthesizes");
+            prop_assert_eq!(
+                r.program.to_string(),
+                reference.program.to_string(),
+                "jobs={} diverged from jobs=1", jobs
+            );
+            prop_assert_eq!(r.final_cost.to_bits(), reference.final_cost.to_bits());
+        }
+    }
+}
