@@ -1,29 +1,32 @@
 //! Measures what the optimizing middle-end buys: per-kernel instruction
-//! counts (total / relin / rotation), modeled latency, and measured BFV
-//! latency at `-O0` versus `-O2`, over every paper kernel baseline and the
-//! Sobel/Harris multistep pipelines.
+//! counts (total / relin / rotation), modeled latency, and measured
+//! encrypted latency at `-O0` versus `-O2`, over every paper kernel
+//! baseline and the Sobel/Harris multistep pipelines.
 //!
 //! ```text
 //! cargo run -p porcupine-bench --release --bin fig_opt [-- [--smoke] [runs]]
 //! ```
 //!
-//! Default mode times `runs` (default 5) executions per version on the
-//! `fast_4096` preset. Every workload is correctness-gated first: the
-//! `-O0` and `-O2` lowerings must decrypt bit-identically. `--smoke` uses
-//! the small preset with one run (CI-speed; measured times are then not
-//! meaningful, but counts, modeled latency, and the bit-identical gate
-//! are). Writes a `BENCH_fig_opt.json` summary at the repo root
-//! (gitignored, like the other BENCH artifacts).
+//! Runs on the scheme selected by `PORCUPINE_SCHEME` (default BFV) — the
+//! same knob the test suites honor — with the matching per-scheme latency
+//! model, and tags the recorded JSON with the scheme. Default mode times
+//! `runs` (default 5) executions per version on the `fast_4096` preset.
+//! Every workload is correctness-gated first: the `-O0` and `-O2`
+//! lowerings must decrypt bit-identically. `--smoke` uses the small preset
+//! with one run (CI-speed; measured times are then not meaningful, but
+//! counts, modeled latency, and the bit-identical gate are). Writes a
+//! `BENCH_fig_opt.json` summary at the repo root (gitignored, like the
+//! other BENCH artifacts).
 
-use bfv::encrypt::Ciphertext;
-use bfv::keys::KeyGenerator;
-use bfv::params::{BfvContext, BfvParams};
-use porcupine::codegen::BfvRunner;
-use porcupine::opt::{optimize, OptLevel};
+use bfv::params::{BfvParams, ParamPolicy};
+use porcupine::codegen::Runner;
+use porcupine::opt::{optimize_with, OptLevel};
+use porcupine::scheme::{BfvScheme, BgvScheme, Scheme};
 use porcupine_bench::{fmt_us, median};
 use porcupine_kernels::{all_direct, composite, stencil};
 use quill::cost::LatencyModel;
 use quill::program::Program;
+use quill::scheme::SchemeId;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
@@ -46,7 +49,13 @@ fn main() {
         .iter()
         .find_map(|a| a.parse().ok())
         .unwrap_or(if smoke { 1 } else { 5 });
+    match porcupine::scheme::default_scheme() {
+        SchemeId::Bfv => run::<BfvScheme>(policy, smoke, runs),
+        SchemeId::Bgv => run::<BgvScheme>(policy, smoke, runs),
+    }
+}
 
+fn run<S: Scheme>(policy: Option<ParamPolicy>, smoke: bool, runs: usize) {
     let img = stencil::default_image();
     let mut workloads: Vec<(String, Program, usize)> = all_direct()
         .into_iter()
@@ -63,34 +72,47 @@ fn main() {
         img.slots(),
     ));
 
+    let legality = S::ID.legality();
     // `--params auto|paper` overrides the fast preset: auto picks the one
-    // set covering every workload's noise requirement (charged on the
-    // noisier -O0 lowerings).
+    // set covering every workload's noise requirement under *this* scheme's
+    // model (charged on the noisier -O0 lowerings).
+    let covering = |policy: &ParamPolicy| {
+        let lowered: Vec<(Program, usize)> = workloads
+            .iter()
+            .map(|(_, raw, n)| (optimize_with(raw, OptLevel::O0, &legality).0, *n))
+            .collect();
+        let refs: Vec<(&Program, usize)> = lowered.iter().map(|(p, n)| (p, *n)).collect();
+        porcupine_bench::params_covering_for(S::ID, &refs, 65537, policy)
+    };
     let params = match &policy {
-        Some(policy) => {
-            let lowered: Vec<(Program, usize)> = workloads
-                .iter()
-                .map(|(_, raw, n)| (optimize(raw, OptLevel::O0).0, *n))
-                .collect();
-            let refs: Vec<(&Program, usize)> = lowered.iter().map(|(p, n)| (p, *n)).collect();
-            porcupine_bench::params_covering(&refs, 65537, policy)
+        Some(policy) => covering(policy),
+        // The historical fast presets hold every workload under BFV; BGV's
+        // noise doubles per multiply and exhausts them on the depth-2
+        // kernels, so any other scheme defaults to its own covering auto
+        // selection instead of silently measuring garbage.
+        None if S::ID == SchemeId::Bfv => {
+            if smoke {
+                BfvParams::test_small()
+            } else {
+                BfvParams::fast_4096()
+            }
         }
-        None if smoke => BfvParams::test_small(),
-        None => BfvParams::fast_4096(),
+        None => covering(&ParamPolicy::auto()),
     };
     println!(
-        "# fig_opt: -O0 vs -O2, N={}, Q={} primes, {runs} timed run(s) per version{}{}",
+        "# fig_opt: -O0 vs -O2, scheme={}, N={}, Q={} primes, {runs} timed run(s) per version{}{}",
+        S::ID,
         params.poly_degree,
         params.moduli.len(),
         if smoke { " [smoke]" } else { "" },
         if policy.is_some() { " [--params]" } else { "" },
     );
-    let ctx = BfvContext::new(params).expect("valid parameters");
-    let model = LatencyModel::profiled_default();
+    let ctx = S::context(params).expect("valid parameters");
+    let model = LatencyModel::profiled_for(S::ID);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x0F70);
-    let keygen = KeyGenerator::new(&ctx, &mut rng);
-    let encryptor = bfv::encrypt::Encryptor::new(&ctx, keygen.public_key(&mut rng));
-    let decryptor = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
+    let keygen = S::keygen(&ctx, &mut rng);
+    let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
+    let decryptor = S::decryptor(&ctx, &keygen);
 
     println!(
         "{:<24} {:>14} {:>14} {:>11} {:>11} {:>10} {:>10} {:>8}",
@@ -105,15 +127,15 @@ fn main() {
     );
     let mut rows: Vec<Row> = Vec::new();
     for (name, raw, n) in workloads {
-        let (o0, _) = optimize(&raw, OptLevel::O0);
-        let (o2, _) = optimize(&raw, OptLevel::O2);
+        let (o0, _) = optimize_with(&raw, OptLevel::O0, &legality);
+        let (o2, _) = optimize_with(&raw, OptLevel::O2, &legality);
         assert_eq!(
-            optimize(&o2, OptLevel::O2).1.total_rewrites,
+            optimize_with(&o2, OptLevel::O2, &legality).1.total_rewrites,
             0,
             "{name}: -O2 must be idempotent"
         );
 
-        let runner = BfvRunner::for_programs(&ctx, &keygen, &[&o0, &o2], &mut rng);
+        let runner = Runner::<'_, S>::for_programs(&ctx, &keygen, &[&o0, &o2], &mut rng);
         let encoder = runner.encoder();
         let ct_model: Vec<Vec<u64>> = (0..raw.num_ct_inputs)
             .map(|_| (0..n).map(|_| rng.gen_range(0..64)).collect())
@@ -121,27 +143,27 @@ fn main() {
         let pt_model: Vec<Vec<u64>> = (0..raw.num_pt_inputs)
             .map(|_| (0..n).map(|_| rng.gen_range(0..64)).collect())
             .collect();
-        let cts: Vec<Ciphertext> = ct_model
+        let cts: Vec<S::Ciphertext> = ct_model
             .iter()
-            .map(|v| encryptor.encrypt(&encoder.encode(v), &mut rng))
+            .map(|v| S::encrypt(&encryptor, &S::encode(encoder, v), &mut rng))
             .collect();
         // Plaintext inputs are encoded once per workload, outside the
         // timed loop — the encode-once usage the runner is built for (the
         // cost model prices HE ops, not encodes). The correctness-gate
         // runs double as warm-up for the splat cache and scratch pool.
-        let epts: Vec<bfv::encoding::EvalPlaintext> = pt_model
+        let epts: Vec<S::EvalPlaintext> = pt_model
             .iter()
-            .map(|v| runner.evaluator().preencode(&encoder.encode(v)))
+            .map(|v| S::preencode(runner.evaluator(), &S::encode(encoder, v)))
             .collect();
-        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
-        let pt_refs: Vec<&bfv::encoding::EvalPlaintext> = epts.iter().collect();
+        let ct_refs: Vec<&S::Ciphertext> = cts.iter().collect();
+        let pt_refs: Vec<&S::EvalPlaintext> = epts.iter().collect();
 
         // Correctness gate: bit-identical decryption across levels.
         let decode = |p: &Program| {
             let out = runner.run_encoded(p, &ct_refs, &pt_refs);
-            let budget = decryptor.invariant_noise_budget(&out);
+            let budget = S::noise_budget(&decryptor, &out);
             assert!(budget > 0, "{name}: noise budget exhausted ({budget})");
-            encoder.decode(&decryptor.decrypt(&out))
+            S::decode(encoder, &S::decrypt(&decryptor, &out))
         };
         assert_eq!(
             decode(&o0),
@@ -187,7 +209,8 @@ fn main() {
     }
 
     let path = "BENCH_fig_opt.json";
-    std::fs::write(path, summary_json(smoke, runs, &rows)).expect("write BENCH_fig_opt.json");
+    std::fs::write(path, summary_json(S::ID, smoke, runs, &rows))
+        .expect("write BENCH_fig_opt.json");
     if !smoke {
         // How honest the cost model is about what the backend executes:
         // with the allocation-free runner this should sit near 1.0 (the
@@ -203,9 +226,11 @@ fn main() {
 
 /// Hand-rolled JSON (the workspace is offline; no serde). Kernel names are
 /// ASCII identifiers, so no string escaping is needed.
-fn summary_json(smoke: bool, runs: usize, rows: &[Row]) -> String {
+fn summary_json(scheme: SchemeId, smoke: bool, runs: usize, rows: &[Row]) -> String {
     let mut s = String::from("{\n");
-    s.push_str(&format!("  \"smoke\": {smoke},\n  \"runs\": {runs},\n"));
+    s.push_str(&format!(
+        "  \"scheme\": \"{scheme}\",\n  \"smoke\": {smoke},\n  \"runs\": {runs},\n"
+    ));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let v = |v: &Version| {

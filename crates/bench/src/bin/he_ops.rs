@@ -243,6 +243,11 @@ fn summary_json(
     seed_us: impl Fn(&str) -> Option<f64>,
 ) -> String {
     let mut s = String::from("{\n");
+    // This bench is pinned to BFV — the seed baseline it reports speedups
+    // against was measured there, and the aux-base machinery it profiles is
+    // BFV's — but the artifact says so explicitly (BGV instruction
+    // latencies come from `profile_latency`, which covers both schemes).
+    s.push_str("  \"scheme\": \"bfv\",\n");
     s.push_str(&format!(
         "  \"poly_degree\": {},\n  \"plain_modulus\": {},\n  \"ct_primes\": {},\n  \"aux_primes\": {},\n  \"reps\": {reps},\n  \"smoke\": {smoke},\n",
         ctx.params().poly_degree,

@@ -1,94 +1,96 @@
-//! Profiles every Quill instruction on the BFV backend — the analogue of
-//! the paper profiling SEAL to parametrize Quill's cost model (§4.2).
+//! Profiles every Quill instruction on each scheme backend — the analogue
+//! of the paper profiling SEAL to parametrize Quill's cost model (§4.2).
 //!
 //! ```text
 //! cargo run -p porcupine-bench --release --bin profile_latency [reps]
 //! ```
 //!
-//! Paste the printed constants into
-//! `quill::cost::LatencyModel::profiled_default` when re-calibrating.
+//! Both backends are profiled in one run, through the same generic
+//! [`porcupine::scheme::Scheme`] surface the runner lowers onto, under the
+//! same `fast_4096` preset. Paste the printed constants into
+//! `quill::cost::LatencyModel::profiled_default` (BFV) and
+//! `quill::cost::LatencyModel::profiled_bgv` (BGV) when re-calibrating.
+//!
+//! The standalone relinearization row is derived (`mul+relin − mul`): the
+//! trait's `relinearize_assign` mutates in place, so timing it directly
+//! would charge a fresh size-3 clone to every rep.
 
-use bfv::encoding::BatchEncoder;
-use bfv::encrypt::{Decryptor, Encryptor};
-use bfv::evaluator::Evaluator;
-use bfv::keys::KeyGenerator;
-use bfv::params::{BfvContext, BfvParams};
+use bfv::params::BfvParams;
+use porcupine::scheme::{BfvScheme, BgvScheme, Scheme};
 use porcupine_bench::{fmt_us, time_us};
 use rand::SeedableRng;
 
-fn main() {
-    let reps: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(9);
+fn profile<S: Scheme>(reps: usize) {
     let params = BfvParams::fast_4096();
     println!(
-        "# HE instruction latencies: N={}, t={}, {} primes, median of {reps} reps",
+        "# {} instruction latencies: N={}, t={}, {} primes, median of {reps} reps",
+        S::ID,
         params.poly_degree,
         params.plain_modulus,
         params.moduli.len()
     );
-    let ctx = BfvContext::new(params).expect("valid parameters");
+    let ctx = S::context(params).expect("valid parameters");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
-    let keygen = KeyGenerator::new(&ctx, &mut rng);
-    let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
-    let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
-    let encoder = BatchEncoder::new(&ctx);
-    let ev = Evaluator::new(&ctx);
-    let rk = keygen.relin_key(&mut rng);
-    let gk = keygen.galois_keys_for_rotations(&[1], false, &mut rng);
+    let keygen = S::keygen(&ctx, &mut rng);
+    let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
+    let decryptor = S::decryptor(&ctx, &keygen);
+    let encoder = S::encoder(&ctx);
+    let ev = S::evaluator(&ctx);
+    let rk = S::relin_key(&keygen, &mut rng);
+    let gk = S::galois_keys(&keygen, &[1], false, &mut rng);
 
-    let data: Vec<u64> = (0..encoder.slot_count() as u64).collect();
-    let pt = encoder.encode(&data);
-    let a = encryptor.encrypt(&pt, &mut rng);
-    let b = encryptor.encrypt(&pt, &mut rng);
+    let data: Vec<u64> = (0..S::slot_count(&encoder) as u64).collect();
+    let pt = S::encode(&encoder, &data);
+    let a = S::encrypt(&encryptor, &pt, &mut rng);
+    let b = S::encrypt(&encryptor, &pt, &mut rng);
 
     // Profile the steady-state hot path the runner executes: cached
     // EvalPlaintexts, in-place variants, pool-recycled results (warm the
     // pool untimed first). `he_ops` measures the same paths against the
     // seed baseline.
-    let ept = ev.preencode(&pt);
+    let ept = S::preencode(&ev, &pt);
     let mut acc = a.clone();
     let mut acc_rot = a.clone();
-    ev.recycle(ev.multiply_relin(&a, &b, &rk));
-    ev.rotate_rows_assign(&mut acc_rot, 1, &gk);
+    let mut warm = S::multiply(&ev, &a, &b);
+    S::relinearize_assign(&ev, &mut warm, &rk);
+    S::recycle(&ev, warm);
+    S::rotate_rows_assign(&ev, &mut acc_rot, 1, &gk);
 
     let add = time_us(reps, || {
-        ev.add_assign(std::hint::black_box(&mut acc), &b);
+        S::add_assign(&ev, std::hint::black_box(&mut acc), &b);
     });
     let sub = time_us(reps, || {
-        ev.sub_assign(std::hint::black_box(&mut acc), &b);
+        S::sub_assign(&ev, std::hint::black_box(&mut acc), &b);
     });
     let add_pt = time_us(reps, || {
-        ev.add_plain_assign(std::hint::black_box(&mut acc), &ept);
+        S::add_plain_assign(&ev, std::hint::black_box(&mut acc), &ept);
     });
     let sub_pt = time_us(reps, || {
-        ev.sub_plain_assign(std::hint::black_box(&mut acc), &ept);
+        S::sub_plain_assign(&ev, std::hint::black_box(&mut acc), &ept);
     });
     let mul_pt = time_us(reps, || {
-        ev.mul_plain_assign(std::hint::black_box(&mut acc), &ept);
+        S::mul_plain_assign(&ev, std::hint::black_box(&mut acc), &ept);
     });
     let rot = time_us(reps, || {
-        ev.rotate_rows_assign(std::hint::black_box(&mut acc_rot), 1, &gk);
+        S::rotate_rows_assign(&ev, std::hint::black_box(&mut acc_rot), 1, &gk);
     });
     let mul = time_us(reps, || {
-        ev.recycle(std::hint::black_box(ev.multiply(&a, &b)));
-    });
-    let prod3 = ev.multiply(&a, &b);
-    let relin = time_us(reps, || {
-        ev.recycle(std::hint::black_box(ev.relinearize(&prod3, &rk)));
+        S::recycle(&ev, std::hint::black_box(S::multiply(&ev, &a, &b)));
     });
     let mul_relin = time_us(reps, || {
-        ev.recycle(std::hint::black_box(ev.multiply_relin(&a, &b, &rk)));
+        let mut p = S::multiply(&ev, &a, &b);
+        S::relinearize_assign(&ev, std::hint::black_box(&mut p), &rk);
+        S::recycle(&ev, p);
     });
+    let relin = (mul_relin - mul).max(0.0);
     let pt_encode = time_us(reps, || {
-        std::hint::black_box(ev.preencode(&pt));
+        std::hint::black_box(S::preencode(&ev, &pt));
     });
     let enc_t = time_us(reps, || {
-        std::hint::black_box(encryptor.encrypt(&pt, &mut rng));
+        std::hint::black_box(S::encrypt(&encryptor, &pt, &mut rng));
     });
     let dec_t = time_us(reps, || {
-        std::hint::black_box(decryptor.decrypt(&a));
+        std::hint::black_box(S::decrypt(&decryptor, &a));
     });
 
     println!("{:<28} {}", "add-ct-ct", fmt_us(add));
@@ -98,12 +100,13 @@ fn main() {
     println!("{:<28} {}", "mul-ct-pt", fmt_us(mul_pt));
     println!("{:<28} {}", "rot-ct (keyswitch)", fmt_us(rot));
     println!("{:<28} {}", "mul-ct-ct (raw tensor)", fmt_us(mul));
-    println!("{:<28} {}", "relin-ct (keyswitch)", fmt_us(relin));
+    println!("{:<28} {}", "relin-ct (derived)", fmt_us(relin));
     println!("{:<28} {}", "mul-ct-ct + relin", fmt_us(mul_relin));
     println!("{:<28} {}", "pt encode (once per pt)", fmt_us(pt_encode));
     println!("{:<28} {}", "encrypt", fmt_us(enc_t));
     println!("{:<28} {}", "decrypt", fmt_us(dec_t));
     println!();
+    println!("// LatencyModel::profiled_{} candidates", S::ID);
     println!("LatencyModel {{");
     println!("    add_ct_ct: {add:.1},");
     println!("    sub_ct_ct: {sub:.1},");
@@ -114,4 +117,14 @@ fn main() {
     println!("    rot_ct: {rot:.1},");
     println!("    relin_ct: {relin:.1},");
     println!("}}");
+    println!();
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    profile::<BfvScheme>(reps);
+    profile::<BgvScheme>(reps);
 }

@@ -319,8 +319,7 @@ fn summary_json(jobs: usize, available: usize, rows: &[Row], best: &Row, geomean
 /// re-verification); `warm_secs` is the steady in-process replay.
 fn scale_json(available: usize, rows: &[CacheRow]) -> String {
     let min = rows.iter().map(|r| r.warm_speedup).fold(f64::MAX, f64::min);
-    let geomean =
-        (rows.iter().map(|r| r.warm_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let geomean = (rows.iter().map(|r| r.warm_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"available_parallelism\": {available},\n  \"warm_verified_hit\": true,\n"

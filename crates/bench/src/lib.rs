@@ -64,16 +64,28 @@ pub fn parse_params(mut args: Vec<String>) -> (Option<bfv::params::ParamPolicy>,
     (Some(policy), args)
 }
 
-/// Resolves a parameter policy against *several* lowered programs at once,
-/// returning the largest individual selection — the single parameter set a
-/// whole-suite benchmark (one context, one key set) can run every workload
-/// under while keeping each program's noise margin.
+/// [`params_covering_for`] on the BFV backend — the historical signature
+/// the BFV-only binaries call.
+pub fn params_covering(
+    programs: &[(&quill::program::Program, usize)],
+    t: u64,
+    policy: &bfv::params::ParamPolicy,
+) -> bfv::params::BfvParams {
+    params_covering_for(quill::scheme::SchemeId::Bfv, programs, t, policy)
+}
+
+/// Resolves a parameter policy against *several* lowered programs at once
+/// under one scheme's selector and noise model, returning the largest
+/// individual selection — the single parameter set a whole-suite benchmark
+/// (one context, one key set) can run every workload under while keeping
+/// each program's noise margin.
 ///
 /// # Panics
 ///
 /// Panics if any program fails to resolve (a bench workload the candidate
 /// table cannot hold is a configuration error, not a measurement).
-pub fn params_covering(
+pub fn params_covering_for(
+    scheme: quill::scheme::SchemeId,
     programs: &[(&quill::program::Program, usize)],
     t: u64,
     policy: &bfv::params::ParamPolicy,
@@ -90,9 +102,9 @@ pub fn params_covering(
     let chosen = programs
         .iter()
         .map(|(prog, min_slots)| {
-            policy
-                .resolve(prog, *min_slots, t)
-                .unwrap_or_else(|e| panic!("{}: parameter selection failed: {e}", prog.name))
+            porcupine::scheme::resolve_params(scheme, policy, prog, *min_slots, t).unwrap_or_else(
+                |e| panic!("{} [{scheme}]: parameter selection failed: {e}", prog.name),
+            )
         })
         .max_by_key(key)
         .expect("at least one program");
@@ -100,12 +112,12 @@ pub fn params_covering(
     // guarantee directly — every program keeps its margin under the
     // chosen set, whatever shape future candidate-table rows take.
     if let bfv::params::ParamPolicy::Auto { margin_bits } = policy {
-        let model = bfv::noise::NoiseModel::for_params(&chosen);
         for (prog, _) in programs {
-            let predicted = model.analyze(prog).predicted_budget_bits;
+            let predicted =
+                porcupine::scheme::analyze_noise(scheme, &chosen, prog).predicted_budget_bits;
             assert!(
                 predicted >= *margin_bits,
-                "{}: covering set leaves only {predicted:.1} bits (margin {margin_bits})",
+                "{} [{scheme}]: covering set leaves only {predicted:.1} bits (margin {margin_bits})",
                 prog.name
             );
         }

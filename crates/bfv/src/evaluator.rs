@@ -49,7 +49,7 @@ use crate::ntt::{pointwise_mul_add_into, pointwise_mul_into};
 use crate::params::BfvContext;
 use crate::poly::{PolyForm, RingContext, RnsPoly};
 use crate::pool::{PoolStats, ScratchPool};
-use crate::zq::{add_mod, mul_mod_shoup, sub_mod};
+use crate::zq::{mul_mod_shoup, sub_mod};
 
 /// Evaluator over one context, with a private [`ScratchPool`] backing the
 /// allocation-free hot path.
@@ -422,52 +422,7 @@ impl<'a> Evaluator<'a> {
         acc_b: &mut RnsPoly,
         acc_a: &mut RnsPoly,
     ) {
-        let ring = self.ctx.ring();
-        let k = ring.num_primes();
-        let n = ring.degree();
-        let pool = &self.pool;
-        // Coefficient-domain view of d: borrowed if already there, else a
-        // pooled copy through k inverse transforms.
-        let mut d_store: Option<Vec<Vec<u64>>> = None;
-        let d_coeff: &[Vec<u64>] = if d.form() == PolyForm::Coeff {
-            &d.residues
-        } else {
-            let mut m = pool.take_matrix(k, n);
-            for ((i, row), src) in m.iter_mut().enumerate().zip(&d.residues) {
-                row.copy_from_slice(src);
-                ring.ntt(i).inverse(row);
-            }
-            &*d_store.insert(m)
-        };
-        let mut digit = pool.take_row(n);
-        for (i, src) in d_coeff.iter().enumerate().take(k) {
-            let (b_i, a_i) = &ksk.parts[i];
-            let (b_shoup, a_shoup) = &ksk.shoup[i];
-            for j in 0..k {
-                let p = ring.primes()[j];
-                if i == j {
-                    digit.copy_from_slice(src);
-                } else {
-                    let bar = ring.barretts()[j];
-                    for (dst, &x) in digit.iter_mut().zip(src) {
-                        *dst = bar.reduce_u64(x);
-                    }
-                }
-                ring.ntt(j).forward(&mut digit);
-                let (bb, aa) = (&b_i.residues[j], &a_i.residues[j]);
-                let (bs, asg) = (&b_shoup[j], &a_shoup[j]);
-                let accb = &mut acc_b.residues[j];
-                let acca = &mut acc_a.residues[j];
-                for c in 0..n {
-                    accb[c] = add_mod(accb[c], mul_mod_shoup(digit[c], bb[c], bs[c], p), p);
-                    acca[c] = add_mod(acca[c], mul_mod_shoup(digit[c], aa[c], asg[c], p), p);
-                }
-            }
-        }
-        pool.put_row(digit);
-        if let Some(m) = d_store {
-            pool.put_matrix(m);
-        }
+        rlwe_ring::keyswitch::key_switch_into(self.ctx.ring(), &self.pool, d, ksk, acc_b, acc_a);
     }
 
     /// Relinearizes a size-3 ciphertext back to size 2.

@@ -42,8 +42,10 @@
 //!
 //! The number theory underneath — big integers, 64-bit prime fields,
 //! negacyclic NTTs with branchless Shoup/Barrett arithmetic, and CRT/RNS
-//! contexts with exact base converters — is implemented in-repo and
-//! exposed for reuse ([`bigint`], [`zq`], [`ntt`], [`rns`], [`poly`]).
+//! contexts with exact base converters — lives in the shared
+//! [`rlwe_ring`] crate (re-exported here as [`bigint`], [`zq`], [`ntt`],
+//! [`rns`], [`poly`], [`pool`]) and is also what the sibling `bgv` crate
+//! builds on.
 //!
 //! **Security caveat**: this is a research-grade implementation for
 //! reproducing a compiler paper. The samplers use a non-hardened RNG and a
@@ -79,18 +81,17 @@
 //! # Ok::<(), bfv::params::ParamError>(())
 //! ```
 
-pub mod bigint;
 pub mod encoding;
 pub mod encrypt;
 pub mod evaluator;
 pub mod keys;
 pub mod noise;
-pub mod ntt;
 pub mod params;
-pub mod poly;
-pub mod pool;
-pub mod rns;
-pub mod zq;
+
+// The ring-arithmetic layer moved to the shared `rlwe-ring` crate when BGV
+// arrived; re-export the modules so `bfv::poly::...`-style paths keep
+// working.
+pub use rlwe_ring::{bigint, ntt, poly, pool, rns, zq};
 
 pub use encoding::{BatchEncoder, Plaintext};
 pub use encrypt::{Ciphertext, Decryptor, Encryptor};

@@ -1,5 +1,12 @@
 //! BFV parameter sets, the shared evaluation context, and noise-aware
 //! automatic parameter selection ([`ParamSelector`]).
+//!
+//! The parameter *struct* and its structural validation are scheme-neutral
+//! and live in [`rlwe_ring::params`] ([`BfvParams`] is an alias of
+//! [`rlwe_ring::params::RlweParams`]); this module adds what is BFV-specific:
+//! the [`BfvContext`] precomputation (`Δ = ⌊Q/t⌋` encoding constants and the
+//! auxiliary multiplication base) and the [`ParamSelector`] candidate table
+//! driven by the BFV [`NoiseModel`].
 
 use crate::bigint::BigUint;
 use crate::noise::{NoiseModel, NoiseReport};
@@ -8,298 +15,35 @@ use crate::poly::RingContext;
 use crate::rns::{RnsBaseConverter, RnsContext};
 use crate::zq;
 use quill::program::Program;
-use std::error::Error;
-use std::fmt;
 
-/// Errors from parameter validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParamError {
-    /// `N` is not a power of two in the supported range.
-    BadDegree(usize),
-    /// The plaintext modulus is not a batching-compatible prime.
-    BadPlainModulus(u64),
-    /// A ciphertext modulus prime is invalid for this `N`.
-    BadPrime(u64),
-    /// The same prime appears twice in the ciphertext chain (CRT needs
-    /// pairwise-coprime moduli; a duplicate used to panic inside the RNS
-    /// setup).
-    DuplicatePrime(u64),
-    /// The plaintext modulus is not coprime to the ciphertext modulus (it
-    /// appears in the chain), which breaks the `Δ = ⌊Q/t⌋` encoding.
-    PlainNotCoprime(u64),
-    /// Fewer than two RNS primes (RNS-decomposition key switching needs ≥ 2).
-    TooFewPrimes(usize),
-}
+pub use rlwe_ring::params::{ParamError, ParamPolicy, SelectError, DEFAULT_MARGIN_BITS};
 
-impl fmt::Display for ParamError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParamError::BadDegree(n) => {
-                write!(
-                    f,
-                    "polynomial degree {n} must be a power of two in [16, 32768]"
-                )
-            }
-            ParamError::BadPlainModulus(t) => write!(
-                f,
-                "plaintext modulus {t} must be a prime congruent to 1 mod 2N for batching"
-            ),
-            ParamError::BadPrime(p) => {
-                write!(f, "ciphertext modulus prime {p} must be prime and 1 mod 2N")
-            }
-            ParamError::DuplicatePrime(p) => {
-                write!(f, "ciphertext modulus prime {p} appears more than once")
-            }
-            ParamError::PlainNotCoprime(t) => write!(
-                f,
-                "plaintext modulus {t} must be coprime to the ciphertext modulus chain"
-            ),
-            ParamError::TooFewPrimes(k) => {
-                write!(f, "need at least 2 RNS primes for key switching, got {k}")
-            }
-        }
-    }
-}
+/// A BFV parameter set. Alias of the scheme-neutral
+/// [`rlwe_ring::params::RlweParams`] — a set selected for BFV can be handed
+/// to the BGV backend unchanged (and vice versa), which is what the
+/// cross-scheme differential tests rely on.
+pub type BfvParams = rlwe_ring::params::RlweParams;
 
-impl Error for ParamError {}
-
-/// A BFV parameter set: ring degree, plaintext modulus, and the RNS
-/// ciphertext modulus chain.
+/// Resolves a [`ParamPolicy`] for a lowered program under the **BFV** noise
+/// model: a `Fixed` set is validated structurally and for capacity; an
+/// `Auto` policy runs the [`ParamSelector`] over its candidate table.
 ///
-/// # Examples
+/// # Errors
 ///
-/// ```
-/// use bfv::params::BfvParams;
-///
-/// let params = BfvParams::test_small();
-/// assert!(params.validate().is_ok());
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BfvParams {
-    /// Ring degree `N` (a power of two). Ciphertexts hold `N` slots arranged
-    /// as a 2 × N/2 matrix.
-    pub poly_degree: usize,
-    /// Plaintext modulus `t` (prime, `t ≡ 1 mod 2N`).
-    pub plain_modulus: u64,
-    /// RNS ciphertext primes `q_i` (each `≡ 1 mod 2N`).
-    pub moduli: Vec<u64>,
+/// See [`SelectError`].
+pub fn resolve_policy(
+    policy: &ParamPolicy,
+    prog: &Program,
+    min_slots: usize,
+    t: u64,
+) -> Result<BfvParams, SelectError> {
+    policy.resolve_with(min_slots, t, |margin_bits| {
+        ParamSelector::new(t)
+            .with_margin_bits(margin_bits)
+            .select(prog, min_slots)
+            .map(|s| s.params)
+    })
 }
-
-impl BfvParams {
-    /// Generates a parameter set with `count` fresh primes of `bits` bits.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the resulting set fails [`BfvParams::validate`].
-    pub fn generate(
-        poly_degree: usize,
-        plain_modulus: u64,
-        bits: u32,
-        count: usize,
-    ) -> Result<Self, ParamError> {
-        if !poly_degree.is_power_of_two() || !(16..=32768).contains(&poly_degree) {
-            return Err(ParamError::BadDegree(poly_degree));
-        }
-        let moduli = zq::ntt_primes(bits, 2 * poly_degree as u64, count, &[plain_modulus]);
-        let params = BfvParams {
-            poly_degree,
-            plain_modulus,
-            moduli,
-        };
-        params.validate()?;
-        Ok(params)
-    }
-
-    /// Small parameters for unit tests: `N = 1024`, `t = 65537`, 3 × 45-bit
-    /// primes. **Toy security** — fast, not safe.
-    pub fn test_small() -> Self {
-        BfvParams::generate(1024, 65537, 45, 3).expect("static parameters are valid")
-    }
-
-    /// Mid-size parameters used by the synthesis-to-backend integration
-    /// tests: `N = 4096`, `t = 65537`, 3 × 46-bit primes (`Q ≈ 138` bits).
-    /// At `N = 4096` the homomorphic-encryption standard allows ~109 bits for
-    /// 128-bit security, so this set trades security margin for speed; use
-    /// [`BfvParams::secure_128`] for benchmark-grade settings.
-    pub fn fast_4096() -> Self {
-        BfvParams::generate(4096, 65537, 46, 3).expect("static parameters are valid")
-    }
-
-    /// Benchmark parameters mirroring the paper's SEAL settings: `N = 8192`,
-    /// `t = 65537`, 4 × 50-bit primes (`Q = 200` bits ≤ the 218-bit bound for
-    /// 128-bit security at `N = 8192` from the HE security standard).
-    pub fn secure_128() -> Self {
-        BfvParams::generate(8192, 65537, 50, 4).expect("static parameters are valid")
-    }
-
-    /// The fixed parameter set the paper evaluates every kernel under
-    /// (alias of [`BfvParams::secure_128`]) — the baseline the automatic
-    /// selector ([`ParamSelector`]) replaces.
-    pub fn paper() -> Self {
-        BfvParams::secure_128()
-    }
-
-    /// Checks all structural requirements.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first violated requirement.
-    pub fn validate(&self) -> Result<(), ParamError> {
-        let n = self.poly_degree;
-        if !n.is_power_of_two() || !(16..=32768).contains(&n) {
-            return Err(ParamError::BadDegree(n));
-        }
-        let two_n = 2 * n as u64;
-        let t = self.plain_modulus;
-        if !zq::is_prime(t) || !(t - 1).is_multiple_of(two_n) {
-            return Err(ParamError::BadPlainModulus(t));
-        }
-        if self.moduli.len() < 2 {
-            return Err(ParamError::TooFewPrimes(self.moduli.len()));
-        }
-        for (i, &q) in self.moduli.iter().enumerate() {
-            if !zq::is_prime(q) || (q - 1) % two_n != 0 {
-                return Err(ParamError::BadPrime(q));
-            }
-            if q == t {
-                return Err(ParamError::PlainNotCoprime(t));
-            }
-            if self.moduli[..i].contains(&q) {
-                return Err(ParamError::DuplicatePrime(q));
-            }
-        }
-        Ok(())
-    }
-
-    /// Number of SIMD slots (`N`; arranged as two rows of `N/2`).
-    pub fn slot_count(&self) -> usize {
-        self.poly_degree
-    }
-
-    /// Slots per batching row (`N / 2`) — the unit `rotate_rows` acts on.
-    pub fn row_size(&self) -> usize {
-        self.poly_degree / 2
-    }
-}
-
-/// Default safety margin for automatic parameter selection: the selected
-/// set must leave at least this many bits of predicted noise budget at
-/// decryption.
-pub const DEFAULT_MARGIN_BITS: f64 = 10.0;
-
-/// How the compiler obtains BFV parameters for a program.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ParamPolicy {
-    /// Select the smallest satisfying set from the candidate table via the
-    /// static noise analysis ([`ParamSelector`]).
-    Auto {
-        /// Required predicted budget (bits) left at decryption.
-        margin_bits: f64,
-    },
-    /// Use a caller-supplied parameter set unconditionally.
-    Fixed(BfvParams),
-}
-
-impl Default for ParamPolicy {
-    fn default() -> Self {
-        ParamPolicy::auto()
-    }
-}
-
-impl ParamPolicy {
-    /// Automatic selection with the default margin.
-    pub fn auto() -> Self {
-        ParamPolicy::Auto {
-            margin_bits: DEFAULT_MARGIN_BITS,
-        }
-    }
-
-    /// Resolves the policy for a lowered program that needs `min_slots`
-    /// batching slots per row and plaintext modulus `t`.
-    ///
-    /// # Errors
-    ///
-    /// [`SelectError`] if no candidate satisfies an `Auto` policy, or if a
-    /// `Fixed` set fails validation / has too few slots.
-    pub fn resolve(
-        &self,
-        prog: &Program,
-        min_slots: usize,
-        t: u64,
-    ) -> Result<BfvParams, SelectError> {
-        match self {
-            ParamPolicy::Auto { margin_bits } => ParamSelector::new(t)
-                .with_margin_bits(*margin_bits)
-                .select(prog, min_slots)
-                .map(|s| s.params),
-            ParamPolicy::Fixed(params) => {
-                params
-                    .validate()
-                    .map_err(|e| SelectError::BadFixedParams(e.to_string()))?;
-                if params.row_size() < min_slots || params.plain_modulus != t {
-                    return Err(SelectError::BadFixedParams(format!(
-                        "fixed set (N = {}, t = {}) cannot hold {min_slots} slots of a \
-                         t = {t} program",
-                        params.poly_degree, params.plain_modulus
-                    )));
-                }
-                Ok(params.clone())
-            }
-        }
-    }
-}
-
-/// Why automatic parameter selection failed.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SelectError {
-    /// No candidate in the table satisfies the noise bound with the
-    /// requested margin (the program is too deep, or needs too many slots).
-    NoCandidate {
-        /// The requested margin.
-        margin_bits: f64,
-        /// Slots the program needs per batching row.
-        min_slots: usize,
-        /// Best predicted remaining budget over all size-compatible
-        /// candidates, with the `N` that achieved it.
-        best: Option<(usize, f64)>,
-    },
-    /// The plaintext modulus is incompatible with every candidate degree
-    /// (`t` must be prime and `≡ 1 mod 2N`).
-    UnsupportedPlainModulus(u64),
-    /// A `Fixed` policy carried an unusable parameter set.
-    BadFixedParams(String),
-}
-
-impl fmt::Display for SelectError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SelectError::NoCandidate {
-                margin_bits,
-                min_slots,
-                best,
-            } => {
-                write!(
-                    f,
-                    "no candidate parameter set leaves {margin_bits} bits of noise budget \
-                     with {min_slots} slots"
-                )?;
-                if let Some((n, remaining)) = best {
-                    write!(f, " (best: N = {n} with {remaining:.1} bits remaining)")?;
-                }
-                Ok(())
-            }
-            SelectError::UnsupportedPlainModulus(t) => {
-                write!(
-                    f,
-                    "plaintext modulus {t} is incompatible with every candidate degree"
-                )
-            }
-            SelectError::BadFixedParams(why) => write!(f, "fixed parameter set unusable: {why}"),
-        }
-    }
-}
-
-impl Error for SelectError {}
 
 /// One row of the candidate table: `count` fresh primes of `bits` bits at
 /// degree `poly_degree`.
@@ -687,89 +431,18 @@ impl BfvContext {
 mod tests {
     use super::*;
 
-    #[test]
-    fn presets_validate() {
-        for p in [BfvParams::test_small(), BfvParams::fast_4096()] {
-            assert!(p.validate().is_ok());
-            assert_eq!(p.plain_modulus, 65537);
-        }
-    }
-
-    #[test]
-    fn secure_preset_modulus_size() {
-        let p = BfvParams::secure_128();
-        assert!(p.validate().is_ok());
-        let total_bits: u32 = p.moduli.iter().map(|&q| 64 - q.leading_zeros()).sum();
-        assert!(
-            total_bits <= 218,
-            "Q must stay under the 128-bit security bound"
-        );
-    }
-
-    #[test]
-    fn rejects_bad_degree() {
-        let mut p = BfvParams::test_small();
-        p.poly_degree = 1000;
-        assert_eq!(p.validate(), Err(ParamError::BadDegree(1000)));
-    }
-
-    #[test]
-    fn rejects_bad_plain_modulus() {
-        let mut p = BfvParams::test_small();
-        p.plain_modulus = 65536; // not prime
-        assert!(matches!(p.validate(), Err(ParamError::BadPlainModulus(_))));
-        p.plain_modulus = 97; // prime but 2N does not divide 96
-        assert!(matches!(p.validate(), Err(ParamError::BadPlainModulus(_))));
-    }
-
-    #[test]
-    fn rejects_single_prime() {
-        let mut p = BfvParams::test_small();
-        p.moduli.truncate(1);
-        assert_eq!(p.validate(), Err(ParamError::TooFewPrimes(1)));
-    }
-
-    #[test]
-    fn rejects_non_ntt_friendly_prime() {
-        let mut p = BfvParams::test_small();
-        // Prime, but 2N = 2048 does not divide p − 1.
-        p.moduli[1] = 65539;
-        assert_eq!(p.validate(), Err(ParamError::BadPrime(65539)));
-        // Not prime at all.
-        p.moduli[1] = (1 << 45) - 1;
-        assert!(matches!(p.validate(), Err(ParamError::BadPrime(_))));
-    }
-
     /// Duplicate chain primes used to sail through validation and panic
-    /// deep in the CRT/NTT setup (`inv_mod` of zero); now they are a
-    /// first-class error, and context construction reports it instead of
-    /// panicking.
+    /// deep in the CRT/NTT setup (`inv_mod` of zero); context construction
+    /// must report them instead of panicking.
     #[test]
-    fn rejects_duplicate_primes_without_panicking() {
+    fn context_rejects_duplicate_primes_without_panicking() {
         let mut p = BfvParams::test_small();
         p.moduli[1] = p.moduli[0];
         let dup = p.moduli[0];
-        assert_eq!(p.validate(), Err(ParamError::DuplicatePrime(dup)));
         assert_eq!(
             BfvContext::new(p).err(),
             Some(ParamError::DuplicatePrime(dup))
         );
-    }
-
-    /// `t` sharing a prime with the chain is its own error (it used to be
-    /// misreported as a bad ciphertext prime).
-    #[test]
-    fn rejects_plain_modulus_in_chain() {
-        let mut p = BfvParams::test_small();
-        // 65537 ≡ 1 mod 2048, so it is chain-eligible at N = 1024 — the
-        // coprimality check is what must reject it.
-        p.moduli[2] = p.plain_modulus;
-        assert_eq!(p.validate(), Err(ParamError::PlainNotCoprime(65537)));
-    }
-
-    #[test]
-    fn paper_params_alias_secure_128() {
-        assert_eq!(BfvParams::paper(), BfvParams::secure_128());
     }
 
     #[test]
@@ -855,14 +528,23 @@ mod tests {
             vec![Instr::RotCt(ValRef::Input(0), 1)],
             ValRef::Instr(0),
         );
-        let auto = ParamPolicy::auto().resolve(&prog, 8, 65537).unwrap();
+        let auto = resolve_policy(&ParamPolicy::auto(), &prog, 8, 65537).unwrap();
         assert!(auto.validate().is_ok());
-        let fixed = ParamPolicy::Fixed(BfvParams::test_small())
-            .resolve(&prog, 8, 65537)
-            .unwrap();
+        let fixed = resolve_policy(
+            &ParamPolicy::Fixed(BfvParams::test_small()),
+            &prog,
+            8,
+            65537,
+        )
+        .unwrap();
         assert_eq!(fixed, BfvParams::test_small());
         // A fixed set that cannot hold the slots is rejected.
-        let err = ParamPolicy::Fixed(BfvParams::test_small()).resolve(&prog, 4096, 65537);
+        let err = resolve_policy(
+            &ParamPolicy::Fixed(BfvParams::test_small()),
+            &prog,
+            4096,
+            65537,
+        );
         assert!(matches!(err, Err(SelectError::BadFixedParams(_))));
     }
 

@@ -1,13 +1,15 @@
-//! SIMD batch encoding: packs `N` integers mod `t` into one plaintext
-//! polynomial so HE ops act slot-wise, with SEAL-compatible 2 × (N/2) slot
-//! geometry.
+//! SIMD batch encoding for BGV: packs `N` integers mod `t` into one
+//! plaintext polynomial so HE ops act slot-wise.
 //!
 //! The slot geometry (and the Galois elements acting on it) is
-//! scheme-agnostic and lives in [`rlwe_ring::batch`]; this module adds the
-//! BFV-specific half — scaling the encoded polynomial by `Δ = ⌊Q/t⌋` on
-//! its way into the ciphertext ring.
+//! scheme-agnostic and lives in [`rlwe_ring::batch`]; it is byte-identical
+//! to the BFV encoder's, which is what keeps a kernel's slot semantics
+//! stable across schemes. The scheme-specific half is the ciphertext-ring
+//! lift: BGV carries the plaintext in the **least-significant digit**
+//! (`m + t·noise`), so [`EvalPlaintext`] caches only the raw lift `m` —
+//! there is no `Δ` scaling anywhere in this backend.
 
-use crate::params::BfvContext;
+use crate::params::BgvContext;
 use crate::poly::RnsPoly;
 
 pub use rlwe_ring::batch::{galois_element_for_column_swap, galois_element_for_rotation};
@@ -26,36 +28,21 @@ impl Plaintext {
 }
 
 /// A plaintext pre-lifted into the ciphertext ring and NTT-transformed —
-/// SEAL's "plaintext in NTT form", the encode-once half of the evaluator
-/// hot path.
-///
-/// Both evaluation-form variants every plaintext op needs are cached:
-/// the raw lift `m` (what `mul_plain` multiplies by) and the scaled lift
-/// `Δ·m` (what `add_plain`/`sub_plain` add into `c0`). Build one per
-/// distinct plaintext — via [`EvalPlaintext::new`],
-/// [`BatchEncoder::encode_eval`], or `Evaluator::preencode` — and reuse it
-/// across operations: each reuse skips the per-op RNS lift and `k` forward
-/// NTTs the `Plaintext`-taking entry points pay.
-///
-/// Results are bit-identical to the on-the-fly path: scalar multiplication
-/// commutes with the NTT, so transforming `m` once and scaling by Δ in the
-/// evaluation domain yields exactly the residues the coefficient-domain
-/// order produced.
+/// the encode-once half of the evaluator hot path. BGV needs only the raw
+/// lift `m`: `add_plain` adds it to `c0` directly and `mul_plain`
+/// multiplies by it pointwise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalPlaintext {
     /// The plaintext lifted to `R_Q`, evaluation form.
     pub(crate) m: RnsPoly,
-    /// `Δ·m`, evaluation form.
-    pub(crate) delta_m: RnsPoly,
 }
 
 impl EvalPlaintext {
     /// Lifts and transforms `pt` once for the given context.
-    pub fn new(ctx: &BfvContext, pt: &Plaintext) -> Self {
+    pub fn new(ctx: &BgvContext, pt: &Plaintext) -> Self {
         let ring = ctx.ring();
         let m = ring.to_eval(&ring.from_u64_coeffs(&pt.coeffs));
-        let delta_m = ring.mul_scalar_residues(&m, ctx.delta_residues());
-        EvalPlaintext { m, delta_m }
+        EvalPlaintext { m }
     }
 }
 
@@ -64,21 +51,21 @@ impl EvalPlaintext {
 /// # Examples
 ///
 /// ```
-/// use bfv::params::{BfvContext, BfvParams};
-/// use bfv::encoding::BatchEncoder;
+/// use bgv::params::{self, BgvContext};
+/// use bgv::encoding::BatchEncoder;
 ///
-/// let ctx = BfvContext::new(BfvParams::test_small())?;
+/// let ctx = BgvContext::new(params::test_small())?;
 /// let encoder = BatchEncoder::new(&ctx);
 /// let mut v = vec![0u64; encoder.slot_count()];
 /// v[0] = 7;
 /// v[1] = 11;
 /// let pt = encoder.encode(&v);
 /// assert_eq!(encoder.decode(&pt), v);
-/// # Ok::<(), bfv::params::ParamError>(())
+/// # Ok::<(), bgv::params::ParamError>(())
 /// ```
 #[derive(Debug)]
 pub struct BatchEncoder<'a> {
-    ctx: &'a BfvContext,
+    ctx: &'a BgvContext,
     /// `slot_to_eval[slot] = j` where the slot's value is the evaluation at
     /// `ψ^(2j+1)` (the natural-order output index of the plaintext NTT).
     slot_to_eval: Vec<usize>,
@@ -86,7 +73,7 @@ pub struct BatchEncoder<'a> {
 
 impl<'a> BatchEncoder<'a> {
     /// Builds the slot map for a context.
-    pub fn new(ctx: &'a BfvContext) -> Self {
+    pub fn new(ctx: &'a BgvContext) -> Self {
         let slot_to_eval = rlwe_ring::batch::slot_to_eval_map(ctx.params().poly_degree);
         BatchEncoder { ctx, slot_to_eval }
     }
@@ -162,10 +149,10 @@ impl<'a> BatchEncoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::BfvParams;
+    use crate::params;
 
-    fn small_ctx() -> BfvContext {
-        BfvContext::new(BfvParams::generate(32, 193, 40, 2).unwrap()).unwrap()
+    fn small_ctx() -> BgvContext {
+        BgvContext::new(params::test_small()).unwrap()
     }
 
     #[test]
@@ -191,77 +178,20 @@ mod tests {
         assert_eq!(enc.decode_signed(&pt)[..3], [-5, 90, -96]);
     }
 
+    /// The BGV and BFV encoders must agree coefficient-for-coefficient:
+    /// the slot map and the plaintext NTT are shared, so the same slot
+    /// vector encodes to the same polynomial under both schemes. This is
+    /// the foundation of the cross-scheme differential tests.
     #[test]
-    fn plaintext_automorphism_rotates_rows() {
-        // Applying x -> x^3 to the plaintext polynomial must rotate both
-        // rows left by one in slot space.
-        let ctx = small_ctx();
-        let enc = BatchEncoder::new(&ctx);
-        let n = enc.slot_count();
-        let half = n / 2;
-        let t = ctx.params().plain_modulus;
-        let v: Vec<u64> = (0..n as u64).map(|i| (i + 1) % t).collect();
-        let pt = enc.encode(&v);
-
-        // automorphism over Z_t coefficients
-        let two_n = 2 * n as u64;
-        let g = 3u64;
-        let mut out = vec![0u64; n];
-        for c in 0..n {
-            let target = (c as u64 * g) % two_n;
-            let val = pt.coeffs[c];
-            if target < n as u64 {
-                out[target as usize] = (out[target as usize] + val) % t;
-            } else {
-                out[(target - n as u64) as usize] =
-                    (out[(target - n as u64) as usize] + t - val) % t;
-            }
-        }
-        let rotated = enc.decode(&Plaintext { coeffs: out });
-        for i in 0..half {
-            assert_eq!(rotated[i], v[(i + 1) % half], "row0 slot {i}");
-            assert_eq!(rotated[half + i], v[half + (i + 1) % half], "row1 slot {i}");
-        }
-    }
-
-    #[test]
-    fn column_swap_element_swaps_rows() {
-        let ctx = small_ctx();
-        let enc = BatchEncoder::new(&ctx);
-        let n = enc.slot_count();
-        let half = n / 2;
-        let t = ctx.params().plain_modulus;
-        let v: Vec<u64> = (0..n as u64).map(|i| (3 * i + 2) % t).collect();
-        let pt = enc.encode(&v);
-        let g = galois_element_for_column_swap(n);
-        let two_n = 2 * n as u64;
-        let mut out = vec![0u64; n];
-        for c in 0..n {
-            let target = (c as u64 * g) % two_n;
-            let val = pt.coeffs[c];
-            if target < n as u64 {
-                out[target as usize] = (out[target as usize] + val) % t;
-            } else {
-                out[(target - n as u64) as usize] =
-                    (out[(target - n as u64) as usize] + t - val) % t;
-            }
-        }
-        let swapped = enc.decode(&Plaintext { coeffs: out });
-        for i in 0..half {
-            assert_eq!(swapped[i], v[half + i]);
-            assert_eq!(swapped[half + i], v[i]);
-        }
-    }
-
-    #[test]
-    fn slot_map_is_a_permutation() {
-        let ctx = small_ctx();
-        let enc = BatchEncoder::new(&ctx);
-        let mut seen = vec![false; enc.slot_count()];
-        for &j in &enc.slot_to_eval {
-            assert!(!seen[j], "duplicate eval index {j}");
-            seen[j] = true;
-        }
-        assert!(seen.iter().all(|&b| b));
+    fn encoding_matches_bfv_bit_for_bit() {
+        let bgv_ctx = small_ctx();
+        let bfv_ctx = bfv::params::BfvContext::new(bfv::params::BfvParams::test_small()).unwrap();
+        let bgv_enc = BatchEncoder::new(&bgv_ctx);
+        let bfv_enc = bfv::encoding::BatchEncoder::new(&bfv_ctx);
+        let t = bgv_ctx.params().plain_modulus;
+        let v: Vec<u64> = (0..bgv_enc.slot_count() as u64)
+            .map(|i| (i * 31 + 17) % t)
+            .collect();
+        assert_eq!(bgv_enc.encode(&v).coeffs(), bfv_enc.encode(&v).coeffs());
     }
 }

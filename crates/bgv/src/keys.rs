@@ -1,15 +1,15 @@
-//! Key material: secret/public keys, relinearization keys, and Galois keys,
-//! all using RNS-decomposition key switching.
+//! BGV key material: secret/public keys, relinearization keys, and Galois
+//! keys, all using the shared RNS-decomposition key switching.
 //!
-//! The key-switch key construction itself (`b_i = -(a_i·s + e_i) + γ_i·s'`
-//! per RNS prime, with Shoup companions) is scheme-agnostic and lives in
-//! [`rlwe_ring::keyswitch`]; this module instantiates it for BFV (no error
-//! scaling) and adds the key *kinds* the evaluator consumes —
-//! relinearization keys for `s' = s²` and Galois keys for `s' = σ_g(s)`,
-//! the latter caching the evaluation-domain index permutation of their
-//! automorphism so rotations never recompute it.
+//! The construction is [`rlwe_ring::keyswitch`]'s with one twist: every
+//! error term is **scaled by `t`** before it enters a key. BGV decryption
+//! reads the plaintext out of the least-significant digit of the phase
+//! (`w = m + t·noise mod Q`), so key material whose noise were not a
+//! multiple of `t` would corrupt the message digit rather than merely
+//! consuming budget. The public key is `b = -(a·s + t·e)`, and key-switch
+//! keys carry `b_i = -(a_i·s + t·e_i) + γ_i·s'`.
 
-use crate::params::BfvContext;
+use crate::params::BgvContext;
 use crate::poly::RnsPoly;
 use rand::Rng;
 use std::collections::HashMap;
@@ -22,7 +22,28 @@ pub struct SecretKey {
     pub(crate) s: RnsPoly,
 }
 
-/// The public key: an RLWE sample `(b, a)` with `b = -(a·s + e)`, in
+impl SecretKey {
+    /// This secret under the next context down the modulus chain: the RNS
+    /// rows beyond `next`'s chain are dropped. Valid because evaluation
+    /// form is per-prime independent — the surviving rows are exactly the
+    /// NTT images of the same ternary `s` under the surviving primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next`'s chain is not a prefix-truncation of this key's.
+    pub fn mod_switched(&self, next: &BgvContext) -> SecretKey {
+        let keep = next.ring().num_primes();
+        assert!(
+            keep <= self.s.residues.len(),
+            "target context has a longer chain than the key"
+        );
+        let mut s = self.s.clone();
+        s.residues.truncate(keep);
+        SecretKey { s }
+    }
+}
+
+/// The public key: an RLWE sample `(b, a)` with `b = -(a·s + t·e)`, in
 /// evaluation form.
 #[derive(Debug, Clone)]
 pub struct PublicKey {
@@ -30,13 +51,45 @@ pub struct PublicKey {
     pub(crate) a: RnsPoly,
 }
 
+/// Truncates a key-switch key to the first `keep` chain primes: drops the
+/// digit rows for vanished primes and each surviving row's residues beyond
+/// the new chain. Valid for the same reason [`SecretKey::mod_switched`] is
+/// — evaluation form is per-prime independent, and the CRT unit `γ_i` of
+/// the full chain restricted to the surviving primes is still the CRT unit
+/// of the truncated chain.
+fn truncate_ksk(ksk: &KeySwitchKey, keep: usize) -> KeySwitchKey {
+    assert!(keep <= ksk.parts.len(), "cannot extend a key-switch key");
+    let trunc = |p: &RnsPoly| {
+        let mut p = p.clone();
+        p.residues.truncate(keep);
+        p
+    };
+    KeySwitchKey {
+        parts: ksk.parts[..keep]
+            .iter()
+            .map(|(b, a)| (trunc(b), trunc(a)))
+            .collect(),
+        shoup: ksk.shoup[..keep]
+            .iter()
+            .map(|(bs, as_)| (bs[..keep].to_vec(), as_[..keep].to_vec()))
+            .collect(),
+    }
+}
+
 /// Relinearization key: key-switch key for `s' = s²`.
 #[derive(Debug, Clone)]
 pub struct RelinKey(pub(crate) KeySwitchKey);
 
+impl RelinKey {
+    /// This key under the next context down the modulus chain (see
+    /// [`SecretKey::mod_switched`]).
+    pub fn mod_switched(&self, next: &BgvContext) -> RelinKey {
+        RelinKey(truncate_ksk(&self.0, next.ring().num_primes()))
+    }
+}
+
 /// One Galois element's material: the key-switch key for `s' = σ_g(s)`
-/// together with the cached evaluation-domain permutation of `σ_g` — kept
-/// in one entry so key and permutation cannot drift apart.
+/// together with the cached evaluation-domain permutation of `σ_g`.
 #[derive(Debug, Clone)]
 pub(crate) struct GaloisKeyEntry {
     pub(crate) key: KeySwitchKey,
@@ -61,6 +114,28 @@ impl GaloisKeys {
     pub fn contains(&self, g: u64) -> bool {
         self.keys.contains_key(&g)
     }
+
+    /// These keys under the next context down the modulus chain (see
+    /// [`SecretKey::mod_switched`]). The cached permutations are
+    /// modulus-independent and carry over unchanged.
+    pub fn mod_switched(&self, next: &BgvContext) -> GaloisKeys {
+        let keep = next.ring().num_primes();
+        GaloisKeys {
+            keys: self
+                .keys
+                .iter()
+                .map(|(&g, e)| {
+                    (
+                        g,
+                        GaloisKeyEntry {
+                            key: truncate_ksk(&e.key, keep),
+                            perm: e.perm.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Generates all key material for one secret.
@@ -68,27 +143,27 @@ impl GaloisKeys {
 /// # Examples
 ///
 /// ```
-/// use bfv::params::{BfvContext, BfvParams};
-/// use bfv::keys::KeyGenerator;
+/// use bgv::params::{self, BgvContext};
+/// use bgv::keys::KeyGenerator;
 /// use rand::SeedableRng;
 ///
-/// let ctx = BfvContext::new(BfvParams::test_small())?;
+/// let ctx = BgvContext::new(params::test_small())?;
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let keygen = KeyGenerator::new(&ctx, &mut rng);
 /// let pk = keygen.public_key(&mut rng);
 /// let rk = keygen.relin_key(&mut rng);
 /// # let _ = (pk, rk);
-/// # Ok::<(), bfv::params::ParamError>(())
+/// # Ok::<(), bgv::params::ParamError>(())
 /// ```
 #[derive(Debug)]
 pub struct KeyGenerator<'a> {
-    ctx: &'a BfvContext,
+    ctx: &'a BgvContext,
     sk: SecretKey,
 }
 
 impl<'a> KeyGenerator<'a> {
     /// Samples a fresh ternary secret.
-    pub fn new<R: Rng + ?Sized>(ctx: &'a BfvContext, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(ctx: &'a BgvContext, rng: &mut R) -> Self {
         let ring = ctx.ring();
         let s = ring.to_eval(&ring.sample_ternary(rng));
         KeyGenerator {
@@ -102,19 +177,26 @@ impl<'a> KeyGenerator<'a> {
         &self.sk
     }
 
-    /// Generates a public key.
+    /// Generates a public key (`b = -(a·s + t·e)`).
     pub fn public_key<R: Rng + ?Sized>(&self, rng: &mut R) -> PublicKey {
         let ring = self.ctx.ring();
         let a = ring.sample_uniform(rng);
         let e = ring.to_eval(&ring.sample_error(rng));
-        let b = ring.neg(&ring.add(&ring.mul(&a, &self.sk.s), &e));
+        let te = ring.mul_scalar_residues(&e, self.ctx.t_mod_q());
+        let b = ring.neg(&ring.add(&ring.mul(&a, &self.sk.s), &te));
         PublicKey { b, a }
     }
 
     /// Builds a key-switch key whose source key is `target` (e.g. `s²` or
-    /// `σ_g(s)`, in evaluation form).
+    /// `σ_g(s)`, in evaluation form), with `t`-scaled errors.
     fn key_switch_key<R: Rng + ?Sized>(&self, target: &RnsPoly, rng: &mut R) -> KeySwitchKey {
-        rlwe_ring::keyswitch::key_switch_key(self.ctx.ring(), &self.sk.s, target, None, rng)
+        rlwe_ring::keyswitch::key_switch_key(
+            self.ctx.ring(),
+            &self.sk.s,
+            target,
+            Some(self.ctx.t_mod_q()),
+            rng,
+        )
     }
 
     /// Generates the relinearization key (`s' = s²`).
@@ -173,12 +255,12 @@ impl<'a> KeyGenerator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::BfvParams;
+    use crate::params;
     use rand::SeedableRng;
 
     #[test]
     fn keygen_produces_distinct_parts() {
-        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+        let ctx = BgvContext::new(params::test_small()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let rk = kg.relin_key(&mut rng);
@@ -189,25 +271,29 @@ mod tests {
 
     #[test]
     fn galois_keys_skip_identity_and_dedup() {
-        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+        let ctx = BgvContext::new(params::test_small()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let gk = kg.galois_keys(&[1, 3, 3, 9], &mut rng);
         assert_eq!(gk.elements(), vec![3, 9]);
         assert!(gk.contains(3));
         assert!(!gk.contains(1));
-        // every key comes with its cached eval-domain permutation
         for g in gk.elements() {
             assert_eq!(gk.keys[&g].perm.len(), ctx.params().poly_degree);
         }
     }
 
     #[test]
-    fn rotation_key_helper_collects_elements() {
-        let ctx = BfvContext::new(BfvParams::test_small()).unwrap();
+    fn truncated_secret_matches_reduced_ring() {
+        let ctx = BgvContext::new(params::test_small()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let kg = KeyGenerator::new(&ctx, &mut rng);
-        let gk = kg.galois_keys_for_rotations(&[1, -1, 4], true, &mut rng);
-        assert_eq!(gk.elements().len(), 4);
+        let next = ctx.reduced().unwrap();
+        let sk2 = kg.secret_key().mod_switched(&next);
+        assert_eq!(sk2.s.residues.len(), next.ring().num_primes());
+        // The surviving rows are untouched.
+        for (row, orig) in sk2.s.residues.iter().zip(&kg.secret_key().s.residues) {
+            assert_eq!(row, orig);
+        }
     }
 }

@@ -1,13 +1,15 @@
-//! A static, worst-case model of BFV invariant-noise growth.
+//! A static, worst-case model of BGV noise growth.
 //!
 //! The model predicts, per operation, an upper bound on the **relative
-//! invariant noise** of a ciphertext — `ε = ‖t·w mod Q‖∞ / Q`, where `w` is
-//! the decryption phase `Σ c_j·s^j` and the centered remainder is taken.
-//! Decryption is correct while `ε < 1/2`; the measured probe
-//! [`crate::encrypt::Decryptor::invariant_noise_budget`] reports
-//! `⌊log2(1/(2ε))⌋` in bits. Everything here works in the log domain:
-//! noise values are `log2 ε` (more negative = quieter), and
-//! [`NoiseModel::budget`] converts back to bits of budget.
+//! phase magnitude** of a ciphertext — `ε = ‖w mod Q‖∞ / Q` where
+//! `w = m + t·E` is the decryption phase `Σ c_j·s^j` with the centered
+//! remainder taken. Decryption is correct while `ε < 1/2`; the measured
+//! probe [`crate::encrypt::Decryptor::invariant_noise_budget`] reports
+//! `⌊log2(1/(2ε))⌋` in bits — the same contract as the BFV model's, so the
+//! two are directly comparable and the scheme-generic synthesizer can walk
+//! either. Everything here works in the log domain: noise values are
+//! `log2 ε` (more negative = quieter), and [`NoiseModel::budget`] converts
+//! back to bits of budget.
 //!
 //! # Soundness contract
 //!
@@ -15,45 +17,37 @@
 //! inputs, the measured remaining budget after evaluation is at least the
 //! predicted remaining budget. This is what lets the parameter selector
 //! ([`crate::params::ParamSelector`]) certify a parameter set without
-//! running the program, and it is property-tested at the workspace root
-//! (`tests/noise.rs`) against the real evaluator at `-O0` and `-O2`.
+//! running the program.
 //!
 //! # Derivation sketch
 //!
-//! With `B` the error-sampler bound (the centered binomial in
-//! [`crate::poly::RingContext::sample_error`] has `‖e‖ ≤ 10`), `N` the ring
-//! degree, `t` the plaintext modulus, and `k` ciphertext primes of at most
-//! `q_max` bits:
+//! With `B` the error-sampler bound, `N` the ring degree, `t` the plaintext
+//! modulus, and `k` ciphertext primes of at most `q_max` bits:
 //!
-//! * **fresh**: the phase is `Δm − e·u + e₁ + e₂·s`, so
-//!   `‖t·w mod Q‖ ≤ t·((2N+1)·B + t)` (the `t²` term is the `(Q mod t)·m`
-//!   encoding remainder).
-//! * **add/sub**: noises add — `ε ≤ ε₁ + ε₂`.
-//! * **add/sub-plain**: adds only the encoding remainder, `ε += t²/Q`.
+//! * **fresh**: the phase is `m + t·(e₁ + e₂·s − e·u)`, so
+//!   `‖w‖ ≤ t·((2N+1)·B + 1)`.
+//! * **add/sub**: phases add — `ε ≤ ε₁ + ε₂`.
+//! * **add/sub-plain**: adds `‖m‖ < t` coefficient-wise, `ε += t/Q`.
 //! * **mul-plain**: a negacyclic convolution with a plaintext of entries
 //!   `< t`: `ε ≤ N·t·ε`.
-//! * **mul**: writing `(t/Q)·w = m + v + t·A` with `‖A‖ ≤ (N+3)/2`, the
-//!   product's invariant noise is dominated by the cross terms
-//!   `t·A·v'`: `ε ≤ t·N·((N+3)/2 + 1)·(ε₁ + ε₂) + t·N²/Q` (the last term
-//!   is the tensor-rescale rounding). The model rounds the coefficient up
-//!   to `2·t·N²`.
-//! * **key switch** (relinearization, rotation): RNS-decomposition key
-//!   switching adds `Σᵢ dᵢ·eᵢ` with digits `‖dᵢ‖ < qᵢ`, so
-//!   `ε += t·k·N·q_max·B / Q`. A rotation's slot permutation itself is
-//!   noise-neutral.
+//! * **mul**: the product phase is *literally* `w₁·w₂` (no rescale), so
+//!   `‖w'‖ ≤ N·‖w₁‖·‖w₂‖` and `ε' ≤ N·Q·ε₁·ε₂`. In bits:
+//!   `ν' = ν₁ + ν₂ + log N + log Q` — noise **bits double** per multiply
+//!   where BFV's grow additively. This single rule is why the BGV
+//!   parameter selector escalates chains faster than BFV's, and why
+//!   [`crate::evaluator::Evaluator::mod_switch_to_next`] exists.
+//! * **key switch** (relinearization, rotation): identical machinery to
+//!   BFV's with `t`-scaled key errors, adding `t·k·N·q_max·B / Q`.
 //!
 //! # Calibration
 //!
 //! The only empirical constant is the error bound [`NoiseModel::ERR_BOUND`]
-//! (exactly the sampler's support). The predicted budget additionally
-//! keeps one guard bit (see [`NoiseModel::budget`]) to stay under the
-//! integer rounding of the measured probe. To re-calibrate after changing
-//! the sampler or the key-switching scheme, run
-//! `cargo run -p porcupine-bench --release --bin he_ops` and compare the
-//! per-op measured budget drops against [`NoiseModel`]'s predictions (the
-//! unit tests below pin the comparison for fresh/multiply/rotate).
+//! (exactly the sampler's support); the budget keeps one guard bit for the
+//! probe's integer rounding, as in the BFV model. The unit tests below pin
+//! the model against the real evaluator for the fresh / multiply+relin /
+//! rotate probes.
 
-use crate::params::BfvParams;
+use crate::params::BgvParams;
 use quill::analysis::NoiseSemantics;
 use quill::program::Program;
 
@@ -65,26 +59,26 @@ fn lse(a: f64, b: f64) -> f64 {
     hi + (1.0 + (lo - hi).exp2()).log2()
 }
 
-/// Worst-case BFV invariant-noise model for one parameter set.
+/// Worst-case BGV noise model for one parameter set.
 ///
 /// Values produced and consumed by the transfer rules are `log2` of the
-/// relative invariant noise (see the module docs). Implements
+/// relative phase magnitude (see the module docs). Implements
 /// [`quill::analysis::NoiseSemantics`], so
 /// [`quill::analysis::noise_levels`] walks whole programs with it.
 ///
 /// # Examples
 ///
 /// ```
-/// use bfv::noise::NoiseModel;
-/// use bfv::params::BfvParams;
+/// use bgv::noise::NoiseModel;
+/// use bgv::params::BgvParams;
 ///
-/// let model = NoiseModel::for_params(&BfvParams::test_small());
-/// // A fresh encryption has a large predicted budget...
+/// let model = NoiseModel::for_params(&BgvParams::test_small());
 /// assert!(model.fresh_budget() > 60.0);
-/// // ...and a multiply consumes a predictable chunk of it.
+/// // One multiply roughly doubles the consumed bits rather than adding a
+/// // fixed chunk — the defining BGV noise behavior.
 /// use quill::analysis::NoiseSemantics;
 /// let after = model.mul_ct_ct(model.fresh(), model.fresh());
-/// assert!(model.budget(after) < model.fresh_budget() - 20.0);
+/// assert!(model.budget(after) < model.fresh_budget() / 2.0 + 20.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct NoiseModel {
@@ -102,11 +96,11 @@ pub struct NoiseModel {
 
 impl NoiseModel {
     /// Worst-case magnitude of one coefficient of the error sampler
-    /// (centered binomial with parameter η = 10).
+    /// (centered binomial with parameter η = 10 — shared with BFV).
     pub const ERR_BOUND: f64 = 10.0;
 
     /// Builds the model for a parameter set.
-    pub fn for_params(params: &BfvParams) -> Self {
+    pub fn for_params(params: &BgvParams) -> Self {
         let q_bits = params.moduli.iter().map(|&p| (p as f64).log2()).sum();
         NoiseModel {
             q_bits,
@@ -122,18 +116,15 @@ impl NoiseModel {
         Self::ERR_BOUND.log2()
     }
 
-    /// The additive relative noise of one RNS-decomposition key switch:
-    /// `t·k·N·q_max·B / Q`.
+    /// The additive relative noise of one RNS-decomposition key switch
+    /// with `t`-scaled key errors: `t·k·N·q_max·B / Q`.
     fn key_switch_bits(&self) -> f64 {
         self.t_bits + self.log_k + self.log_n + self.q_max_bits + self.err_bits() - self.q_bits
     }
 
     /// Remaining noise budget, in bits, for a (log-domain) noise level.
-    ///
-    /// The exact budget of noise `ε` is `-log2(ε) - 1`; the model keeps one
-    /// extra guard bit because the measured probe rounds `‖t·w mod Q‖` and
-    /// `Q` to integer bit counts, which can shave up to one bit off the
-    /// comparison.
+    /// One guard bit on top of the exact `-log2(ε) - 1`, for the probe's
+    /// integer rounding — the same convention as the BFV model.
     pub fn budget(&self, noise_bits: f64) -> f64 {
         -noise_bits - 2.0
     }
@@ -160,9 +151,8 @@ impl NoiseModel {
 
 impl NoiseSemantics for NoiseModel {
     fn fresh(&self) -> f64 {
-        // t·((2N+1)·B + t) / Q
-        let inner =
-            (2.0f64.powf(self.log_n + 1.0) + 1.0) * Self::ERR_BOUND + 2.0f64.powf(self.t_bits);
+        // t·((2N+1)·B + 1) / Q
+        let inner = (2.0f64.powf(self.log_n + 1.0) + 1.0) * Self::ERR_BOUND + 1.0;
         self.t_bits + inner.log2() - self.q_bits
     }
 
@@ -171,15 +161,13 @@ impl NoiseSemantics for NoiseModel {
     }
 
     fn mul_ct_ct(&self, a: f64, b: f64) -> f64 {
-        // 2·t·N²·(ε₁ + ε₂), plus the t·N²/Q rescale-rounding floor.
-        let scaled = self.t_bits + 2.0 * self.log_n + 1.0 + lse(a, b);
-        let floor = self.t_bits + 2.0 * self.log_n - self.q_bits;
-        lse(scaled, floor)
+        // ‖w₁·w₂‖ ≤ N·‖w₁‖·‖w₂‖, i.e. ε' = N·Q·ε₁·ε₂: bits double.
+        a + b + self.log_n + self.q_bits
     }
 
     fn add_ct_pt(&self, a: f64) -> f64 {
-        // + (Q mod t)·m / Q with ‖m‖ < t (coefficient-wise, no convolution).
-        lse(a, 2.0 * self.t_bits - self.q_bits)
+        // + m with ‖m‖ < t (coefficient-wise, no convolution, no Δ).
+        lse(a, self.t_bits - self.q_bits)
     }
 
     fn mul_ct_pt(&self, a: f64) -> f64 {
@@ -205,7 +193,7 @@ mod tests {
     use crate::encrypt::{Decryptor, Encryptor};
     use crate::evaluator::Evaluator;
     use crate::keys::KeyGenerator;
-    use crate::params::{BfvContext, BfvParams};
+    use crate::params::{self, BgvContext};
     use rand::{Rng, SeedableRng};
 
     struct Session<'a> {
@@ -217,8 +205,8 @@ mod tests {
         rng: rand::rngs::StdRng,
     }
 
-    fn session(ctx: &BfvContext) -> Session<'_> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x401);
+    fn session(ctx: &BgvContext) -> Session<'_> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB402);
         let kg = KeyGenerator::new(ctx, &mut rng);
         let enc = Encryptor::new(ctx, kg.public_key(&mut rng));
         let dec = Decryptor::new(ctx, kg.secret_key().clone());
@@ -240,12 +228,11 @@ mod tests {
     }
 
     /// Calibration: the model's per-op predictions are sound (never above
-    /// the measured budget) yet within a sane distance of it, for the
-    /// fresh / multiply+relin / rotate probes `he_ops` measures.
+    /// the measured budget) yet within a sane distance of it.
     #[test]
     fn model_is_sound_and_tight_against_the_evaluator() {
-        let params = BfvParams::test_small();
-        let ctx = BfvContext::new(params.clone()).unwrap();
+        let params = params::test_small();
+        let ctx = BgvContext::new(params.clone()).unwrap();
         let model = NoiseModel::for_params(&params);
         let t = params.plain_modulus;
         let mut s = session(&ctx);
@@ -266,7 +253,7 @@ mod tests {
             "fresh: model too loose ({fresh_predicted:.1} vs {fresh_measured})"
         );
 
-        let prod = s.ev.relinearize(&s.ev.multiply(&a, &b), &rk);
+        let prod = s.ev.multiply_relin(&a, &b, &rk);
         let mul_measured = s.dec.invariant_noise_budget(&prod) as f64;
         let mul_predicted =
             model.budget(model.relin_ct(model.mul_ct_ct(model.fresh(), model.fresh())));
@@ -292,17 +279,17 @@ mod tests {
         );
     }
 
-    /// Depth-2 squaring chains stay sound too (the multiply rule compounds).
+    /// Depth-2 squaring chains stay sound (the doubling rule compounds).
     #[test]
     fn model_is_sound_for_a_depth_two_chain() {
-        let params = BfvParams::test_small();
-        let ctx = BfvContext::new(params.clone()).unwrap();
+        let params = params::test_small();
+        let ctx = BgvContext::new(params.clone()).unwrap();
         let model = NoiseModel::for_params(&params);
         let mut s = session(&ctx);
         let rk = s.kg.relin_key(&mut s.rng);
         let a = random_ct(&mut s, params.plain_modulus);
-        let sq = s.ev.relinearize(&s.ev.multiply(&a, &a), &rk);
-        let quad = s.ev.relinearize(&s.ev.multiply(&sq, &sq), &rk);
+        let sq = s.ev.multiply_relin(&a, &a, &rk);
+        let quad = s.ev.multiply_relin(&sq, &sq, &rk);
         let measured = s.dec.invariant_noise_budget(&quad) as f64;
         let n1 = model.relin_ct(model.mul_ct_ct(model.fresh(), model.fresh()));
         let n2 = model.relin_ct(model.mul_ct_ct(n1, n1));
@@ -313,17 +300,36 @@ mod tests {
         );
     }
 
+    /// The BGV multiply rule consumes more than BFV's at equal parameters
+    /// once the inputs are already noisy — the quantitative reason the BGV
+    /// selector escalates chains faster.
+    #[test]
+    fn multiply_noise_doubles_rather_than_adds() {
+        let model = NoiseModel::for_params(&params::test_small());
+        let fresh = model.fresh();
+        let one = model.mul_ct_ct(fresh, fresh);
+        let two = model.mul_ct_ct(one, one);
+        let first_cost = one - fresh;
+        let second_cost = two - one;
+        assert!(
+            second_cost > first_cost * 1.5,
+            "noise growth should compound: {first_cost:.1} then {second_cost:.1}"
+        );
+    }
+
     #[test]
     fn larger_modulus_chains_predict_more_budget() {
-        let small = NoiseModel::for_params(&BfvParams::test_small());
-        let large = NoiseModel::for_params(&BfvParams::secure_128());
+        let small = NoiseModel::for_params(&params::test_small());
+        let large = NoiseModel::for_params(
+            &params::generate_mod_switch_friendly(4096, 65537, 46, 4).unwrap(),
+        );
         assert!(large.fresh_budget() > small.fresh_budget());
     }
 
     #[test]
     fn analyze_reports_consumed_budget() {
         use quill::program::{Instr, Program, ValRef};
-        let model = NoiseModel::for_params(&BfvParams::test_small());
+        let model = NoiseModel::for_params(&params::test_small());
         let prog = Program::new(
             "square",
             1,

@@ -96,10 +96,7 @@ pub(crate) enum BottomUpOutcome {
     /// A program matching the examples on the masked slots, at the
     /// smallest bank level that contains one; canonical minimum by
     /// `(cost, serialization)` among that level's goal terms.
-    Found {
-        program: Program,
-        components: usize,
-    },
+    Found { program: Program, components: usize },
     /// The bank stopped growing (or the ceiling was reached) without a
     /// goal. **Not** a completeness proof — the bank is capped; the caller
     /// must fall back to the DFS for a real `Unsat`.
@@ -327,8 +324,12 @@ impl<'s, 'a> Bank<'s, 'a> {
                 .collect();
             let id = bank.terms.len() as u32;
             bank.classes.insert(vec.clone());
-            bank.rotated
-                .push(bank.rots.iter().map(|&r| ctx.rotate_concat(&vec, r)).collect());
+            bank.rotated.push(
+                bank.rots
+                    .iter()
+                    .map(|&r| ctx.rotate_concat(&vec, r))
+                    .collect(),
+            );
             bank.terms.push(BankTerm {
                 node: Node::Input,
                 support: Vec::new(),
@@ -384,7 +385,10 @@ impl<'s, 'a> Bank<'s, 'a> {
                             }
                             match bank.expand_unit(ids[i], ticker, &mut local) {
                                 Some(cands) => {
-                                    collected.lock().expect("bank worker poisoned").push((i, cands));
+                                    collected
+                                        .lock()
+                                        .expect("bank worker poisoned")
+                                        .push((i, cands));
                                 }
                                 None => break,
                             }
@@ -673,7 +677,7 @@ impl<'s, 'a> Bank<'s, 'a> {
             .into_iter()
             .filter(|(v, _)| !self.classes.contains(v))
             .collect();
-        cands.sort_by(|x, y| cand_rank(&x.1).cmp(&cand_rank(&y.1)));
+        cands.sort_by_key(|x| cand_rank(&x.1));
         let mut taken: HashMap<u32, usize> = HashMap::new();
         let mut chain_taken: HashMap<u32, usize> = HashMap::new();
         for (vec, cand) in cands {
@@ -728,22 +732,19 @@ impl<'s, 'a> Bank<'s, 'a> {
     /// Picks the canonical `(cost, serialization)` minimum among the goal
     /// candidates of level `d` and lowers it to a [`Program`].
     fn select_goal(&self, d: usize, mut goals: Vec<Cand>) -> (Program, usize) {
-        goals.sort_by(|x, y| cand_rank(x).cmp(&cand_rank(y)));
+        goals.sort_by_key(cand_rank);
         goals.truncate(GOAL_CAP);
         let mut best: Option<(u64, String, Program)> = None;
         for g in &goals {
             let (prog, cost) = self.materialize_goal(g);
             let bits = cost.to_bits();
-            if best
-                .as_ref()
-                .is_some_and(|(bb, _, _)| *bb < bits)
-            {
+            if best.as_ref().is_some_and(|(bb, _, _)| *bb < bits) {
                 continue; // cheaper program already in hand
             }
             let ser = prog.to_string();
             let better = best
                 .as_ref()
-                .map_or(true, |(bb, bs, _)| (bits, ser.as_str()) < (*bb, bs.as_str()));
+                .is_none_or(|(bb, bs, _)| (bits, ser.as_str()) < (*bb, bs.as_str()));
             if better {
                 best = Some((bits, ser, prog));
             }
@@ -994,12 +995,7 @@ mod tests {
                 assert_eq!(components, 5);
                 assert!(program.validate().is_ok());
                 for e in &examples {
-                    let out = interp::eval_concrete(
-                        &program,
-                        &e.ct_inputs,
-                        &e.pt_inputs,
-                        65537,
-                    );
+                    let out = interp::eval_concrete(&program, &e.ct_inputs, &e.pt_inputs, 65537);
                     assert_eq!(out[0], e.output[0]);
                 }
             }
@@ -1014,7 +1010,8 @@ mod tests {
         struct SqDiff;
         impl GenericReference for SqDiff {
             fn compute<R: Ring>(&self, ct: &[Vec<R>], _pt: &[Vec<R>]) -> Vec<R> {
-                ct[0].iter()
+                ct[0]
+                    .iter()
                     .zip(&ct[1])
                     .map(|(a, b)| {
                         let d = a.sub(b);

@@ -59,8 +59,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Bump to orphan every existing cache entry after an on-disk format
-/// change.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// change. v2: keys carry a `scheme` config line (the scheme-generic
+/// backend layer), so entries written before schemes existed — keyed
+/// without one — can never be mistaken for BFV results.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Version of the *internal search cost semantics* (how the enumerators
 /// price candidates: eager relinearization per multiply, one rotation
@@ -191,7 +193,11 @@ impl CacheKey {
             "sketch mode {mode} min {} max {}",
             sketch.min_components, sketch.max_components
         );
-        let rots: Vec<String> = sketch.rotation_amounts.iter().map(|r| r.to_string()).collect();
+        let rots: Vec<String> = sketch
+            .rotation_amounts
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
         let _ = writeln!(w, "rotations {}", rots.join(" "));
         for op in &sketch.ops {
             let name = match &op.op {
@@ -347,10 +353,7 @@ pub fn store(dir: &Path, key: &CacheKey, entry: &CacheEntry) -> std::io::Result<
     let _ = writeln!(w, "program-bytes {}", src.len());
     w.push_str(&src);
     let file_name = key.file_name();
-    let tmp = dir.join(format!(
-        ".{file_name}.tmp-{}",
-        std::process::id()
-    ));
+    let tmp = dir.join(format!(".{file_name}.tmp-{}", std::process::id()));
     std::fs::write(&tmp, body.as_bytes())?;
     let result = std::fs::rename(&tmp, dir.join(&file_name));
     if result.is_ok() {
@@ -397,8 +400,7 @@ mod tests {
     }
 
     fn entry() -> CacheEntry {
-        let src =
-            "(kernel double-x (inputs (ct 1) (pt 0)) (let c1 (add-ct-ct c0 c0)) (return c1))";
+        let src = "(kernel double-x (inputs (ct 1) (pt 0)) (let c1 (add-ct-ct c0 c0)) (return c1))";
         CacheEntry {
             program: sexpr::parse_program(src).unwrap(),
             components: 1,
@@ -436,7 +438,15 @@ mod tests {
                 ct[0].iter().map(|x| x.add(x)).collect()
             }
         }
-        let renamed = KernelSpec::new("other-name", 4, 1, 0, vec![], 65537, Box::new(DoubleRenamed));
+        let renamed = KernelSpec::new(
+            "other-name",
+            4,
+            1,
+            0,
+            vec![],
+            65537,
+            Box::new(DoubleRenamed),
+        );
         let cfg = [("opt-level", "O2".to_string())];
         let lat = LatencyModel::uniform();
         let a = CacheKey::new(&spec(), &sketch(), &lat, &cfg);

@@ -23,18 +23,19 @@
 //! **re-verified on read** before being trusted. Either tier's hit skips
 //! the search entirely.
 
-use crate::cache::{self, CacheEntry, CacheKey};
 use crate::bottom_up::BottomUpOutcome;
+use crate::cache::{self, CacheEntry, CacheKey};
 use crate::opt::{self, OptLevel};
 use crate::search::{SearchContext, SearchOutcome};
 use crate::sketch::Sketch;
 use crate::spec::{Example, KernelSpec};
 use crate::verify::verify;
-use bfv::params::{BfvParams, ParamPolicy, SelectError};
 use quill::cost::{eager_cost, LatencyModel};
 use quill::program::Program;
+use quill::scheme::SchemeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rlwe_ring::params::{ParamPolicy, RlweParams, SelectError};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -120,7 +121,11 @@ impl fmt::Display for SearchStrategy {
 /// The default search strategy: `PORCUPINE_STRATEGY` (`bottom-up` or
 /// `dfs`) when set to a recognized value, otherwise bottom-up.
 pub fn default_strategy() -> SearchStrategy {
-    match std::env::var("PORCUPINE_STRATEGY").ok().as_deref().map(str::trim) {
+    match std::env::var("PORCUPINE_STRATEGY")
+        .ok()
+        .as_deref()
+        .map(str::trim)
+    {
         Some("dfs") => SearchStrategy::Dfs,
         _ => SearchStrategy::BottomUp,
     }
@@ -171,9 +176,16 @@ pub struct SynthesisOptions {
     /// (the raw searched program is untouched). Defaults to
     /// [`opt::default_opt_level`] (`PORCUPINE_OPT` or `-O2`).
     pub opt_level: OptLevel,
-    /// How BFV parameters for the synthesized kernel are obtained:
-    /// noise-aware automatic selection against the lowered program (the
-    /// default), or a caller-fixed set. The resolved set lands in
+    /// The target scheme backend. Gates which lowering passes run (via
+    /// the scheme's instruction legality), selects the noise model behind
+    /// parameter resolution, and tags the synthesis cache key — the same
+    /// query under two schemes never shares an entry. Defaults to
+    /// [`crate::scheme::default_scheme`] (`PORCUPINE_SCHEME`, else BFV).
+    pub scheme: SchemeId,
+    /// How scheme parameters for the synthesized kernel are obtained:
+    /// noise-aware automatic selection against the lowered program under
+    /// [`SynthesisOptions::scheme`]'s noise model (the default), or a
+    /// caller-fixed set. The resolved set lands in
     /// [`SynthesisResult::params`].
     pub params: ParamPolicy,
     /// Phase-1 enumeration strategy. Defaults to [`default_strategy`]
@@ -189,13 +201,15 @@ pub struct SynthesisOptions {
 
 impl Default for SynthesisOptions {
     fn default() -> Self {
+        let scheme = crate::scheme::default_scheme();
         SynthesisOptions {
             timeout: Duration::from_secs(600),
             optimize: true,
-            latency: LatencyModel::profiled_default(),
+            latency: LatencyModel::profiled_for(scheme),
             seed: 0x9E3779B9,
             parallelism: default_parallelism(),
             opt_level: opt::default_opt_level(),
+            scheme,
             params: ParamPolicy::default(),
             strategy: default_strategy(),
             cache: CachePolicy::default(),
@@ -215,14 +229,15 @@ pub struct SynthesisResult {
     /// relinearizations placed (lazily at `-O2`), ready for
     /// [`crate::codegen`].
     pub optimized: Program,
-    /// The BFV parameters resolved from [`SynthesisOptions::params`]
+    /// The scheme parameters resolved from [`SynthesisOptions::params`]
     /// against [`SynthesisResult::optimized`] (what actually executes):
-    /// auto-selected by the static noise analysis, or the fixed set.
+    /// auto-selected by [`SynthesisOptions::scheme`]'s static noise
+    /// analysis, or the fixed set.
     /// `Err` means the policy could not certify any set for this program
     /// (too deep for the candidate table, or an unusable fixed set) — the
     /// synthesized program itself is still returned, so callers that pick
     /// parameters some other way lose nothing.
-    pub params: Result<BfvParams, SelectError>,
+    pub params: Result<RlweParams, SelectError>,
     /// Per-pass rewrite counts of the middle-end run.
     pub opt_report: opt::OptReport,
     /// The first verified program (upper bound used by the optimizer).
@@ -334,7 +349,9 @@ pub fn synthesize(
     // is never trusted as-is — full symbolic verification runs first, so
     // a corrupted or maliciously edited cache degrades to a miss.
     let cache_dir = options.cache.directory();
-    let cache_key = cache_dir.as_ref().map(|_| cache_key_for(spec, sketch, options));
+    let cache_key = cache_dir
+        .as_ref()
+        .map(|_| cache_key_for(spec, sketch, options));
     if let (Some(dir), Some(key)) = (&cache_dir, &cache_key) {
         // Memo tier first: a result this process already verified replays
         // without touching the disk or re-verifying.
@@ -348,8 +365,18 @@ pub fn synthesize(
         if let Some(entry) = cache::lookup(dir, key) {
             if verify(&entry.program, spec, &mut rng).is_ok() {
                 cache::record_hit();
-                let (optimized, opt_report) = opt::optimize(&entry.program, options.opt_level);
-                let params = options.params.resolve(&optimized, spec.n, spec.t);
+                let (optimized, opt_report) = opt::optimize_with(
+                    &entry.program,
+                    options.opt_level,
+                    &options.scheme.legality(),
+                );
+                let params = crate::scheme::resolve_params(
+                    options.scheme,
+                    &options.params,
+                    &optimized,
+                    spec.n,
+                    spec.t,
+                );
                 let time_to_initial = start.elapsed();
                 let result = SynthesisResult {
                     initial_program: entry.program.clone(),
@@ -564,12 +591,15 @@ pub fn synthesize(
         }
     }
 
-    let (optimized, opt_report) = opt::optimize(&best, options.opt_level);
+    let (optimized, opt_report) =
+        opt::optimize_with(&best, options.opt_level, &options.scheme.legality());
     // Resolve the parameter policy against the program that will actually
     // execute — the lowered one, so lazy relin placement is what gets
-    // charged by the noise analysis. A resolution failure is recorded, not
-    // fatal: the verified program is still the synthesis result.
-    let params = options.params.resolve(&optimized, spec.n, spec.t);
+    // charged by the scheme's noise analysis. A resolution failure is
+    // recorded, not fatal: the verified program is still the synthesis
+    // result.
+    let params =
+        crate::scheme::resolve_params(options.scheme, &options.params, &optimized, spec.n, spec.t);
     let result = SynthesisResult {
         program: best,
         optimized,
@@ -612,6 +642,7 @@ fn cache_key_for(spec: &KernelSpec, sketch: &Sketch, options: &SynthesisOptions)
         sketch,
         &options.latency,
         &[
+            ("scheme", options.scheme.name().to_string()),
             ("opt-level", options.opt_level.to_string()),
             ("optimize", options.optimize.to_string()),
             ("strategy", options.strategy.to_string()),
@@ -691,7 +722,7 @@ mod tests {
             4,
         );
         // A valid set whose plaintext modulus does not match the spec's.
-        let fixed = BfvParams::generate(1024, 12289, 45, 2).expect("valid params");
+        let fixed = RlweParams::generate(1024, 12289, 45, 2).expect("valid params");
         let options = SynthesisOptions {
             params: ParamPolicy::Fixed(fixed),
             ..quick_options()

@@ -1,33 +1,33 @@
-//! Code generation (§5.3): lowering optimized Quill IR onto the BFV
-//! backend, plus SEAL-style C++ emission (Figure 3f).
+//! Code generation (§5.3): lowering optimized Quill IR onto an HE backend
+//! through the scheme layer, plus SEAL-style C++ emission (Figure 3f).
 //!
-//! Quill instructions map **1:1** onto [`bfv::Evaluator`] calls — codegen
-//! performs no rewrites of its own. Relinearization is an explicit IR
-//! instruction ([`quill::program::Instr::Relin`]) placed by the middle-end
-//! ([`crate::opt`]): `mul-ct-ct` lowers to a bare `Evaluator::multiply`
-//! whose size-3 result stays size 3 until the IR says otherwise, `relin-ct`
-//! lowers to `Evaluator::relinearize`, and `emit_seal_cpp` emits
-//! `relinearize_inplace` only where the IR carries a `relin-ct`. Programs
-//! must satisfy [`quill::analysis::check_backend_legal`] (rotation/multiply
-//! operands and the output statically size 2) — run them through
-//! [`crate::opt::optimize`] at any `-O` level first; `-O0` reproduces the
-//! paper's eager relin-after-every-multiply lowering exactly.
+//! Quill instructions map **1:1** onto [`crate::scheme::Scheme`] evaluator
+//! calls — codegen performs no rewrites of its own, and the same generic
+//! [`Runner`] body executes on every scheme instantiation ([`BfvRunner`],
+//! [`BgvRunner`]). Relinearization is an explicit IR instruction
+//! ([`quill::program::Instr::Relin`]) placed by the middle-end
+//! ([`crate::opt`]): `mul-ct-ct` lowers to a bare `multiply` whose size-3
+//! result stays size 3 until the IR says otherwise, `relin-ct` lowers to
+//! `relinearize`, and `emit_seal_cpp` emits `relinearize_inplace` only
+//! where the IR carries a `relin-ct`. Programs must be legal for the
+//! target scheme ([`quill::analysis::check_backend_legal_with`] under
+//! `S::ID.legality()` — rotation/multiply operands and the output
+//! statically size 2, no ops outside the scheme's instruction set) — run
+//! them through [`crate::opt::optimize`] at any `-O` level first; `-O0`
+//! reproduces the paper's eager relin-after-every-multiply lowering
+//! exactly.
 //!
 //! Model-size slot semantics carry over to the full ciphertext because every
 //! lifted kernel passes the padding-stability check ([`crate::lift`]): data
 //! lives in row-0 slots `[0, n)` and all other slots are zero.
 
-use bfv::encoding::{BatchEncoder, EvalPlaintext, Plaintext};
-use bfv::encrypt::Ciphertext;
-use bfv::evaluator::Evaluator;
-use bfv::keys::{GaloisKeys, KeyGenerator, RelinKey};
-use bfv::params::BfvContext;
+use crate::scheme::{BfvScheme, BgvScheme, Scheme};
 use quill::program::{Instr, Program, PtOperand, ValRef};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Execution statistics from [`BfvRunner::run_with_stats`].
+/// Execution statistics from [`Runner::run_with_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
     /// Splat constants encoded during this call — cache misses against the
@@ -37,45 +37,51 @@ pub struct RunStats {
     pub splat_encodes: usize,
 }
 
-/// Executes Quill programs on the BFV backend with the keys they need.
+/// Executes Quill programs on a scheme backend with the keys they need.
 ///
 /// The runner is encode-once at session level: splat constants are encoded
 /// into a cache the first time any program references them and reused for
 /// the runner's lifetime, and callers holding plaintexts that outlive one
-/// `run` call can pre-encode them with [`Evaluator::preencode`] and use
-/// [`BfvRunner::run_encoded`] so no encode work lands on the timed path.
-pub struct BfvRunner<'a> {
-    ctx: &'a BfvContext,
-    encoder: BatchEncoder<'a>,
-    evaluator: Evaluator<'a>,
-    relin: Option<RelinKey>,
-    galois: GaloisKeys,
-    splats: std::cell::RefCell<BTreeMap<i64, EvalPlaintext>>,
+/// `run` call can pre-encode them with [`Scheme::preencode`] and use
+/// [`Runner::run_encoded`] so no encode work lands on the timed path.
+pub struct Runner<'a, S: Scheme = BfvScheme> {
+    ctx: &'a S::Context,
+    encoder: S::Encoder<'a>,
+    evaluator: S::Evaluator<'a>,
+    relin: Option<S::RelinKey>,
+    galois: S::GaloisKeys,
+    splats: std::cell::RefCell<BTreeMap<i64, S::EvalPlaintext>>,
 }
 
-impl std::fmt::Debug for BfvRunner<'_> {
+/// The [`Runner`] over the BFV backend.
+pub type BfvRunner<'a> = Runner<'a, BfvScheme>;
+/// The [`Runner`] over the BGV backend.
+pub type BgvRunner<'a> = Runner<'a, BgvScheme>;
+
+impl<S: Scheme> std::fmt::Debug for Runner<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BfvRunner")
-            .field("galois_elements", &self.galois.elements())
+        f.debug_struct("Runner")
+            .field("scheme", &S::ID.name())
+            .field("galois_elements", &S::galois_elements(&self.galois))
             .field("has_relin", &self.relin.is_some())
             .finish()
     }
 }
 
-impl<'a> BfvRunner<'a> {
+impl<'a, S: Scheme> Runner<'a, S> {
     /// Prepares a runner able to execute all of `programs`: generates Galois
     /// keys for every rotation they use and a relinearization key if any of
     /// them multiplies ciphertexts.
     pub fn for_programs<R: Rng + ?Sized>(
-        ctx: &'a BfvContext,
-        keygen: &KeyGenerator<'a>,
+        ctx: &'a S::Context,
+        keygen: &S::KeyGenerator<'a>,
         programs: &[&Program],
         rng: &mut R,
     ) -> Self {
         let mut steps: Vec<i64> = programs.iter().flat_map(|p| p.rotation_amounts()).collect();
         steps.sort_unstable();
         steps.dedup();
-        let galois = keygen.galois_keys_for_rotations(&steps, false, rng);
+        let galois = S::galois_keys(keygen, &steps, false, rng);
         // A key is needed only for explicit relin-ct instructions; the mul
         // count is kept in the condition so preparing a runner from raw
         // (not-yet-lowered) programs still generates the key their lowered
@@ -83,11 +89,11 @@ impl<'a> BfvRunner<'a> {
         let needs_relin = programs
             .iter()
             .any(|p| p.relin_count() > 0 || p.ct_ct_mul_count() > 0);
-        let relin = needs_relin.then(|| keygen.relin_key(rng));
-        BfvRunner {
+        let relin = needs_relin.then(|| S::relin_key(keygen, rng));
+        Runner {
             ctx,
-            encoder: BatchEncoder::new(ctx),
-            evaluator: Evaluator::new(ctx),
+            encoder: S::encoder(ctx),
+            evaluator: S::evaluator(ctx),
             relin,
             galois,
             splats: std::cell::RefCell::new(BTreeMap::new()),
@@ -95,60 +101,61 @@ impl<'a> BfvRunner<'a> {
     }
 
     /// The batch encoder (for packing inputs and decoding outputs).
-    pub fn encoder(&self) -> &BatchEncoder<'a> {
+    pub fn encoder(&self) -> &S::Encoder<'a> {
         &self.encoder
     }
 
     /// The underlying evaluator.
-    pub fn evaluator(&self) -> &Evaluator<'a> {
+    pub fn evaluator(&self) -> &S::Evaluator<'a> {
         &self.evaluator
     }
 
-    /// Runs a backend-legal program over encrypted inputs, executing the
+    /// Runs a scheme-legal program over encrypted inputs, executing the
     /// IR 1:1 — size-3 intermediates stay size 3 until a `relin-ct` says
     /// otherwise.
     ///
     /// # Panics
     ///
     /// Panics if input arities mismatch the program, a required key is
-    /// missing (prepare with [`BfvRunner::for_programs`]), or the program
-    /// is not backend-legal (lower it with [`crate::opt::optimize`]).
+    /// missing (prepare with [`Runner::for_programs`]), or the program
+    /// is not backend-legal for the scheme (lower it with
+    /// [`crate::opt::optimize`]).
     pub fn run(
         &self,
         prog: &Program,
-        ct_inputs: &[&Ciphertext],
-        pt_inputs: &[&Plaintext],
-    ) -> Ciphertext {
+        ct_inputs: &[&S::Ciphertext],
+        pt_inputs: &[&S::Plaintext],
+    ) -> S::Ciphertext {
         self.run_with_stats(prog, ct_inputs, pt_inputs).0
     }
 
-    /// [`BfvRunner::run`] plus [`RunStats`]. Encodes each plaintext input
-    /// once (per call) and delegates to [`BfvRunner::run_encoded_with_stats`].
+    /// [`Runner::run`] plus [`RunStats`]. Encodes each plaintext input
+    /// once (per call) and delegates to [`Runner::run_encoded_with_stats`].
     pub fn run_with_stats(
         &self,
         prog: &Program,
-        ct_inputs: &[&Ciphertext],
-        pt_inputs: &[&Plaintext],
-    ) -> (Ciphertext, RunStats) {
-        let pts: Vec<EvalPlaintext> = pt_inputs
+        ct_inputs: &[&S::Ciphertext],
+        pt_inputs: &[&S::Plaintext],
+    ) -> (S::Ciphertext, RunStats) {
+        let pts: Vec<S::EvalPlaintext> = pt_inputs
             .iter()
-            .map(|p| self.evaluator.preencode(p))
+            .map(|p| S::preencode(&self.evaluator, p))
             .collect();
-        let pt_refs: Vec<&EvalPlaintext> = pts.iter().collect();
+        let pt_refs: Vec<&S::EvalPlaintext> = pts.iter().collect();
         self.run_encoded_with_stats(prog, ct_inputs, &pt_refs)
     }
 
-    /// [`BfvRunner::run_encoded_with_stats`] without the stats.
+    /// [`Runner::run_encoded_with_stats`] without the stats.
     pub fn run_encoded(
         &self,
         prog: &Program,
-        ct_inputs: &[&Ciphertext],
-        pt_inputs: &[&EvalPlaintext],
-    ) -> Ciphertext {
+        ct_inputs: &[&S::Ciphertext],
+        pt_inputs: &[&S::EvalPlaintext],
+    ) -> S::Ciphertext {
         self.run_encoded_with_stats(prog, ct_inputs, pt_inputs).0
     }
 
-    /// Runs a backend-legal program over encrypted inputs and pre-encoded
+    /// Runs a scheme-legal program over encrypted inputs and pre-encoded
     /// plaintexts. The hot path is in place and encode-once: operands are
     /// borrowed (never cloned per use), splat constants hit the runner's
     /// session-level cache (each distinct value is encoded at most once
@@ -159,22 +166,23 @@ impl<'a> BfvRunner<'a> {
     pub fn run_encoded_with_stats(
         &self,
         prog: &Program,
-        ct_inputs: &[&Ciphertext],
-        pt_inputs: &[&EvalPlaintext],
-    ) -> (Ciphertext, RunStats) {
+        ct_inputs: &[&S::Ciphertext],
+        pt_inputs: &[&S::EvalPlaintext],
+    ) -> (S::Ciphertext, RunStats) {
         assert_eq!(ct_inputs.len(), prog.num_ct_inputs, "ct input arity");
         assert_eq!(pt_inputs.len(), prog.num_pt_inputs, "pt input arity");
-        if let Err(e) = quill::analysis::check_backend_legal(prog) {
+        if let Err(e) = quill::analysis::check_backend_legal_with(prog, &S::ID.legality()) {
             panic!(
-                "{}: not backend-legal ({e}); lower with porcupine::opt::optimize first",
-                prog.name
+                "{}: not backend-legal for {} ({e}); lower with porcupine::opt::optimize first",
+                prog.name,
+                S::ID
             );
         }
         let ev = &self.evaluator;
         // Fill splat-cache misses before execution; entries are never
         // evicted, so the shared borrow below stays valid for the whole
         // program.
-        let t = self.ctx.params().plain_modulus as i64;
+        let t = S::params(self.ctx).plain_modulus as i64;
         let mut splat_encodes = 0usize;
         {
             let mut cache = self.splats.borrow_mut();
@@ -186,15 +194,14 @@ impl<'a> BfvRunner<'a> {
                     cache.entry(*v).or_insert_with(|| {
                         splat_encodes += 1;
                         let val = v.rem_euclid(t) as u64;
-                        self.encoder
-                            .encode_eval(&vec![val; self.encoder.slot_count()])
+                        S::encode_eval(&self.encoder, &vec![val; S::slot_count(&self.encoder)])
                     });
                 }
             }
         }
         let stats = RunStats { splat_encodes };
         let splats = self.splats.borrow();
-        let get_pt = |p: &PtOperand| -> &EvalPlaintext {
+        let get_pt = |p: &PtOperand| -> &S::EvalPlaintext {
             match p {
                 PtOperand::Input(i) => pt_inputs[*i],
                 PtOperand::Splat(v) => &splats[v],
@@ -202,14 +209,11 @@ impl<'a> BfvRunner<'a> {
         };
 
         let last = crate::opt::last_uses(prog);
-        let mut results: Vec<Option<Ciphertext>> = (0..prog.instrs.len()).map(|_| None).collect();
+        let mut results: Vec<Option<S::Ciphertext>> =
+            (0..prog.instrs.len()).map(|_| None).collect();
         // Borrow an operand without cloning — inputs stay owned by the
         // caller, intermediate results live in `results` until recycled.
-        fn operand<'v>(
-            r: ValRef,
-            ct_inputs: &[&'v Ciphertext],
-            results: &'v [Option<Ciphertext>],
-        ) -> &'v Ciphertext {
+        fn operand<'v, C>(r: ValRef, ct_inputs: &[&'v C], results: &'v [Option<C>]) -> &'v C {
             match r {
                 ValRef::Input(i) => ct_inputs[i],
                 ValRef::Instr(j) => results[j].as_ref().expect("operand still live"),
@@ -217,25 +221,25 @@ impl<'a> BfvRunner<'a> {
         }
         // Move a dying intermediate out for in-place mutation. Only fires
         // when `r` is an instruction result whose last use is `j`.
-        fn take_dying(
+        fn take_dying<C>(
             r: ValRef,
             j: usize,
             last: &[Option<usize>],
-            results: &mut [Option<Ciphertext>],
-        ) -> Option<Ciphertext> {
+            results: &mut [Option<C>],
+        ) -> Option<C> {
             match r {
                 ValRef::Instr(i) if last[i] == Some(j) => results[i].take(),
                 _ => None,
             }
         }
         // Take-or-clone for single-ct-operand instructions.
-        fn acquire(
+        fn acquire<C: Clone>(
             r: ValRef,
             j: usize,
             last: &[Option<usize>],
-            ct_inputs: &[&Ciphertext],
-            results: &mut [Option<Ciphertext>],
-        ) -> Ciphertext {
+            ct_inputs: &[&C],
+            results: &mut [Option<C>],
+        ) -> C {
             take_dying(r, j, last, results)
                 .unwrap_or_else(|| operand(r, ct_inputs, results).clone())
         }
@@ -250,17 +254,17 @@ impl<'a> BfvRunner<'a> {
                         .then(|| take_dying(*a, j, &last, &mut results))
                         .flatten()
                     {
-                        ev.add_assign(&mut x, operand(*b, ct_inputs, &results));
+                        S::add_assign(ev, &mut x, operand(*b, ct_inputs, &results));
                         x
                     } else if let Some(mut x) = (a != b)
                         .then(|| take_dying(*b, j, &last, &mut results))
                         .flatten()
                     {
-                        ev.add_assign(&mut x, operand(*a, ct_inputs, &results));
+                        S::add_assign(ev, &mut x, operand(*a, ct_inputs, &results));
                         x
                     } else {
                         let mut x = operand(*a, ct_inputs, &results).clone();
-                        ev.add_assign(&mut x, operand(*b, ct_inputs, &results));
+                        S::add_assign(ev, &mut x, operand(*b, ct_inputs, &results));
                         x
                     }
                 }
@@ -269,15 +273,16 @@ impl<'a> BfvRunner<'a> {
                         .then(|| take_dying(*a, j, &last, &mut results))
                         .flatten()
                     {
-                        ev.sub_assign(&mut x, operand(*b, ct_inputs, &results));
+                        S::sub_assign(ev, &mut x, operand(*b, ct_inputs, &results));
                         x
                     } else {
                         let mut x = operand(*a, ct_inputs, &results).clone();
-                        ev.sub_assign(&mut x, operand(*b, ct_inputs, &results));
+                        S::sub_assign(ev, &mut x, operand(*b, ct_inputs, &results));
                         x
                     }
                 }
-                Instr::MulCtCt(a, b) => ev.multiply(
+                Instr::MulCtCt(a, b) => S::multiply(
+                    ev,
                     operand(*a, ct_inputs, &results),
                     operand(*b, ct_inputs, &results),
                 ),
@@ -287,27 +292,27 @@ impl<'a> BfvRunner<'a> {
                         .as_ref()
                         .expect("relin key prepared for relin-ct");
                     let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
-                    ev.relinearize_assign(&mut x, rk);
+                    S::relinearize_assign(ev, &mut x, rk);
                     x
                 }
                 Instr::AddCtPt(a, p) => {
                     let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
-                    ev.add_plain_assign(&mut x, get_pt(p));
+                    S::add_plain_assign(ev, &mut x, get_pt(p));
                     x
                 }
                 Instr::SubCtPt(a, p) => {
                     let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
-                    ev.sub_plain_assign(&mut x, get_pt(p));
+                    S::sub_plain_assign(ev, &mut x, get_pt(p));
                     x
                 }
                 Instr::MulCtPt(a, p) => {
                     let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
-                    ev.mul_plain_assign(&mut x, get_pt(p));
+                    S::mul_plain_assign(ev, &mut x, get_pt(p));
                     x
                 }
                 Instr::RotCt(a, r) => {
                     let mut x = acquire(*a, j, &last, ct_inputs, &mut results);
-                    ev.rotate_rows_assign(&mut x, *r, &self.galois);
+                    S::rotate_rows_assign(ev, &mut x, *r, &self.galois);
                     x
                 }
             };
@@ -317,7 +322,7 @@ impl<'a> BfvRunner<'a> {
                 if let ValRef::Instr(i) = op {
                     if last[i] == Some(j) {
                         if let Some(dead) = results[i].take() {
-                            ev.recycle(dead);
+                            S::recycle(ev, dead);
                         }
                     }
                 }
@@ -527,6 +532,47 @@ mod tests {
         );
         // slot i reads i and i-2: valid for slots 2..8.
         run_and_compare(&prog, 8, &[2, 3, 4, 5, 6, 7]);
+    }
+
+    /// The same optimized kernel, executed by the same generic runner body
+    /// on both scheme instantiations over one parameter set, decodes to
+    /// identical slots — the codegen half of the cross-scheme contract.
+    #[test]
+    fn bgv_runner_matches_bfv_runner_slot_for_slot() {
+        let prog = Program::new(
+            "cross",
+            2,
+            0,
+            vec![
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)),
+                Instr::Relin(ValRef::Instr(0)),
+                Instr::RotCt(ValRef::Instr(1), 1),
+                Instr::AddCtCt(ValRef::Instr(1), ValRef::Instr(2)),
+                Instr::AddCtPt(ValRef::Instr(3), PtOperand::Splat(-3)),
+            ],
+            ValRef::Instr(4),
+        );
+
+        fn run<S: Scheme>(prog: &Program, seed: u64) -> Vec<u64> {
+            let ctx = S::context(rlwe_ring::params::RlweParams::test_small()).unwrap();
+            let mut rng = seeded_rng(seed);
+            let kg = S::keygen(&ctx, &mut rng);
+            let runner: Runner<'_, S> = Runner::for_programs(&ctx, &kg, &[prog], &mut rng);
+            let enc = S::encryptor(&ctx, &kg, &mut rng);
+            let dec = S::decryptor(&ctx, &kg);
+            let n = S::slot_count(runner.encoder());
+            let a: Vec<u64> = (0..n as u64).map(|i| i % 31).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| (7 * i + 2) % 29).collect();
+            let ca = S::encrypt(&enc, &S::encode(runner.encoder(), &a), &mut rng);
+            let cb = S::encrypt(&enc, &S::encode(runner.encoder(), &b), &mut rng);
+            let out = runner.run(prog, &[&ca, &cb], &[]);
+            assert!(S::noise_budget(&dec, &out) > 0, "{} budget", S::ID);
+            S::decode(runner.encoder(), &S::decrypt(&dec, &out))
+        }
+
+        let bfv_out = run::<BfvScheme>(&prog, 0x0DDB);
+        let bgv_out = run::<BgvScheme>(&prog, 0x0DDB);
+        assert_eq!(bfv_out, bgv_out, "cross-scheme slot divergence");
     }
 
     /// A program referencing one splat constant from several instructions

@@ -4,7 +4,8 @@
 //! takes a **kernel specification** — a plaintext reference implementation
 //! plus a data layout ([`spec`], [`layout`]) — and a **sketch** — a template
 //! HE kernel with holes ([`sketch`]) — and synthesizes a verified,
-//! cost-optimized vectorized BFV kernel:
+//! cost-optimized vectorized HE kernel for a chosen scheme backend (BFV by
+//! default, BGV via `--scheme bgv` / `PORCUPINE_SCHEME=bgv`):
 //!
 //! * [`cegis`] — the CEGIS engine (Algorithm 1): iterative sketch
 //!   deepening, counter-example refinement, cost minimization.
@@ -26,8 +27,13 @@
 //!   pass manager driving global CSE, rotation folding, lazy
 //!   relinearization, and DCE to a fixpoint, behind an `-O0`/`-O1`/`-O2`
 //!   knob.
-//! * [`codegen`] — lowering optimized IR 1:1 onto the in-repo BFV backend
-//!   (Galois/relin key collection) and SEAL-style C++ emission.
+//! * [`scheme`] — the scheme abstraction: a [`scheme::Scheme`] trait
+//!   mapping [`quill::scheme::SchemeId`] onto a concrete backend crate
+//!   (context, keys, evaluator, parameter selection, noise model), with
+//!   BFV and BGV instantiations.
+//! * [`codegen`] — lowering optimized IR 1:1 onto any scheme backend
+//!   through one generic runner (Galois/relin key collection) and
+//!   SEAL-style C++ emission.
 //!
 //! ## End-to-end example
 //!
@@ -73,6 +79,7 @@ pub mod layout;
 pub mod lift;
 pub mod multistep;
 pub mod opt;
+pub mod scheme;
 pub mod search;
 pub mod sketch;
 pub mod spec;
@@ -83,7 +90,8 @@ pub use cegis::{
     clear_synthesis_memo, default_parallelism, default_strategy, synthesize, CachePolicy,
     SearchStrategy, SynthesisError, SynthesisOptions, SynthesisResult,
 };
+pub use opt::{default_opt_level, optimize, optimize_with, OptLevel, OptReport, Pass, PassManager};
+pub use scheme::{default_scheme, scheme_from_env, BfvScheme, BgvScheme, Scheme};
 pub use search::search_invocations;
-pub use opt::{default_opt_level, optimize, OptLevel, OptReport, Pass, PassManager};
 pub use sketch::{ArithOp, RotationSet, Sketch, SketchMode, SketchOp};
 pub use spec::{Example, GenericReference, KernelSpec, Reference};

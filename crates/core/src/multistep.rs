@@ -132,11 +132,9 @@ impl PipelineBuilder {
         crate::opt::optimize(&self.finish(output), level)
     }
 
-    /// [`PipelineBuilder::finish_optimized`] plus BFV parameter resolution
-    /// for the lowered pipeline: `policy` is resolved against the
-    /// backend-legal program (so multi-step noise — shared rotations, lazy
-    /// relins across stage seams — is what gets charged), needing
-    /// `min_slots` batching slots and plaintext modulus `t`.
+    /// [`PipelineBuilder::finish_with_params_for`] on the BFV backend —
+    /// the historical single-scheme entry point, kept so existing call
+    /// sites read unchanged.
     ///
     /// # Errors
     ///
@@ -146,13 +144,58 @@ impl PipelineBuilder {
         self,
         output: ValRef,
         level: crate::opt::OptLevel,
-        policy: &bfv::params::ParamPolicy,
+        policy: &rlwe_ring::params::ParamPolicy,
         min_slots: usize,
         t: u64,
-    ) -> Result<(Program, crate::opt::OptReport, bfv::params::BfvParams), bfv::params::SelectError>
-    {
-        let (prog, report) = self.finish_optimized(output, level);
-        let params = policy.resolve(&prog, min_slots, t)?;
+    ) -> Result<
+        (
+            Program,
+            crate::opt::OptReport,
+            rlwe_ring::params::RlweParams,
+        ),
+        rlwe_ring::params::SelectError,
+    > {
+        self.finish_with_params_for(
+            quill::scheme::SchemeId::Bfv,
+            output,
+            level,
+            policy,
+            min_slots,
+            t,
+        )
+    }
+
+    /// [`PipelineBuilder::finish_optimized`] plus scheme parameter
+    /// resolution for the lowered pipeline: the middle-end runs gated on
+    /// `scheme`'s instruction legality, then `policy` is resolved against
+    /// the backend-legal program under that scheme's noise model (so
+    /// multi-step noise — shared rotations, lazy relins across stage
+    /// seams, BGV's per-multiply bit doubling — is what gets charged),
+    /// needing `min_slots` batching slots and plaintext modulus `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheme selector's [`rlwe_ring::params::SelectError`]
+    /// when no parameter set satisfies the policy for this pipeline.
+    pub fn finish_with_params_for(
+        self,
+        scheme: quill::scheme::SchemeId,
+        output: ValRef,
+        level: crate::opt::OptLevel,
+        policy: &rlwe_ring::params::ParamPolicy,
+        min_slots: usize,
+        t: u64,
+    ) -> Result<
+        (
+            Program,
+            crate::opt::OptReport,
+            rlwe_ring::params::RlweParams,
+        ),
+        rlwe_ring::params::SelectError,
+    > {
+        let (prog, report) =
+            crate::opt::optimize_with(&self.finish(output), level, &scheme.legality());
+        let params = crate::scheme::resolve_params(scheme, policy, &prog, min_slots, t)?;
         Ok((prog, report, params))
     }
 }

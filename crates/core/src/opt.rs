@@ -39,6 +39,7 @@
 
 use quill::analysis;
 use quill::program::{Instr, Program, ValRef};
+use quill::scheme::SchemeLegality;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -585,18 +586,44 @@ impl PassManager {
         }
     }
 
-    /// The pipeline for an [`OptLevel`].
+    /// The pipeline for an [`OptLevel`] targeting the full instruction set.
     pub fn for_level(level: OptLevel) -> Self {
-        let passes: Vec<Box<dyn Pass>> = match level {
-            OptLevel::O0 => vec![Box::new(EagerRelin)],
-            OptLevel::O1 => vec![Box::new(EagerRelin), Box::new(Cse), Box::new(Dce)],
-            OptLevel::O2 => vec![
-                Box::new(Cse),
-                Box::new(RotFold),
-                Box::new(LazyRelin),
-                Box::new(Dce),
-            ],
-        };
+        PassManager::for_level_with(level, &SchemeLegality::full())
+    }
+
+    /// The pipeline for an [`OptLevel`], restricted to what the target
+    /// scheme can execute: when the scheme lacks relinearization
+    /// (`!legality.relin`), the relin-placement passes ([`EagerRelin`],
+    /// [`LazyRelin`]) are omitted entirely — inserting a `relin-ct` the
+    /// backend cannot run would trade a legal program for an illegal one.
+    /// The remaining passes ([`Cse`], [`RotFold`], [`Dce`]) never introduce
+    /// instructions absent from the input, so they are safe under any
+    /// legality.
+    pub fn for_level_with(level: OptLevel, legality: &SchemeLegality) -> Self {
+        let relin = legality.relin;
+        let mut passes: Vec<Box<dyn Pass>> = Vec::new();
+        match level {
+            OptLevel::O0 => {
+                if relin {
+                    passes.push(Box::new(EagerRelin));
+                }
+            }
+            OptLevel::O1 => {
+                if relin {
+                    passes.push(Box::new(EagerRelin));
+                }
+                passes.push(Box::new(Cse));
+                passes.push(Box::new(Dce));
+            }
+            OptLevel::O2 => {
+                passes.push(Box::new(Cse));
+                passes.push(Box::new(RotFold));
+                if relin {
+                    passes.push(Box::new(LazyRelin));
+                }
+                passes.push(Box::new(Dce));
+            }
+        }
         PassManager::new(passes)
     }
 
@@ -642,17 +669,36 @@ impl PassManager {
     }
 }
 
-/// Optimizes and lowers `prog` at `level`. The result is backend-legal
-/// (every `-O` pipeline ends with relinearizations placed), agrees with
-/// `prog` on every interpreter input, and decrypts identically on the BFV
-/// backend.
+/// Optimizes and lowers `prog` at `level` for the full instruction set.
+/// The result is backend-legal (every `-O` pipeline ends with
+/// relinearizations placed), agrees with `prog` on every interpreter
+/// input, and decrypts identically on any shipped scheme backend.
 pub fn optimize(prog: &Program, level: OptLevel) -> (Program, OptReport) {
-    let (out, report) = PassManager::for_level(level).run(prog);
-    debug_assert!(
-        analysis::check_backend_legal(&out).is_ok(),
-        "{level} pipeline left an illegal program: {:?}",
-        analysis::check_backend_legal(&out)
-    );
+    optimize_with(prog, level, &SchemeLegality::full())
+}
+
+/// Optimizes and lowers `prog` at `level` for a scheme with the given
+/// instruction-set legality (see [`PassManager::for_level_with`]).
+///
+/// When the scheme supports relinearization, the output is guaranteed
+/// backend-legal (debug-asserted). Without relin support no placement pass
+/// runs, so a program whose multiplies genuinely need relinearization
+/// comes out *reported* illegal by
+/// [`quill::analysis::check_backend_legal_with`] rather than silently
+/// rewritten — the caller decides whether that is a hard error.
+pub fn optimize_with(
+    prog: &Program,
+    level: OptLevel,
+    legality: &SchemeLegality,
+) -> (Program, OptReport) {
+    let (out, report) = PassManager::for_level_with(level, legality).run(prog);
+    if legality.relin {
+        debug_assert!(
+            analysis::check_backend_legal_with(&out, legality).is_ok(),
+            "{level} pipeline left an illegal program: {:?}",
+            analysis::check_backend_legal_with(&out, legality)
+        );
+    }
     (out, report)
 }
 
@@ -874,6 +920,58 @@ mod tests {
             assert_eq!(once, twice, "{level} not idempotent");
             assert_eq!(report.total_rewrites, 0, "{level}: {report}");
         }
+    }
+
+    /// Under a legality with no relinearization support, no pipeline at
+    /// any level may insert a `relin-ct` — the forbidden op is skipped,
+    /// not rewritten in. Programs that never needed relin stay legal; a
+    /// multiply whose size-3 result escapes comes out *reported* illegal
+    /// instead of silently "fixed" with an op the backend cannot run.
+    #[test]
+    fn passes_never_insert_ops_the_scheme_forbids() {
+        let no_relin = SchemeLegality {
+            relin: false,
+            rot: true,
+            mul_ct_ct: true,
+        };
+        let with_mul = Program::new(
+            "needs-relin",
+            2,
+            0,
+            vec![
+                Instr::MulCtCt(ValRef::Input(0), ValRef::Input(1)),
+                Instr::AddCtCt(ValRef::Instr(0), ValRef::Input(0)),
+            ],
+            ValRef::Instr(1),
+        );
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let (out, _) = optimize_with(&with_mul, level, &no_relin);
+            assert_eq!(out.relin_count(), 0, "{level} inserted forbidden relin");
+            assert_same_semantics(&with_mul, &out, 6);
+            // The size-3 escape is reported, not asserted away.
+            assert!(analysis::check_backend_legal_with(&out, &no_relin).is_err());
+        }
+        // A relin-free program stays legal through the gated pipelines.
+        let rot_only = Program::new(
+            "rot-add",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::RotCt(ValRef::Instr(0), 2),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(1)),
+            ],
+            ValRef::Instr(2),
+        );
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let (out, _) = optimize_with(&rot_only, level, &no_relin);
+            assert!(analysis::check_backend_legal_with(&out, &no_relin).is_ok());
+            assert_same_semantics(&rot_only, &out, 6);
+        }
+        // Full-legality gating is exactly the ungated pipeline.
+        let (gated, _) = optimize_with(&with_mul, OptLevel::O2, &SchemeLegality::full());
+        let (ungated, _) = optimize(&with_mul, OptLevel::O2);
+        assert_eq!(gated, ungated);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! operands anyway and [`check_backend_legal`] reports exactly that.
 
 use crate::program::{Instr, Program, ValRef};
+use crate::scheme::SchemeLegality;
 use std::error::Error;
 use std::fmt;
 
@@ -155,7 +156,7 @@ pub fn output_noise(prog: &Program, sem: &impl NoiseSemantics) -> f64 {
     }
 }
 
-/// Why a program cannot execute 1:1 on the BFV backend.
+/// Why a program cannot execute 1:1 on an HE scheme backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LegalityError {
     /// Instruction `instr` rotates a size-3 ciphertext.
@@ -171,6 +172,14 @@ pub enum LegalityError {
     /// The program output is a size-3 ciphertext (must be relinearized
     /// before escaping).
     OutputSize3,
+    /// Instruction `instr` is an op the target scheme's backend does not
+    /// implement at all (see [`SchemeLegality`]).
+    UnsupportedOp {
+        /// Offending instruction index.
+        instr: usize,
+        /// The instruction kind, e.g. `"relin-ct"`.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for LegalityError {
@@ -185,24 +194,41 @@ impl fmt::Display for LegalityError {
             LegalityError::OutputSize3 => {
                 write!(f, "program output is a size-3 ciphertext")
             }
+            LegalityError::UnsupportedOp { instr, op } => {
+                write!(
+                    f,
+                    "instruction {instr} ({op}) is not supported by the target scheme"
+                )
+            }
         }
     }
 }
 
 impl Error for LegalityError {}
 
-/// Checks the IR invariant the backend executes under: rotation and
-/// multiply operands are size 2 and the output is size 2. Programs straight
-/// out of the synthesizer generally violate this (they carry no `Relin` at
-/// all); the `porcupine::opt` lowering pipeline establishes it at every
-/// `-O` level.
+/// Checks the IR invariants a scheme backend executes under: every
+/// instruction is an op the backend implements ([`SchemeLegality`]), rotation
+/// and multiply operands are size 2, and the output is size 2. Programs
+/// straight out of the synthesizer generally violate the size discipline
+/// (they carry no `Relin` at all); the `porcupine::opt` lowering pipeline
+/// establishes it at every `-O` level.
 ///
 /// # Errors
 ///
-/// Returns the first violation in instruction order.
-pub fn check_backend_legal(prog: &Program) -> Result<(), LegalityError> {
+/// Returns the first violation in instruction order (unsupported ops are
+/// reported before size violations at the same instruction).
+pub fn check_backend_legal_with(
+    prog: &Program,
+    legality: &SchemeLegality,
+) -> Result<(), LegalityError> {
     let sizes = ct_sizes(prog);
     for (i, instr) in prog.instrs.iter().enumerate() {
+        if !legality.supports(instr) {
+            return Err(LegalityError::UnsupportedOp {
+                instr: i,
+                op: SchemeLegality::op_name(instr),
+            });
+        }
         match instr {
             Instr::RotCt(a, _) if size_of(&sizes, *a) == 3 => {
                 return Err(LegalityError::RotOfSize3 { instr: i });
@@ -217,6 +243,34 @@ pub fn check_backend_legal(prog: &Program) -> Result<(), LegalityError> {
         return Err(LegalityError::OutputSize3);
     }
     Ok(())
+}
+
+/// [`check_backend_legal_with`] under the full instruction set — the shared
+/// size discipline every shipped scheme (BFV, BGV) imposes.
+///
+/// # Errors
+///
+/// Returns the first violation in instruction order.
+pub fn check_backend_legal(prog: &Program) -> Result<(), LegalityError> {
+    check_backend_legal_with(prog, &SchemeLegality::full())
+}
+
+/// The result of analyzing one program under a scheme's noise model:
+/// what the model predicts about the output's noise and the remaining
+/// decryption budget. Produced by each scheme crate's `NoiseModel::analyze`
+/// (both express noise as `log2` of relative noise, so the report shape is
+/// scheme-neutral), consumed by the parameter selectors and the CLI's
+/// noise diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseReport {
+    /// Worst-case `log2` relative noise of the output.
+    pub output_noise_bits: f64,
+    /// Predicted remaining budget at decryption (bits; may be negative).
+    pub predicted_budget_bits: f64,
+    /// Predicted budget of a fresh encryption under the same parameters.
+    pub fresh_budget_bits: f64,
+    /// Worst-case budget the program consumes (`fresh - predicted`).
+    pub consumed_bits: f64,
 }
 
 #[cfg(test)]
@@ -366,6 +420,33 @@ mod tests {
         }
         // relin_chain has one relin and one rotation on the output path.
         assert_eq!(output_noise(&relin_chain(), &KsCount), 2.0);
+    }
+
+    /// A backend that lacks an op reports `UnsupportedOp` for programs that
+    /// use it and accepts programs that avoid it.
+    #[test]
+    fn partial_scheme_legality_reports_unsupported_ops() {
+        let no_relin = SchemeLegality {
+            relin: false,
+            ..SchemeLegality::full()
+        };
+        assert_eq!(
+            check_backend_legal_with(&relin_chain(), &no_relin),
+            Err(LegalityError::UnsupportedOp {
+                instr: 2,
+                op: "relin-ct"
+            })
+        );
+        let rot_only = Program::new(
+            "rot",
+            1,
+            0,
+            vec![Instr::RotCt(ValRef::Input(0), 1)],
+            ValRef::Instr(0),
+        );
+        assert!(check_backend_legal_with(&rot_only, &no_relin).is_ok());
+        // The full rule set is what `check_backend_legal` delegates to.
+        assert!(check_backend_legal_with(&relin_chain(), &SchemeLegality::full()).is_ok());
     }
 
     #[test]

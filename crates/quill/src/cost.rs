@@ -2,13 +2,17 @@
 //! `cost(p) = latency(p) × (1 + mdepth(p))` objective (§5.2).
 //!
 //! The paper derives instruction latencies by profiling SEAL; we derive them
-//! by profiling the in-repo [`bfv`](../../bfv) backend (see the `he_ops`
-//! bench and the `profile_latency` binary in `porcupine-bench`). The
-//! constants in [`LatencyModel::profiled_default`] were measured there; what
-//! the synthesizer consumes is only their *ratios*, which are stable across
-//! machines (rotation and ct×ct multiply dominate because both key-switch).
+//! by profiling the in-repo backends (see the `he_ops` bench and the
+//! `profile_latency` binary in `porcupine-bench`). The constants in
+//! [`LatencyModel::profiled_default`] (BFV) and
+//! [`LatencyModel::profiled_bgv`] were measured there; what the synthesizer
+//! consumes is only their *ratios*, which are stable across machines
+//! (rotation and ct×ct multiply dominate because both key-switch).
+//! [`LatencyModel::profiled_for`] picks the table for a
+//! [`crate::scheme::SchemeId`].
 
 use crate::program::{Instr, Program};
+use crate::scheme::SchemeId;
 
 /// Per-instruction latency in microseconds.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +71,40 @@ impl LatencyModel {
             mul_ct_pt: 67.0,
             rot_ct: 1_050.0,
             relin_ct: 1_140.0,
+        }
+    }
+
+    /// Latencies measured on the in-repo BGV backend under the same
+    /// conditions as [`LatencyModel::profiled_default`] (`N = 4096`,
+    /// 3 × 46-bit primes, cached `EvalPlaintext`s, pooled scratch).
+    ///
+    /// The componentwise ops and the key switches run the *same* shared-ring
+    /// code as BFV, so those entries match the BFV table. The difference is
+    /// `mul_ct_ct`: BGV's multiply is a plain evaluation-domain tensor over
+    /// `Q` — no auxiliary-base extension, no `t/Q` rescale — so the raw
+    /// multiply measures ~140 µs against BFV's ~4.8 ms, an order of
+    /// magnitude *below* a key switch. Under BGV the relinearization (when
+    /// the scheme requests one) dominates the multiply it follows.
+    /// Regenerate alongside the BFV table with
+    /// `cargo run -p porcupine-bench --release --bin profile_latency`.
+    pub fn profiled_bgv() -> Self {
+        LatencyModel {
+            add_ct_ct: 45.4,
+            sub_ct_ct: 45.6,
+            mul_ct_ct: 140.0,
+            add_ct_pt: 22.4,
+            sub_ct_pt: 22.1,
+            mul_ct_pt: 67.0,
+            rot_ct: 1_050.0,
+            relin_ct: 1_140.0,
+        }
+    }
+
+    /// The profiled latency table for a scheme backend.
+    pub fn profiled_for(scheme: SchemeId) -> Self {
+        match scheme {
+            SchemeId::Bfv => LatencyModel::profiled_default(),
+            SchemeId::Bgv => LatencyModel::profiled_bgv(),
         }
     }
 
@@ -171,6 +209,24 @@ mod tests {
         // rotation, and far below the raw multiply.
         assert!(m.mul_ct_pt < m.relin_ct);
         assert!(m.relin_ct < m.mul_ct_ct);
+    }
+
+    /// Per-scheme profiles: BGV's raw multiply avoids BFV's auxiliary-base
+    /// machinery, so it must be strictly cheaper, while the shared-ring ops
+    /// (adds, key switches) coincide.
+    #[test]
+    fn bgv_profile_reflects_the_cheaper_multiply() {
+        let bfv = LatencyModel::profiled_for(crate::scheme::SchemeId::Bfv);
+        let bgv = LatencyModel::profiled_for(crate::scheme::SchemeId::Bgv);
+        assert_eq!(bfv, LatencyModel::profiled_default());
+        assert!(bgv.mul_ct_ct < bfv.mul_ct_ct);
+        assert_eq!(bgv.add_ct_ct, bfv.add_ct_ct);
+        assert_eq!(bgv.rot_ct, bfv.rot_ct);
+        assert_eq!(bgv.relin_ct, bfv.relin_ct);
+        // Key-switching ops still dominate the componentwise ones under
+        // both profiles, so the synthesizer's incentives keep direction.
+        assert!(bgv.mul_ct_pt < bgv.mul_ct_ct);
+        assert!(bgv.add_ct_ct < bgv.rot_ct);
     }
 
     /// `eager_cost` charges one implicit relinearization per multiply that

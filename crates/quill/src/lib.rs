@@ -14,8 +14,11 @@
 //! * [`interp`] — one generic interpreter instantiated concretely (over
 //!   [`ring::Zt`] slot vectors, for CEGIS examples) and symbolically (over
 //!   [`symbolic::SymPoly`] canonical polynomials, for exact verification).
+//! * [`scheme`] — which backend the pipeline targets ([`scheme::SchemeId`])
+//!   and which instructions that backend can execute
+//!   ([`scheme::SchemeLegality`]).
 //! * [`cost`] — the paper's `latency × (1 + mdepth)` objective, with
-//!   latencies profiled from the in-repo BFV backend.
+//!   per-scheme latency tables profiled from the in-repo backends.
 //! * [`sexpr`] — a Racket-flavoured surface syntax with a round-tripping
 //!   parser and printer.
 //!
@@ -51,10 +54,12 @@ pub mod cost;
 pub mod interp;
 pub mod program;
 pub mod ring;
+pub mod scheme;
 pub mod sexpr;
 pub mod symbolic;
 
 pub use cost::{cost, eager_cost, LatencyModel};
 pub use program::{Instr, Program, ProgramError, PtOperand, ValRef};
 pub use ring::{Ring, Zt};
+pub use scheme::{SchemeId, SchemeLegality};
 pub use symbolic::SymPoly;

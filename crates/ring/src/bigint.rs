@@ -19,7 +19,7 @@ use std::fmt;
 /// # Examples
 ///
 /// ```
-/// use bfv::bigint::BigUint;
+/// use rlwe_ring::bigint::BigUint;
 ///
 /// let a = BigUint::from_u128(1 << 100);
 /// let b = BigUint::from_u64(3);
@@ -426,7 +426,7 @@ impl From<u128> for BigUint {
 /// # Examples
 ///
 /// ```
-/// use bfv::bigint::{BigInt, BigUint};
+/// use rlwe_ring::bigint::{BigInt, BigUint};
 ///
 /// let a = BigInt::from_i64(-5);
 /// let b = BigInt::from_i64(3);

@@ -1,0 +1,149 @@
+//! RNS-decomposition key switching, shared by every RLWE scheme in the
+//! workspace.
+//!
+//! A key-switch key from `s'` to `s` has one part per RNS prime:
+//! `ksk_i = (b_i, a_i)` with `b_i = -(a_i·s + ε_i) + γ_i·s'`, where `γ_i` is
+//! the CRT unit (`1 mod q_i`, `0 mod q_j`) and `ε_i` is the key-generation
+//! error — raw `e_i` for BFV, `t·e_i` for BGV (whose noise lives on the
+//! multiples-of-`t` lattice). Key switching a polynomial `d` under `s'`
+//! computes `Σ_i lift([d]_{q_i}) ⊙ ksk_i`, whose parts sum to `≈ d·s'`
+//! under `s` with only small added noise (each digit is `< q_i`).
+//!
+//! All key polynomials are stored in **evaluation (double-CRT) form**, so
+//! the inner products of key switching are pointwise; every key residue
+//! additionally carries a Shoup precomputation (keys are the fixed
+//! multiplicand of the digit product, the textbook Shoup setting).
+
+use crate::poly::{PolyForm, RingContext, RnsPoly};
+use crate::pool::ScratchPool;
+use crate::zq::{add_mod, mul_mod_shoup, shoup_precompute};
+use rand::Rng;
+
+/// Shoup companion table of one evaluation-form key polynomial, indexed
+/// `[prime][coeff]`.
+pub type ShoupTable = Vec<Vec<u64>>;
+
+/// A key-switch key from some `s'` back to `s` (one part per RNS prime),
+/// with Shoup companions for the digit inner products.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    /// `(b_i, a_i)` in evaluation form.
+    pub parts: Vec<(RnsPoly, RnsPoly)>,
+    /// Shoup precomputations of `parts`: `shoup[i] = (b_shoup, a_shoup)`.
+    pub shoup: Vec<(ShoupTable, ShoupTable)>,
+}
+
+/// Shoup precomputations for every residue of an evaluation-form key
+/// polynomial.
+pub fn shoup_tables(ring: &RingContext, poly: &RnsPoly) -> ShoupTable {
+    ring.primes()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            poly.residues[i]
+                .iter()
+                .map(|&w| shoup_precompute(w, p))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds a key-switch key whose source key is `target` (e.g. `s²` or
+/// `σ_g(s)`, in evaluation form) under destination secret `s`.
+///
+/// `error_scale`, when present, gives per-prime residues a scalar to fold
+/// into each sampled error (`ε_i = scale·e_i`) — BGV passes `t mod q_j`
+/// here so key-switch noise stays a multiple of the plaintext modulus;
+/// BFV passes `None`. The sampling order (per prime: uniform `a_i`, then
+/// error `e_i`) is part of the determinism contract — changing it changes
+/// every derived key for a given seed.
+pub fn key_switch_key<R: Rng + ?Sized>(
+    ring: &RingContext,
+    s: &RnsPoly,
+    target: &RnsPoly,
+    error_scale: Option<&[u64]>,
+    rng: &mut R,
+) -> KeySwitchKey {
+    let k = ring.num_primes();
+    let mut parts = Vec::with_capacity(k);
+    for i in 0..k {
+        let a_i = ring.sample_uniform(rng);
+        let mut e_i = ring.to_eval(&ring.sample_error(rng));
+        if let Some(scale) = error_scale {
+            e_i = ring.mul_scalar_residues(&e_i, scale);
+        }
+        let mut b_i = ring.neg(&ring.add(&ring.mul(&a_i, s), &e_i));
+        // Add γ_i · target: in RNS, γ_i is the unit vector at component
+        // i, so only component i of `target` contributes — and because
+        // reduction commutes with the NTT, the same componentwise add
+        // is valid in evaluation form.
+        let p = ring.primes()[i];
+        for c in 0..ring.degree() {
+            b_i.residues[i][c] = add_mod(b_i.residues[i][c], target.residues[i][c], p);
+        }
+        parts.push((b_i, a_i));
+    }
+    let shoup = parts
+        .iter()
+        .map(|(b_i, a_i)| (shoup_tables(ring, b_i), shoup_tables(ring, a_i)))
+        .collect();
+    KeySwitchKey { parts, shoup }
+}
+
+/// Key-switches `d` (any form) through `ksk`, accumulating the result into
+/// `acc_b`/`acc_a` (evaluation form): digit-decomposes `d` per RNS prime,
+/// lifts each digit to all primes, and folds the pointwise key inner
+/// products into the accumulators. Scratch rows come from `pool`.
+pub fn key_switch_into(
+    ring: &RingContext,
+    pool: &ScratchPool,
+    d: &RnsPoly,
+    ksk: &KeySwitchKey,
+    acc_b: &mut RnsPoly,
+    acc_a: &mut RnsPoly,
+) {
+    let k = ring.num_primes();
+    let n = ring.degree();
+    // Coefficient-domain view of d: borrowed if already there, else a
+    // pooled copy through k inverse transforms.
+    let mut d_store: Option<Vec<Vec<u64>>> = None;
+    let d_coeff: &[Vec<u64>] = if d.form() == PolyForm::Coeff {
+        &d.residues
+    } else {
+        let mut m = pool.take_matrix(k, n);
+        for ((i, row), src) in m.iter_mut().enumerate().zip(&d.residues) {
+            row.copy_from_slice(src);
+            ring.ntt(i).inverse(row);
+        }
+        &*d_store.insert(m)
+    };
+    let mut digit = pool.take_row(n);
+    for (i, src) in d_coeff.iter().enumerate().take(k) {
+        let (b_i, a_i) = &ksk.parts[i];
+        let (b_shoup, a_shoup) = &ksk.shoup[i];
+        for j in 0..k {
+            let p = ring.primes()[j];
+            if i == j {
+                digit.copy_from_slice(src);
+            } else {
+                let bar = ring.barretts()[j];
+                for (dst, &x) in digit.iter_mut().zip(src) {
+                    *dst = bar.reduce_u64(x);
+                }
+            }
+            ring.ntt(j).forward(&mut digit);
+            let (bb, aa) = (&b_i.residues[j], &a_i.residues[j]);
+            let (bs, asg) = (&b_shoup[j], &a_shoup[j]);
+            let accb = &mut acc_b.residues[j];
+            let acca = &mut acc_a.residues[j];
+            for c in 0..n {
+                accb[c] = add_mod(accb[c], mul_mod_shoup(digit[c], bb[c], bs[c], p), p);
+                acca[c] = add_mod(acca[c], mul_mod_shoup(digit[c], aa[c], asg[c], p), p);
+            }
+        }
+    }
+    pool.put_row(digit);
+    if let Some(m) = d_store {
+        pool.put_matrix(m);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rlwe-ring — shared ring arithmetic under the scheme backends
+//!
+//! The scheme-neutral layer every HE backend in this workspace builds on:
+//! power-of-two negacyclic rings `Z_Q[x]/(x^N + 1)` in RNS (double-CRT)
+//! representation, with exact big-integer fallbacks for the places RNS
+//! alone cannot express. Both the BFV and BGV crates are thin scheme
+//! layers (encoding, encryption, noise, evaluator) over this crate.
+//!
+//! * [`zq`] — scalar arithmetic mod word-size primes: Barrett and Shoup
+//!   multiplication, primality testing, NTT-friendly prime generation.
+//! * [`ntt`] — negacyclic number-theoretic transforms per prime.
+//! * [`rns`] — CRT contexts and exact centered base conversion between
+//!   RNS bases.
+//! * [`bigint`] — minimal arbitrary-precision integers backing CRT
+//!   reconstruction and centered lifts.
+//! * [`poly`] — [`poly::RingContext`] / [`poly::RnsPoly`]: polynomials in
+//!   coefficient or evaluation form, arithmetic, sampling, and the
+//!   RNS-decomposition step of key switching.
+//! * [`pool`] — a scratch-buffer pool for allocation-free evaluator hot
+//!   paths.
+//! * [`params`] — the shared [`params::RlweParams`] parameter sets,
+//!   validation, and the compiler-facing [`params::ParamPolicy`]
+//!   vocabulary (per-scheme noise-aware *selection* lives in the scheme
+//!   crates).
+//! * [`batch`] — the SEAL-compatible 2 × (N/2) slot geometry and the
+//!   Galois elements for row rotation / column swap.
+//! * [`keyswitch`] — RNS-decomposition key switching: key generation
+//!   (with an optional error scale for BGV's `t·e` noise lattice) and the
+//!   digit-decomposition inner product.
+//!
+//! Like the scheme crates, this is research-grade code for reproducing a
+//! paper: do not use it to protect real data.
+
+pub mod batch;
+pub mod bigint;
+pub mod keyswitch;
+pub mod ntt;
+pub mod params;
+pub mod poly;
+pub mod pool;
+pub mod rns;
+pub mod zq;

@@ -16,7 +16,7 @@ use crate::zq::{add_mod, inv_mod, mul_mod, mul_mod_shoup, pow_mod, shoup_precomp
 /// # Examples
 ///
 /// ```
-/// use bfv::{ntt::NttTables, zq};
+/// use rlwe_ring::{ntt::NttTables, zq};
 ///
 /// let p = zq::ntt_primes(50, 16, 1, &[])[0];
 /// let tables = NttTables::new(p, 8);

@@ -552,9 +552,13 @@ impl RingContext {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RnsPoly {
     /// `residues[prime_index][coeff_index]` (or `[eval_index]` in
-    /// evaluation form).
-    pub(crate) residues: Vec<Vec<u64>>,
-    pub(crate) form: PolyForm,
+    /// evaluation form). Public so scheme backends can implement their hot
+    /// paths directly on the residue matrices; treat as read/write raw
+    /// storage and keep `form` consistent.
+    pub residues: Vec<Vec<u64>>,
+    /// Which representation `residues` holds. Backends flipping this field
+    /// by hand must actually transform the residues to match.
+    pub form: PolyForm,
 }
 
 impl RnsPoly {

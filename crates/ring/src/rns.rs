@@ -16,8 +16,8 @@ use crate::zq::{add_mod, inv_mod, mul_mod, mul_mod_shoup, shoup_precompute, sub_
 /// # Examples
 ///
 /// ```
-/// use bfv::rns::RnsContext;
-/// use bfv::bigint::BigUint;
+/// use rlwe_ring::rns::RnsContext;
+/// use rlwe_ring::bigint::BigUint;
 ///
 /// let ctx = RnsContext::new(vec![97, 101, 103]);
 /// let x = BigUint::from_u64(123_456);
@@ -232,7 +232,7 @@ impl RnsContext {
 /// is exact — no `α·A` overflow term — while still touching nothing wider
 /// than a machine word. This is the primitive the BFV multiply uses to
 /// extend operands into the auxiliary tensoring base and to shrink the
-/// rescaled product back (see `bfv::evaluator`).
+/// rescaled product back (see the scheme evaluators).
 #[derive(Debug, Clone)]
 pub struct RnsBaseConverter {
     src: RnsContext,

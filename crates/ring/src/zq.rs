@@ -187,17 +187,36 @@ pub fn is_prime(n: u64) -> bool {
 /// Panics if `bits > 62`, `modulus` is not a power of two, or not enough
 /// primes exist in range (never happens for the sizes used here).
 pub fn ntt_primes(bits: u32, modulus: u64, count: usize, exclude: &[u64]) -> Vec<u64> {
-    assert!((20..=62).contains(&bits), "prime size out of range");
     assert!(modulus.is_power_of_two());
+    primes_in_progression(bits, modulus, count, exclude)
+}
+
+/// Returns `count` distinct primes `p ≡ 1 (mod stride)` just below
+/// `2^bits`, descending, skipping any in `exclude` — the general form of
+/// [`ntt_primes`] for non-power-of-two strides. BGV uses it with
+/// `stride = 2N·t` so every chain prime is simultaneously NTT-friendly
+/// (`≡ 1 mod 2N`) and modulus-switch-friendly (`≡ 1 mod t`, which keeps
+/// dropping a prime plaintext-invariant).
+///
+/// # Panics
+///
+/// Panics if `bits` is out of `[20, 62]`, `stride` is odd (candidates
+/// must be odd), or not enough primes exist in range.
+pub fn primes_in_progression(bits: u32, stride: u64, count: usize, exclude: &[u64]) -> Vec<u64> {
+    assert!((20..=62).contains(&bits), "prime size out of range");
+    assert!(
+        stride >= 2 && stride.is_multiple_of(2),
+        "stride must be even"
+    );
     let mut out = Vec::with_capacity(count);
-    // Largest candidate ≡ 1 mod `modulus` below 2^bits.
-    let mut cand = ((1u64 << bits) - 1) / modulus * modulus + 1;
+    // Largest candidate ≡ 1 mod `stride` below 2^bits.
+    let mut cand = ((1u64 << bits) - 1) / stride * stride + 1;
     while out.len() < count {
         assert!(cand > (1u64 << (bits - 1)), "ran out of candidate primes");
         if is_prime(cand) && !exclude.contains(&cand) && !out.contains(&cand) {
             out.push(cand);
         }
-        cand -= modulus;
+        cand -= stride;
     }
     out
 }

@@ -23,6 +23,7 @@ use proptest::prelude::*;
 use quill::cost::LatencyModel;
 use quill::interp;
 use quill::program::{Instr, Program, PtOperand, ValRef};
+use quill::scheme::SchemeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -65,6 +66,19 @@ pub fn param_policy_from_env() -> Option<ParamPolicy> {
     }
 }
 
+/// The scheme backend selected by the `PORCUPINE_SCHEME` environment
+/// variable (`bfv` or `bgv` — the CI matrix runs a dedicated `bgv` leg),
+/// defaulting to BFV when unset.
+///
+/// # Panics
+///
+/// Panics on any other value, the same contract as
+/// [`param_policy_from_env`]: a typo'd CI leg silently falling back to the
+/// BFV backend would go green without exercising the requested scheme.
+pub fn scheme_from_env() -> SchemeId {
+    porcupine::scheme::default_scheme()
+}
+
 /// The parameter set a noise/backend suite should evaluate `prog` under:
 /// honors `PORCUPINE_PARAMS` (the dedicated CI leg sets `auto`, exercising
 /// the selector end to end on every generated program), defaulting to the
@@ -74,8 +88,7 @@ pub fn param_policy_from_env() -> Option<ParamPolicy> {
 /// parameters, so the fallback keeps them meaningful.
 pub fn noise_test_params(prog: &Program, min_slots: usize) -> BfvParams {
     match param_policy_from_env() {
-        Some(policy) => policy
-            .resolve(prog, min_slots, T)
+        Some(policy) => bfv::params::resolve_policy(&policy, prog, min_slots, T)
             .unwrap_or_else(|_| BfvParams::paper()),
         None => BfvParams::test_small(),
     }
@@ -282,13 +295,20 @@ pub fn assert_backend_matches_interp(
 }
 
 /// Differential testing across the whole pipeline: one program, one set of
-/// inputs, three executions — the Quill interpreter, the BFV backend under
-/// the paper's fixed parameters, and the BFV backend under auto-selected
-/// parameters — all asserted slot-identical.
+/// inputs, executed by the Quill interpreter and by encrypted backends
+/// under multiple parameter sets — all asserted slot-identical.
+///
+/// Two harnesses share the machinery: [`assert_differential`] (BFV under
+/// paper + auto parameters, with the selection-margin certificate) and
+/// [`assert_cross_scheme`] (every [`SchemeId`] backend against the
+/// interpreter and against each other, each under its own auto-selected
+/// parameters plus — noise model permitting — the paper set).
 pub mod differential {
     use super::*;
     use bfv::noise::NoiseModel;
     use bfv::params::DEFAULT_MARGIN_BITS;
+    use porcupine::codegen::Runner;
+    use porcupine::scheme::{BfvScheme, BgvScheme, Scheme};
 
     /// What the auto leg measured, for reporting/extra assertions.
     #[derive(Debug, Clone)]
@@ -303,8 +323,55 @@ pub mod differential {
         pub measured_budget_paper: i64,
     }
 
-    /// Encrypt-run-decrypt of a lowered program under one parameter set,
-    /// returning the decoded slots and the measured remaining budget.
+    /// Encrypt-run-decrypt of a lowered program under one parameter set on
+    /// scheme `S`, returning the decoded slots and the measured remaining
+    /// budget. The whole leg goes through the [`Scheme`] trait — the same
+    /// surface the generic [`Runner`] lowers onto — so a divergence here is
+    /// a backend bug, never a harness one.
+    fn run_scheme<S: Scheme>(
+        params: BfvParams,
+        lowered: &Program,
+        ct_model: &[Vec<u64>],
+        pt_model: &[Vec<u64>],
+        seed: u64,
+    ) -> (Vec<u64>, i64) {
+        let ctx = S::context(params).expect("differential params are valid");
+        let mut rng = seeded_rng(seed);
+        let keygen = S::keygen(&ctx, &mut rng);
+        let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
+        let decryptor = S::decryptor(&ctx, &keygen);
+        let runner = Runner::<'_, S>::for_programs(&ctx, &keygen, &[lowered], &mut rng);
+        let encoder = runner.encoder();
+        let cts: Vec<S::Ciphertext> = ct_model
+            .iter()
+            .map(|v| S::encrypt(&encryptor, &S::encode(encoder, v), &mut rng))
+            .collect();
+        let pts: Vec<S::Plaintext> = pt_model.iter().map(|v| S::encode(encoder, v)).collect();
+        let ct_refs: Vec<&S::Ciphertext> = cts.iter().collect();
+        let pt_refs: Vec<&S::Plaintext> = pts.iter().collect();
+        let out = runner.run(lowered, &ct_refs, &pt_refs);
+        (
+            S::decode(encoder, &S::decrypt(&decryptor, &out)),
+            S::noise_budget(&decryptor, &out),
+        )
+    }
+
+    /// [`run_scheme`] dispatched on a runtime [`SchemeId`].
+    pub fn run_under_scheme(
+        scheme: SchemeId,
+        params: BfvParams,
+        lowered: &Program,
+        ct_model: &[Vec<u64>],
+        pt_model: &[Vec<u64>],
+        seed: u64,
+    ) -> (Vec<u64>, i64) {
+        match scheme {
+            SchemeId::Bfv => run_scheme::<BfvScheme>(params, lowered, ct_model, pt_model, seed),
+            SchemeId::Bgv => run_scheme::<BgvScheme>(params, lowered, ct_model, pt_model, seed),
+        }
+    }
+
+    /// The BFV leg the original two-parameter harness runs.
     fn run_under(
         params: BfvParams,
         lowered: &Program,
@@ -312,23 +379,7 @@ pub mod differential {
         pt_model: &[Vec<u64>],
         seed: u64,
     ) -> (Vec<u64>, i64) {
-        let ctx = BfvContext::new(params).expect("differential params are valid");
-        let mut rng = seeded_rng(seed);
-        let session = HeSession::new(&ctx, &mut rng);
-        let runner = BfvRunner::for_programs(&ctx, &session.keygen, &[lowered], &mut rng);
-        let encoder = runner.encoder();
-        let cts: Vec<Ciphertext> = ct_model
-            .iter()
-            .map(|v| session.encryptor.encrypt(&encoder.encode(v), &mut rng))
-            .collect();
-        let pts: Vec<Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
-        let ct_refs: Vec<&Ciphertext> = cts.iter().collect();
-        let pt_refs: Vec<&Plaintext> = pts.iter().collect();
-        let out = runner.run(lowered, &ct_refs, &pt_refs);
-        (
-            encoder.decode(&session.decryptor.decrypt(&out)),
-            session.decryptor.invariant_noise_budget(&out),
-        )
+        run_scheme::<BfvScheme>(params, lowered, ct_model, pt_model, seed)
     }
 
     /// Runs `prog` (lowered at [`test_opt_level`]) on random
@@ -353,9 +404,9 @@ pub mod differential {
         let pt_model = sample_model_inputs(prog.num_pt_inputs, model_n, input_bound, &mut rng);
         let expected = interp::eval_concrete(prog, &ct_model, &pt_model, T);
 
-        let auto_params = bfv::params::ParamPolicy::auto()
-            .resolve(&lowered, model_n, T)
-            .unwrap_or_else(|e| panic!("{}: auto selection failed: {e}", prog.name));
+        let auto_params =
+            bfv::params::resolve_policy(&bfv::params::ParamPolicy::auto(), &lowered, model_n, T)
+                .unwrap_or_else(|e| panic!("{}: auto selection failed: {e}", prog.name));
         let predicted = NoiseModel::for_params(&auto_params)
             .analyze(&lowered)
             .predicted_budget_bits;
@@ -417,6 +468,119 @@ pub mod differential {
             .filter_map(|(i, &on)| on.then_some(i))
             .collect();
         assert_differential(prog, spec.n, &slots, input_bound, seed)
+    }
+
+    /// One encrypted execution leg of the cross-scheme harness.
+    #[derive(Debug, Clone)]
+    pub struct CrossSchemeLeg {
+        /// Which backend ran the leg.
+        pub scheme: SchemeId,
+        /// `"auto"` or `"paper"`.
+        pub label: &'static str,
+        /// The parameter set the leg ran under.
+        pub params: BfvParams,
+        /// Measured remaining noise budget (bits) at the output.
+        pub measured_budget: i64,
+    }
+
+    /// Runs `prog` on the same random inputs through the interpreter and
+    /// through **every** [`SchemeId`] backend, asserting all executions
+    /// agree on every slot in `slots` with positive measured budget.
+    ///
+    /// Each scheme is lowered under its own legality rules and runs under
+    /// its own auto-selected parameters (its selector's certificate must
+    /// hold), plus the paper's fixed `N = 8192` set whenever the scheme's
+    /// own noise model predicts positive remaining budget there. A skipped
+    /// paper leg is reported on stderr — never silently dropped — and at
+    /// least the auto leg always runs, so every scheme is exercised.
+    pub fn assert_cross_scheme(
+        prog: &Program,
+        model_n: usize,
+        slots: &[usize],
+        input_bound: u64,
+        seed: u64,
+    ) -> Vec<CrossSchemeLeg> {
+        let mut rng = seeded_rng(seed);
+        let ct_model = sample_model_inputs(prog.num_ct_inputs, model_n, input_bound, &mut rng);
+        let pt_model = sample_model_inputs(prog.num_pt_inputs, model_n, input_bound, &mut rng);
+        let expected = interp::eval_concrete(prog, &ct_model, &pt_model, T);
+        let mut mask = vec![false; model_n];
+        for &slot in slots {
+            mask[slot] = true;
+        }
+
+        let mut legs = Vec::new();
+        for &scheme in SchemeId::ALL {
+            let (lowered, _) = opt::optimize_with(prog, test_opt_level(), &scheme.legality());
+            let auto_params = porcupine::scheme::resolve_params(
+                scheme,
+                &ParamPolicy::auto(),
+                &lowered,
+                model_n,
+                T,
+            )
+            .unwrap_or_else(|e| panic!("{} [{scheme}]: auto selection failed: {e}", prog.name));
+
+            let mut planned: Vec<(&'static str, BfvParams)> = vec![("auto", auto_params)];
+            let paper = BfvParams::paper();
+            let paper_predicted =
+                porcupine::scheme::analyze_noise(scheme, &paper, &lowered).predicted_budget_bits;
+            if paper_predicted > 0.0 {
+                planned.push(("paper", paper));
+            } else {
+                eprintln!(
+                    "{} [{scheme}/paper]: skipped — noise model predicts {:.1} bits of \
+                     budget under the paper parameters",
+                    prog.name, paper_predicted
+                );
+            }
+
+            for (label, params) in planned {
+                let (decoded, budget) = run_under_scheme(
+                    scheme,
+                    params.clone(),
+                    &lowered,
+                    &ct_model,
+                    &pt_model,
+                    seed ^ 0xC255,
+                );
+                assert!(
+                    budget > 0,
+                    "{} [{scheme}/{label}]: noise budget exhausted ({budget})",
+                    prog.name
+                );
+                assert_masked_slots_eq(
+                    &decoded,
+                    &expected,
+                    &mask,
+                    &format!("{} [{scheme}/{label}]", prog.name),
+                );
+                legs.push(CrossSchemeLeg {
+                    scheme,
+                    label,
+                    params,
+                    measured_budget: budget,
+                });
+            }
+        }
+        legs
+    }
+
+    /// [`assert_cross_scheme`] with the comparison slots taken from a
+    /// spec's output mask.
+    pub fn assert_cross_scheme_spec(
+        prog: &Program,
+        spec: &KernelSpec,
+        input_bound: u64,
+        seed: u64,
+    ) -> Vec<CrossSchemeLeg> {
+        let slots: Vec<usize> = spec
+            .output_mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &on)| on.then_some(i))
+            .collect();
+        assert_cross_scheme(prog, spec.n, &slots, input_bound, seed)
     }
 }
 

@@ -11,7 +11,9 @@
 //! porcupine synth sobel-combine -O0      # middle-end level (also -O1/-O2)
 //! porcupine synth dot-product --size 64 --params auto
 //!                                        # bigger kernel, auto-selected
-//!                                        # BFV params, encrypted check
+//!                                        # params, encrypted check
+//! porcupine synth dot-product --scheme bgv --params auto
+//!                                        # same kernel on the BGV backend
 //! porcupine baseline gx                  # print the hand-written baseline
 //! ```
 //!
@@ -22,26 +24,33 @@
 //! `relin-ct` placement; `-O0` reproduces the eager
 //! relin-after-every-multiply lowering.
 //!
+//! `--scheme bfv|bgv` (default: `PORCUPINE_SCHEME`, else `bfv`) picks the
+//! backend the kernel targets: it selects the lowering legality, the
+//! latency model behind the cost objective, the noise model behind
+//! parameter selection, and which evaluator the encrypted check runs on.
+//!
 //! `--size` scales a kernel past the paper's toy dimensions (image
 //! interior width for the stencils, element count for the reductions,
-//! batch width for the regressions). `--params auto` lets the static
-//! noise analysis pick the smallest safe BFV parameter set for the
+//! batch width for the regressions). `--params auto` lets the scheme's
+//! static noise analysis pick the smallest safe parameter set for the
 //! lowered program (`--margin-bits` adjusts the safety margin;
 //! `--params paper` pins the paper's fixed `N = 8192` set) and then
 //! actually encrypts, runs, and decrypts the kernel, asserting the
 //! backend matches the interpreter slot for slot.
 
-use bfv::params::{BfvContext, BfvParams, ParamPolicy};
+use bfv::params::{BfvParams, ParamPolicy};
 use porcupine::autosketch::auto_sketch;
 use porcupine::cegis::{
     default_parallelism, default_strategy, synthesize, CachePolicy, SearchStrategy,
     SynthesisOptions,
 };
-use porcupine::codegen::{emit_seal_cpp, BfvRunner};
+use porcupine::codegen::{emit_seal_cpp, Runner};
 use porcupine::opt::{self, OptLevel};
+use porcupine::scheme::{BfvScheme, BgvScheme, Scheme};
 use porcupine::spec::KernelSpec;
 use porcupine_kernels::{all_direct, direct_kernel, PaperKernel};
 use quill::cost::{eager_cost, LatencyModel};
+use quill::scheme::SchemeId;
 use rand::{Rng, SeedableRng};
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -49,7 +58,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>] [--size <n>] [--params auto|paper] [--margin-bits <n>] [--strategy bottom-up|dfs] [--cache <dir>] [--no-cache]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
+        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>] [--scheme bfv|bgv] [--size <n>] [--params auto|paper] [--margin-bits <n>] [--strategy bottom-up|dfs] [--cache <dir>] [--no-cache]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
     );
     ExitCode::FAILURE
 }
@@ -58,16 +67,17 @@ fn find_kernel(name: &str, size: Option<usize>) -> Option<PaperKernel> {
     direct_kernel(name, size)
 }
 
-/// Encrypts seeded random inputs, executes the lowered program on the BFV
-/// backend under `params`, decrypts, and compares against the interpreter
-/// on the spec's masked slots. Returns the measured remaining noise budget.
-fn run_encrypted_check(
+/// Encrypts seeded random inputs, executes the lowered program on the
+/// scheme backend `S` under `params`, decrypts, and compares against the
+/// interpreter on the spec's masked slots. Returns the measured remaining
+/// noise budget.
+fn run_encrypted_check_for<S: Scheme>(
     prog: &quill::program::Program,
     spec: &KernelSpec,
     params: BfvParams,
     seed: u64,
 ) -> Result<i64, String> {
-    let ctx = BfvContext::new(params).map_err(|e| e.to_string())?;
+    let ctx = S::context(params).map_err(|e| e.to_string())?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let t = spec.t;
     let sample = |count: usize, rng: &mut rand::rngs::StdRng| -> Vec<Vec<u64>> {
@@ -79,24 +89,24 @@ fn run_encrypted_check(
     let pt_model = sample(prog.num_pt_inputs, &mut rng);
     let expected = quill::interp::eval_concrete(prog, &ct_model, &pt_model, t);
 
-    let keygen = bfv::keys::KeyGenerator::new(&ctx, &mut rng);
-    let encryptor = bfv::encrypt::Encryptor::new(&ctx, keygen.public_key(&mut rng));
-    let decryptor = bfv::encrypt::Decryptor::new(&ctx, keygen.secret_key().clone());
-    let runner = BfvRunner::for_programs(&ctx, &keygen, &[prog], &mut rng);
+    let keygen = S::keygen(&ctx, &mut rng);
+    let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
+    let decryptor = S::decryptor(&ctx, &keygen);
+    let runner: Runner<'_, S> = Runner::for_programs(&ctx, &keygen, &[prog], &mut rng);
     let encoder = runner.encoder();
-    let cts: Vec<bfv::Ciphertext> = ct_model
+    let cts: Vec<S::Ciphertext> = ct_model
         .iter()
-        .map(|v| encryptor.encrypt(&encoder.encode(v), &mut rng))
+        .map(|v| S::encrypt(&encryptor, &S::encode(encoder, v), &mut rng))
         .collect();
-    let pts: Vec<bfv::Plaintext> = pt_model.iter().map(|v| encoder.encode(v)).collect();
-    let ct_refs: Vec<&bfv::Ciphertext> = cts.iter().collect();
-    let pt_refs: Vec<&bfv::Plaintext> = pts.iter().collect();
+    let pts: Vec<S::Plaintext> = pt_model.iter().map(|v| S::encode(encoder, v)).collect();
+    let ct_refs: Vec<&S::Ciphertext> = cts.iter().collect();
+    let pt_refs: Vec<&S::Plaintext> = pts.iter().collect();
     let out = runner.run(prog, &ct_refs, &pt_refs);
-    let budget = decryptor.invariant_noise_budget(&out);
+    let budget = S::noise_budget(&decryptor, &out);
     if budget <= 0 {
         return Err(format!("noise budget exhausted at decryption ({budget})"));
     }
-    let decoded = encoder.decode(&decryptor.decrypt(&out));
+    let decoded = S::decode(encoder, &S::decrypt(&decryptor, &out));
     for (i, &on) in spec.output_mask.iter().enumerate() {
         if on && decoded[i] != expected[i] {
             return Err(format!(
@@ -106,6 +116,20 @@ fn run_encrypted_check(
         }
     }
     Ok(budget)
+}
+
+/// [`run_encrypted_check_for`] dispatched on a runtime scheme identifier.
+fn run_encrypted_check(
+    scheme: SchemeId,
+    prog: &quill::program::Program,
+    spec: &KernelSpec,
+    params: BfvParams,
+    seed: u64,
+) -> Result<i64, String> {
+    match scheme {
+        SchemeId::Bfv => run_encrypted_check_for::<BfvScheme>(prog, spec, params, seed),
+        SchemeId::Bgv => run_encrypted_check_for::<BgvScheme>(prog, spec, params, seed),
+    }
 }
 
 /// Extracts an `-O0`/`-O1`/`-O2` (or `--opt-level <n>`) flag, if present.
@@ -125,6 +149,7 @@ fn parse_opt_level(args: &[String]) -> Result<Option<OptLevel>, String> {
 /// Prints the resolved parameter set and, for auto selection, the noise
 /// analysis behind it.
 fn report_params(
+    scheme: SchemeId,
     optimized: &quill::program::Program,
     params: &BfvParams,
     policy: &ParamPolicy,
@@ -136,13 +161,13 @@ fn report_params(
         ParamPolicy::Fixed(_) => "fixed",
     };
     eprintln!(
-        "; params ({mode}): N = {}, t = {}, q = {} primes / {total_bits} bits",
+        "; params ({mode}, {scheme}): N = {}, t = {}, q = {} primes / {total_bits} bits",
         params.poly_degree,
         params.plain_modulus,
         params.moduli.len(),
     );
     if verbose {
-        let report = bfv::NoiseModel::for_params(params).analyze(optimized);
+        let report = porcupine::scheme::analyze_noise(scheme, params, optimized);
         eprintln!(
             "; noise: fresh budget {:.1} bits, worst-case consumed {:.1}, predicted >= {:.1} at decryption",
             report.fresh_budget_bits, report.consumed_bits, report.predicted_budget_bits,
@@ -163,12 +188,24 @@ fn finish_synth(
 ) -> ExitCode {
     match params {
         Ok(params) => {
-            report_params(optimized, params, &options.params, run_check);
+            report_params(
+                options.scheme,
+                optimized,
+                params,
+                &options.params,
+                run_check,
+            );
             if run_check {
                 // `--params` asks for the full flow: encrypt, run on the
-                // BFV backend under the resolved set, decrypt, and
-                // cross-check against the interpreter.
-                match run_encrypted_check(optimized, &k.spec, params.clone(), options.seed) {
+                // selected scheme backend under the resolved set, decrypt,
+                // and cross-check against the interpreter.
+                match run_encrypted_check(
+                    options.scheme,
+                    optimized,
+                    &k.spec,
+                    params.clone(),
+                    options.seed,
+                ) {
                     Ok(budget) => eprintln!(
                         "; encrypted check: backend matches interpreter on all masked \
                          slots, {budget} bits of noise budget left"
@@ -202,6 +239,15 @@ fn main() -> ExitCode {
     if args.first().is_some_and(|a| find_kernel(a, None).is_some()) {
         args.insert(0, "synth".to_string());
     }
+    // Validate `PORCUPINE_SCHEME` up front so a typo is a clean error here
+    // rather than a panic out of `SynthesisOptions::default()`.
+    let env_scheme = match porcupine::scheme::scheme_from_env() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let model = LatencyModel::profiled_default();
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -286,6 +332,27 @@ fn main() -> ExitCode {
                 },
                 None => None,
             };
+            // `--scheme` beats `PORCUPINE_SCHEME` beats the BFV default;
+            // an unknown name is an error, never a silent fallback.
+            let scheme = match args.iter().position(|a| a == "--scheme") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some(v) => match SchemeId::parse(v) {
+                        Some(s) => s,
+                        None => {
+                            eprintln!(
+                                "--scheme requires one of {:?}, got '{v}'",
+                                SchemeId::ALL.iter().map(|s| s.name()).collect::<Vec<_>>()
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("--scheme requires a value (bfv or bgv)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => env_scheme,
+            };
             let policy = match params_mode {
                 Some("paper") => ParamPolicy::Fixed(BfvParams::paper()),
                 _ => match grab("--margin-bits") {
@@ -345,6 +412,8 @@ fn main() -> ExitCode {
                 seed: grab("--seed").unwrap_or(0x9E3779B9),
                 parallelism: jobs,
                 opt_level,
+                scheme,
+                latency: LatencyModel::profiled_for(scheme),
                 params: policy,
                 strategy,
                 cache,
@@ -369,8 +438,15 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                     };
-                    let (optimized, opt_report) = opt::optimize(&program, options.opt_level);
-                    let params = options.params.resolve(&optimized, k.spec.n, k.spec.t);
+                    let (optimized, opt_report) =
+                        opt::optimize_with(&program, options.opt_level, &options.scheme.legality());
+                    let params = porcupine::scheme::resolve_params(
+                        options.scheme,
+                        &options.params,
+                        &optimized,
+                        k.spec.n,
+                        k.spec.t,
+                    );
                     eprintln!(
                         "; multi-step (§6.3): {} stages, total {:.2?}, jobs: {}",
                         1 + len.ilog2(),
@@ -422,9 +498,10 @@ fn main() -> ExitCode {
                         if r.cache_hit { "hit" } else { "miss" },
                     );
                     eprintln!(
-                        "; cost {:.0} (baseline {:.0})",
+                        "; cost {:.0} (baseline {:.0}, {} latency model)",
                         r.final_cost,
-                        eager_cost(&k.baseline, &model)
+                        eager_cost(&k.baseline, &options.latency),
+                        options.scheme,
                     );
                     eprintln!(
                         "; -{}: {} ({} instrs searched → {} lowered, {} relin, {} rot)",

@@ -9,11 +9,17 @@
 //! matrix covers `-O0`/`-O1`/`-O2`), so every assertion here also
 //! exercises the middle-end. A seeded sweep additionally runs randomized
 //! kernel sizes through the same harness — sizes the paper never measured.
+//!
+//! The cross-scheme leg widens the harness across backends: every paper
+//! kernel must decrypt slot-identically on the interpreter, the BFV
+//! backend, and the BGV backend — each scheme under its own auto-selected
+//! parameters and (noise model permitting) the shared paper set.
 
 use porcupine::cegis::synthesize;
 use porcupine_kernels::{all_direct, direct_kernel, reduction};
+use quill::scheme::SchemeId;
 use rand::Rng;
-use test_support::differential::assert_differential_spec;
+use test_support::differential::{assert_cross_scheme_spec, assert_differential_spec};
 use test_support::{fast_synthesis_options, seeded_rng};
 
 /// The slow-synthesis pair exercised with longer budgets by the bench
@@ -43,6 +49,27 @@ fn paper_kernels_decrypt_identically_under_paper_and_auto_params() {
             k.name,
             report.auto_params.poly_degree
         );
+    }
+}
+
+/// Cross-scheme differential: all nine Table 2/3 kernels (their verified
+/// baselines — synthesis is covered by the legs above) decrypt
+/// slot-identically on the interpreter, the BFV backend, and the BGV
+/// backend. Each scheme runs under its own auto-selected parameters, so
+/// both selectors' certificates are checked in practice on every kernel;
+/// the paper-parameter leg additionally runs wherever the scheme's noise
+/// model clears it.
+#[test]
+fn paper_kernels_decrypt_identically_across_schemes() {
+    for (i, k) in all_direct().into_iter().enumerate() {
+        let legs = assert_cross_scheme_spec(&k.baseline, &k.spec, 64, 0xC501 + i as u64);
+        for &scheme in SchemeId::ALL {
+            assert!(
+                legs.iter().any(|l| l.scheme == scheme && l.label == "auto"),
+                "{}: no auto leg ran for {scheme}",
+                k.name
+            );
+        }
     }
 }
 

@@ -18,14 +18,13 @@
 use porcupine::cegis::{synthesize, CachePolicy, SearchStrategy};
 use porcupine::{clear_synthesis_memo, search_invocations};
 use porcupine_kernels::{reduction, stencil};
+use quill::scheme::SchemeId;
 use test_support::{fast_synthesis_options, with_strategy};
 
 /// A fresh cache directory under the target-dir scratch space.
 fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "porcupine-cache-test-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("porcupine-cache-test-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -102,6 +101,68 @@ fn cache_keys_separate_distinct_queries() {
     let other = reduction::hamming_distance(4);
     let r = synthesize(&other.spec, &other.sketch, &options).expect("hamming");
     assert!(!r.cache_hit, "distinct specs must not share entries");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scheme backend is part of the cache key: the same spec and sketch
+/// synthesized for BGV must miss an entry written for BFV (format v2) —
+/// the two schemes lower and cost differently, so replaying a BFV answer
+/// for a BGV query would be a stale-result bug.
+#[test]
+fn changing_the_scheme_misses_the_cache() {
+    let dir = temp_cache_dir("scheme");
+    let k = reduction::hamming_distance(4);
+    let mut options = fast_synthesis_options();
+    options.cache = CachePolicy::At(dir.clone());
+    // Pin the scheme explicitly: the options default follows
+    // `PORCUPINE_SCHEME`, and this test must compare the two fixed
+    // backends whatever leg of the CI matrix it runs under.
+    options.scheme = SchemeId::Bfv;
+
+    let cold = synthesize(&k.spec, &k.sketch, &options).expect("cold bfv hamming");
+    assert!(!cold.cache_hit);
+
+    // Same query, BGV backend: different key, so a miss — even though the
+    // in-process memo and the disk tier both hold the BFV answer.
+    let mut bgv_options = options.clone();
+    bgv_options.scheme = SchemeId::Bgv;
+    let bgv = synthesize(&k.spec, &k.sketch, &bgv_options).expect("cold bgv hamming");
+    assert!(!bgv.cache_hit, "scheme is part of the cache key");
+
+    // Both entries persist side by side, each naming its scheme in the
+    // stored key text.
+    let mut schemes_seen = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("cache dir").flatten() {
+        let bytes = std::fs::read(entry.path()).expect("entry readable");
+        let text = String::from_utf8_lossy(&bytes);
+        for id in ["scheme bfv", "scheme bgv"] {
+            if text.contains(id) {
+                schemes_seen.push(id);
+            }
+        }
+    }
+    schemes_seen.sort_unstable();
+    assert_eq!(
+        schemes_seen,
+        ["scheme bfv", "scheme bgv"],
+        "each entry stores its scheme config line"
+    );
+
+    // And each scheme's own warm replay still hits.
+    clear_synthesis_memo();
+    assert!(
+        synthesize(&k.spec, &k.sketch, &options)
+            .expect("warm bfv")
+            .cache_hit,
+        "bfv entry survives alongside the bgv one"
+    );
+    clear_synthesis_memo();
+    assert!(
+        synthesize(&k.spec, &k.sketch, &bgv_options)
+            .expect("warm bgv")
+            .cache_hit,
+        "bgv entry survives alongside the bfv one"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

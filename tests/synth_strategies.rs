@@ -71,8 +71,7 @@ fn strategies_agree_on_every_paper_kernel() {
             k.name
         );
         let mut rng = seeded_rng(5);
-        verify(&bu.program, &k.spec, &mut rng)
-            .unwrap_or_else(|e| panic!("{}: {e:?}", k.name));
+        verify(&bu.program, &k.spec, &mut rng).unwrap_or_else(|e| panic!("{}: {e:?}", k.name));
     }
 }
 
