@@ -9,7 +9,11 @@
 //!
 //! Runs on the scheme selected by `PORCUPINE_SCHEME` (default BFV) — the
 //! same knob the test suites honor — with the matching per-scheme latency
-//! model, and tags the recorded JSON with the scheme. Default mode times
+//! model **scaled to the resolved parameter set** (the profiled constants
+//! are calibrated at N = 4096 with 3 primes; `LatencyModel::scaled_to`
+//! extrapolates them, so `model_ratio` stays meaningful under `--params`),
+//! and tags the recorded JSON with the scheme, the resolved N and prime
+//! count, and the `PORCUPINE_EVAL_JOBS` worker count. Default mode times
 //! `runs` (default 5) executions per version on the `fast_4096` preset.
 //! Every workload is correctness-gated first: the `-O0` and `-O2`
 //! lowerings must decrypt bit-identically. `--smoke` uses the small preset
@@ -107,8 +111,10 @@ fn run<S: Scheme>(policy: Option<ParamPolicy>, smoke: bool, runs: usize) {
         if smoke { " [smoke]" } else { "" },
         if policy.is_some() { " [--params]" } else { "" },
     );
+    let (bench_n, bench_primes) = (params.poly_degree, params.moduli.len());
+    let eval_jobs = porcupine::codegen::default_eval_jobs().get();
     let ctx = S::context(params).expect("valid parameters");
-    let model = LatencyModel::profiled_for(S::ID);
+    let model = LatencyModel::profiled_for(S::ID).scaled_to(bench_n, bench_primes);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x0F70);
     let keygen = S::keygen(&ctx, &mut rng);
     let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
@@ -209,8 +215,11 @@ fn run<S: Scheme>(policy: Option<ParamPolicy>, smoke: bool, runs: usize) {
     }
 
     let path = "BENCH_fig_opt.json";
-    std::fs::write(path, summary_json(S::ID, smoke, runs, &rows))
-        .expect("write BENCH_fig_opt.json");
+    std::fs::write(
+        path,
+        summary_json(S::ID, smoke, runs, bench_n, bench_primes, eval_jobs, &rows),
+    )
+    .expect("write BENCH_fig_opt.json");
     if !smoke {
         // How honest the cost model is about what the backend executes:
         // with the allocation-free runner this should sit near 1.0 (the
@@ -226,10 +235,18 @@ fn run<S: Scheme>(policy: Option<ParamPolicy>, smoke: bool, runs: usize) {
 
 /// Hand-rolled JSON (the workspace is offline; no serde). Kernel names are
 /// ASCII identifiers, so no string escaping is needed.
-fn summary_json(scheme: SchemeId, smoke: bool, runs: usize, rows: &[Row]) -> String {
+fn summary_json(
+    scheme: SchemeId,
+    smoke: bool,
+    runs: usize,
+    n: usize,
+    primes: usize,
+    eval_jobs: usize,
+    rows: &[Row],
+) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
-        "  \"scheme\": \"{scheme}\",\n  \"smoke\": {smoke},\n  \"runs\": {runs},\n"
+        "  \"scheme\": \"{scheme}\",\n  \"smoke\": {smoke},\n  \"runs\": {runs},\n  \"eval_jobs\": {eval_jobs},\n"
     ));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -245,7 +262,7 @@ fn summary_json(scheme: SchemeId, smoke: bool, runs: usize, rows: &[Row]) -> Str
             )
         };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"o0\": {}, \"o2\": {}, \"measured_speedup\": {:.4}}}{}\n",
+            "    {{\"name\": \"{}\", \"n\": {n}, \"primes\": {primes}, \"o0\": {}, \"o2\": {}, \"measured_speedup\": {:.4}}}{}\n",
             r.name,
             v(&r.o0),
             v(&r.o2),

@@ -17,9 +17,10 @@
 //! bench path — and skips the speedup reporting (timings at N = 1024 are
 //! not comparable to the N = 4096 baseline constants).
 //!
-//! Either mode **exits nonzero** if `add_ct_pt` or `sub_ct_pt` falls below
-//! 1.0× the seed baseline — the encode-per-op regression gate CI runs via
-//! `--smoke`.
+//! Either mode **exits nonzero** if any of `add_ct_ct`, `sub_ct_ct`,
+//! `add_ct_pt`, or `sub_ct_pt` falls below 1.0× the seed baseline, or if a
+//! hoisted 4-rotation fan (`rot_ct_hoisted_x4`) fails to beat four
+//! sequential `rot_ct` calls — the regression gates CI runs via `--smoke`.
 
 use bfv::encoding::BatchEncoder;
 use bfv::encrypt::{Decryptor, Encryptor};
@@ -73,7 +74,7 @@ fn main() {
     let encoder = BatchEncoder::new(&ctx);
     let ev = Evaluator::new(&ctx);
     let rk = keygen.relin_key(&mut rng);
-    let gk = keygen.galois_keys_for_rotations(&[1], false, &mut rng);
+    let gk = keygen.galois_keys_for_rotations(&[1, 2, 3, 4], false, &mut rng);
 
     let t = ctx.params().plain_modulus;
     let half = encoder.row_size();
@@ -94,6 +95,18 @@ fn main() {
     for i in 0..64 {
         assert_eq!(got[i], data[(i + 1) % half], "rotate slot {i} wrong");
     }
+    // Hoisted rotation must decrypt identically to the sequential path
+    // before its timings mean anything.
+    let hd = ev.hoist(&a);
+    let got = encoder.decode(&decryptor.decrypt(&ev.rotate_rows_hoisted(&a, &hd, 1, &gk)));
+    for i in 0..64 {
+        assert_eq!(
+            got[i],
+            data[(i + 1) % half],
+            "hoisted rotate slot {i} wrong"
+        );
+    }
+    ev.recycle_hoisted(hd);
     // A size-3 ciphertext for the standalone relinearize measurement; gate
     // its correctness too (relin must not change any decrypted slot).
     let prod3 = ev.multiply(&a, &b);
@@ -149,6 +162,38 @@ fn main() {
             "rot_ct",
             time_us(reps, || {
                 ev.rotate_rows_assign(std::hint::black_box(&mut acc_rot), 1, &gk);
+            }),
+        ),
+        // The shared digit decomposition a rotation fan pays once…
+        (
+            "rot_hoist_setup",
+            time_us(reps, || {
+                ev.recycle_hoisted(std::hint::black_box(ev.hoist(&a)));
+            }),
+        ),
+        // …and the per-Galois-element accumulate each member then pays.
+        ("rot_hoisted", {
+            let hd = ev.hoist(&a);
+            let us = time_us(reps, || {
+                ev.recycle(std::hint::black_box(
+                    ev.rotate_rows_hoisted(&a, &hd, 1, &gk),
+                ));
+            });
+            ev.recycle_hoisted(hd);
+            us
+        }),
+        // A 4-rotation fan end to end (hoist + 4 accumulates), the shape
+        // box-blur/gx/gy execute; gated below against 4 sequential rot_ct.
+        (
+            "rot_ct_hoisted_x4",
+            time_us(reps, || {
+                let hd = ev.hoist(&a);
+                for steps in 1..=4 {
+                    ev.recycle(std::hint::black_box(
+                        ev.rotate_rows_hoisted(&a, &hd, steps, &gk),
+                    ));
+                }
+                ev.recycle_hoisted(hd);
             }),
         ),
         (
@@ -217,16 +262,30 @@ fn main() {
             speedup("rot_ct"),
         );
     }
-    // Regression gate: the plaintext ops regressed to ~0.34x of the seed
-    // when the double-CRT change made them re-encode per call; the cached
-    // EvalPlaintext path must never fall below the seed baseline again.
+    // Regression gates. The plaintext ops regressed to ~0.34x of the seed
+    // when the double-CRT change made them re-encode per call, and the
+    // ct-ct ops regressed behind a non-inlining `fn`-pointer loop; none of
+    // the componentwise ops may fall below the seed baseline again.
     let mut failed = false;
-    for op in ["add_ct_pt", "sub_ct_pt"] {
+    for op in ["add_ct_ct", "sub_ct_ct", "add_ct_pt", "sub_ct_pt"] {
         let s = speedup(op);
         if s < 1.0 {
             eprintln!("REGRESSION: {op} at {s:.2}x of the seed baseline (must be >= 1.0x)");
             failed = true;
         }
+    }
+    // Hoisting gate (both modes): a hoisted 4-fan must beat 4 sequential
+    // rotations, else the grouped lowering the cost model credits is a
+    // pessimization.
+    let get = |name: &str| measured.iter().find(|(n, _)| *n == name).unwrap().1;
+    let (fan, seq) = (get("rot_ct_hoisted_x4"), 4.0 * get("rot_ct"));
+    if fan >= seq {
+        eprintln!(
+            "REGRESSION: rot_ct_hoisted_x4 at {} vs {} for 4 sequential rot_ct",
+            fmt_us(fan),
+            fmt_us(seq),
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -83,6 +83,25 @@ fn profile<S: Scheme>(reps: usize) {
         S::recycle(&ev, p);
     });
     let relin = (mul_relin - mul).max(0.0);
+    // The hoisting pair: the shared decomposition a rotation fan pays once
+    // (hoist + recycle, matching the Runner's lifecycle) and the
+    // per-Galois-element accumulate each member then pays.
+    let hoist_setup = time_us(reps, || {
+        if let Some(h) = S::hoist(&ev, &a) {
+            S::recycle_hoisted(&ev, h);
+        }
+    });
+    let hoisted = {
+        let h = S::hoist(&ev, &a).expect("backend supports hoisting");
+        let us = time_us(reps, || {
+            S::recycle(
+                &ev,
+                std::hint::black_box(S::rotate_hoisted(&ev, &a, &h, 1, &gk)),
+            );
+        });
+        S::recycle_hoisted(&ev, h);
+        us
+    };
     let pt_encode = time_us(reps, || {
         std::hint::black_box(S::preencode(&ev, &pt));
     });
@@ -99,6 +118,8 @@ fn profile<S: Scheme>(reps: usize) {
     println!("{:<28} {}", "sub-ct-pt", fmt_us(sub_pt));
     println!("{:<28} {}", "mul-ct-pt", fmt_us(mul_pt));
     println!("{:<28} {}", "rot-ct (keyswitch)", fmt_us(rot));
+    println!("{:<28} {}", "rot-hoist-setup", fmt_us(hoist_setup));
+    println!("{:<28} {}", "rot-hoisted (per member)", fmt_us(hoisted));
     println!("{:<28} {}", "mul-ct-ct (raw tensor)", fmt_us(mul));
     println!("{:<28} {}", "relin-ct (derived)", fmt_us(relin));
     println!("{:<28} {}", "mul-ct-ct + relin", fmt_us(mul_relin));
@@ -116,6 +137,8 @@ fn profile<S: Scheme>(reps: usize) {
     println!("    mul_ct_pt: {mul_pt:.1},");
     println!("    rot_ct: {rot:.1},");
     println!("    relin_ct: {relin:.1},");
+    println!("    rot_hoist_setup: {hoist_setup:.1},");
+    println!("    rot_hoisted: {hoisted:.1},");
     println!("}}");
     println!();
 }

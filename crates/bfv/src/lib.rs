@@ -91,12 +91,13 @@ pub mod params;
 // The ring-arithmetic layer moved to the shared `rlwe-ring` crate when BGV
 // arrived; re-export the modules so `bfv::poly::...`-style paths keep
 // working.
-pub use rlwe_ring::{bigint, ntt, poly, pool, rns, zq};
+pub use rlwe_ring::{bigint, keyswitch, ntt, poly, pool, rns, zq};
 
 pub use encoding::{BatchEncoder, Plaintext};
 pub use encrypt::{Ciphertext, Decryptor, Encryptor};
 pub use evaluator::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinKey, SecretKey};
+pub use keyswitch::HoistedDecomposition;
 pub use noise::{NoiseModel, NoiseReport};
 pub use params::{
     BfvContext, BfvParams, ParamError, ParamPolicy, ParamSelector, SelectError, Selection,

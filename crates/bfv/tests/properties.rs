@@ -182,6 +182,50 @@ proptest! {
     }
 }
 
+/// Hoisted rotations (one shared digit decomposition, permuted per Galois
+/// element) decrypt slot-for-slot identically to sequential rotations,
+/// with the same noise budget up to ±1 bit — the permuted digits are a
+/// different-but-equally-small decomposition of the rotated polynomial.
+#[test]
+fn hoisted_rotation_matches_sequential() {
+    use rand::Rng;
+    use test_support::{seeded_rng, small_ctx, HeSession};
+
+    let ctx = small_ctx();
+    let mut rng = seeded_rng(0xB0157);
+    let session = HeSession::new(&ctx, &mut rng);
+    let HeSession {
+        keygen,
+        encryptor,
+        decryptor,
+        encoder,
+        evaluator: ev,
+    } = &session;
+    let gk = keygen.galois_keys_for_rotations(&[1, 2, 3], false, &mut rng);
+    let t = ctx.params().plain_modulus;
+    let va: Vec<u64> = (0..encoder.slot_count())
+        .map(|_| rng.gen_range(0..t))
+        .collect();
+    let ct = encryptor.encrypt(&encoder.encode(&va), &mut rng);
+    let hd = ev.hoist(&ct);
+    for steps in [0i64, 1, 2, 3] {
+        let hoisted = ev.rotate_rows_hoisted(&ct, &hd, steps, &gk);
+        let sequential = ev.rotate_rows(&ct, steps, &gk);
+        assert_eq!(
+            encoder.decode(&decryptor.decrypt(&hoisted)),
+            encoder.decode(&decryptor.decrypt(&sequential)),
+            "steps={steps}"
+        );
+        let nb_h = decryptor.invariant_noise_budget(&hoisted);
+        let nb_s = decryptor.invariant_noise_budget(&sequential);
+        assert!(
+            (nb_h - nb_s).abs() <= 1,
+            "noise budget diverged at steps={steps}: hoisted {nb_h}, sequential {nb_s}"
+        );
+    }
+    ev.recycle_hoisted(hd);
+}
+
 /// Homomorphic slot semantics: random circuits of adds/mults/rotations over
 /// encrypted data agree with plaintext evaluation.
 #[test]

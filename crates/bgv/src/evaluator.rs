@@ -43,6 +43,7 @@ use crate::encoding::{
 };
 use crate::encrypt::Ciphertext;
 use crate::keys::{GaloisKeys, KeySwitchKey, RelinKey};
+use crate::keyswitch::HoistedDecomposition;
 use crate::ntt::{pointwise_mul_add_into, pointwise_mul_into};
 use crate::params::BgvContext;
 use crate::poly::{PolyForm, RingContext, RnsPoly};
@@ -418,6 +419,93 @@ impl<'a> Evaluator<'a> {
     pub fn rotate_columns_assign(&self, a: &mut Ciphertext, gk: &GaloisKeys) {
         let n = self.ctx.params().poly_degree;
         self.apply_galois_assign(a, galois_element_for_column_swap(n), gk)
+    }
+
+    /// The decompose phase of a hoisted rotation: digit-decomposes `c1`
+    /// once (`k` inverse + `k²` forward NTTs — the dominant cost of a
+    /// rotation's key switch) so that any number of
+    /// [`Evaluator::rotate_rows_hoisted`] calls on the same ciphertext can
+    /// skip it. Return the decomposition with
+    /// [`Evaluator::recycle_hoisted`] when the fan is done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not size 2.
+    pub fn hoist(&self, a: &Ciphertext) -> HoistedDecomposition {
+        assert_eq!(a.size(), 2, "hoist expects size-2 (relinearize first)");
+        rlwe_ring::keyswitch::hoist_decompose(self.ctx.ring(), &self.pool, &a.parts[1])
+    }
+
+    /// Rotates rows by `steps` through a decomposition prepared by
+    /// [`Evaluator::hoist`] on the *same* ciphertext: the stored digit rows
+    /// are permuted by `σ_g` (a valid decomposition of `σ_g(c1)`, since the
+    /// automorphism preserves the CRT identity and digit norms) and folded
+    /// through the Galois key — per rotation only `k²` row permutations and
+    /// `2k²` pointwise Shoup multiply-adds, no NTTs. Decrypts identically
+    /// to [`Evaluator::rotate_rows`] with the same noise bound; the raw
+    /// ciphertext bits differ (the permuted digits are not the canonical
+    /// decomposition of the rotated polynomial). BGV's key-switch noise
+    /// stays on the multiples-of-`t` lattice — the key's `t·e` error term
+    /// is untouched by hoisting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not size 2 or the Galois key is missing.
+    pub fn rotate_rows_hoisted(
+        &self,
+        a: &Ciphertext,
+        hd: &HoistedDecomposition,
+        steps: i64,
+        gk: &GaloisKeys,
+    ) -> Ciphertext {
+        assert_eq!(a.size(), 2, "hoisted rotation expects size-2");
+        let ring = self.ctx.ring();
+        let n = self.ctx.params().poly_degree;
+        let g = galois_element_for_rotation(n, steps);
+        if g == 1 {
+            return a.clone();
+        }
+        let entry = gk
+            .keys
+            .get(&g)
+            .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
+        // σ_g(c0), straight into a pooled evaluation-form poly.
+        let mut c0_store = None;
+        let c0 = eval_ref(ring, &a.parts[0], &mut c0_store);
+        let mut b = RnsPoly {
+            residues: self.pool.take_matrix(ring.num_primes(), ring.degree()),
+            form: PolyForm::Eval,
+        };
+        for (dst_row, src_row) in b.residues.iter_mut().zip(&c0.residues) {
+            for (dst, &src) in dst_row.iter_mut().zip(&entry.perm) {
+                *dst = src_row[src as usize];
+            }
+        }
+        if let Some(p) = c0_store {
+            self.put_poly(p);
+        }
+        let mut acc_b = self.take_poly_zeroed();
+        let mut acc_a = self.take_poly_zeroed();
+        rlwe_ring::keyswitch::key_switch_hoisted_into(
+            ring,
+            &self.pool,
+            hd,
+            Some(&entry.perm),
+            &entry.key,
+            &mut acc_b,
+            &mut acc_a,
+        );
+        ring.add_assign(&mut b, &acc_b);
+        self.put_poly(acc_b);
+        let mut parts = self.pool.take_parts();
+        parts.push(b);
+        parts.push(acc_a);
+        Ciphertext { parts }
+    }
+
+    /// Returns a hoisted decomposition's buffers to the scratch pool.
+    pub fn recycle_hoisted(&self, hd: HoistedDecomposition) {
+        hd.recycle(&self.pool);
     }
 
     /// Switches a ciphertext one level down the modulus chain: the result

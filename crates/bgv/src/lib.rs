@@ -80,12 +80,13 @@ pub mod params;
 
 // Shared ring-arithmetic layer, re-exported so `bgv::poly::...`-style
 // paths mirror the `bfv` crate's.
-pub use rlwe_ring::{bigint, ntt, poly, pool, rns, zq};
+pub use rlwe_ring::{bigint, keyswitch, ntt, poly, pool, rns, zq};
 
 pub use encoding::{BatchEncoder, Plaintext};
 pub use encrypt::{Ciphertext, Decryptor, Encryptor};
 pub use evaluator::Evaluator;
 pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinKey, SecretKey};
+pub use keyswitch::HoistedDecomposition;
 pub use noise::{NoiseModel, NoiseReport};
 pub use params::{
     BgvContext, BgvParams, ParamError, ParamPolicy, ParamSelector, SelectError, Selection,

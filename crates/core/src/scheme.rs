@@ -50,18 +50,26 @@ pub trait Scheme: 'static {
     const ID: SchemeId;
 
     /// The precomputed per-parameter-set state (ring, NTT tables, …).
-    type Context;
+    /// `Sync` so the DAG-parallel runner can share one context across
+    /// worker threads (each worker builds its own non-`Sync` evaluator
+    /// over it).
+    type Context: Sync;
     /// A coefficient-form plaintext polynomial.
     type Plaintext;
     /// A plaintext pre-lifted to the evaluation domain (encode-once fast
-    /// path for `ct ∘ pt` ops).
-    type EvalPlaintext;
-    /// An RLWE ciphertext (size ≥ 2 parts).
-    type Ciphertext: Clone;
-    /// The relinearization key-switch key.
-    type RelinKey;
-    /// The Galois rotation key set.
-    type GaloisKeys;
+    /// path for `ct ∘ pt` ops). `Sync`: the runner's splat cache is read
+    /// concurrently by workers.
+    type EvalPlaintext: Sync;
+    /// An RLWE ciphertext (size ≥ 2 parts). `Send + Sync`: instruction
+    /// results move between and are read by worker threads.
+    type Ciphertext: Clone + Send + Sync;
+    /// The relinearization key-switch key (`Sync`: shared by workers).
+    type RelinKey: Sync;
+    /// The Galois rotation key set (`Sync`: shared by workers).
+    type GaloisKeys: Sync;
+    /// A prepared hoisted key-switch decomposition (see [`Scheme::hoist`]);
+    /// produced by one worker, read by the fan's members on others.
+    type Hoisted: Send + Sync;
     /// The batching encoder borrowed from a context.
     type Encoder<'a>;
     /// The evaluator borrowed from a context.
@@ -175,6 +183,34 @@ pub trait Scheme: 'static {
     /// Returns a dead ciphertext's buffers to the evaluator's scratch pool.
     fn recycle(ev: &Self::Evaluator<'_>, ct: Self::Ciphertext);
 
+    /// Prepares a reusable key-switch decomposition of `ct` so that a fan
+    /// of rotations on it can share the digit-decomposition NTTs
+    /// ("hoisting"), or `None` when the backend does not support it — the
+    /// runner then falls back to plain [`Scheme::rotate_rows_assign`] per
+    /// member. The default is that fallback.
+    fn hoist(_ev: &Self::Evaluator<'_>, _ct: &Self::Ciphertext) -> Option<Self::Hoisted> {
+        None
+    }
+    /// Rotates `ct` by `steps` through a decomposition obtained from
+    /// [`Scheme::hoist`] **on the same ciphertext**. Must decrypt
+    /// identically to the plain rotation (the raw ciphertext bits may
+    /// differ). The default ignores the decomposition and rotates plainly,
+    /// matching the default `hoist`.
+    fn rotate_hoisted(
+        ev: &Self::Evaluator<'_>,
+        ct: &Self::Ciphertext,
+        _h: &Self::Hoisted,
+        steps: i64,
+        gk: &Self::GaloisKeys,
+    ) -> Self::Ciphertext {
+        let mut out = ct.clone();
+        Self::rotate_rows_assign(ev, &mut out, steps, gk);
+        out
+    }
+    /// Returns a hoisted decomposition's buffers to the evaluator's
+    /// scratch pool (no-op by default).
+    fn recycle_hoisted(_ev: &Self::Evaluator<'_>, _h: Self::Hoisted) {}
+
     /// Resolves a parameter policy against a lowered program under this
     /// scheme's noise model and candidate table.
     ///
@@ -205,6 +241,7 @@ impl Scheme for BfvScheme {
     type Ciphertext = bfv::encrypt::Ciphertext;
     type RelinKey = bfv::keys::RelinKey;
     type GaloisKeys = bfv::keys::GaloisKeys;
+    type Hoisted = bfv::HoistedDecomposition;
     type Encoder<'a> = bfv::encoding::BatchEncoder<'a>;
     type Evaluator<'a> = bfv::evaluator::Evaluator<'a>;
     type KeyGenerator<'a> = bfv::keys::KeyGenerator<'a>;
@@ -337,6 +374,22 @@ impl Scheme for BfvScheme {
         ev.recycle(ct);
     }
 
+    fn hoist(ev: &Self::Evaluator<'_>, ct: &Self::Ciphertext) -> Option<Self::Hoisted> {
+        Some(ev.hoist(ct))
+    }
+    fn rotate_hoisted(
+        ev: &Self::Evaluator<'_>,
+        ct: &Self::Ciphertext,
+        h: &Self::Hoisted,
+        steps: i64,
+        gk: &Self::GaloisKeys,
+    ) -> Self::Ciphertext {
+        ev.rotate_rows_hoisted(ct, h, steps, gk)
+    }
+    fn recycle_hoisted(ev: &Self::Evaluator<'_>, h: Self::Hoisted) {
+        ev.recycle_hoisted(h);
+    }
+
     fn resolve_params(
         policy: &ParamPolicy,
         prog: &Program,
@@ -363,6 +416,7 @@ impl Scheme for BgvScheme {
     type Ciphertext = bgv::encrypt::Ciphertext;
     type RelinKey = bgv::keys::RelinKey;
     type GaloisKeys = bgv::keys::GaloisKeys;
+    type Hoisted = bgv::HoistedDecomposition;
     type Encoder<'a> = bgv::encoding::BatchEncoder<'a>;
     type Evaluator<'a> = bgv::evaluator::Evaluator<'a>;
     type KeyGenerator<'a> = bgv::keys::KeyGenerator<'a>;
@@ -493,6 +547,22 @@ impl Scheme for BgvScheme {
     }
     fn recycle(ev: &Self::Evaluator<'_>, ct: Self::Ciphertext) {
         ev.recycle(ct);
+    }
+
+    fn hoist(ev: &Self::Evaluator<'_>, ct: &Self::Ciphertext) -> Option<Self::Hoisted> {
+        Some(ev.hoist(ct))
+    }
+    fn rotate_hoisted(
+        ev: &Self::Evaluator<'_>,
+        ct: &Self::Ciphertext,
+        h: &Self::Hoisted,
+        steps: i64,
+        gk: &Self::GaloisKeys,
+    ) -> Self::Ciphertext {
+        ev.rotate_rows_hoisted(ct, h, steps, gk)
+    }
+    fn recycle_hoisted(ev: &Self::Evaluator<'_>, h: Self::Hoisted) {
+        ev.recycle_hoisted(h);
     }
 
     fn resolve_params(

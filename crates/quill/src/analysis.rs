@@ -273,6 +273,42 @@ pub struct NoiseReport {
     pub consumed_bits: f64,
 }
 
+/// A group of two or more `rot-ct` instructions reading the same source
+/// value — a *rotation fan*. All members can share one hoisted key-switch
+/// decomposition of the source (pay the NTTs once, then one cheap
+/// accumulate per member); the cost model prices fans with
+/// `rot_hoist_setup` + per-member `rot_hoisted`, and the runner executes
+/// them through the scheme's `hoist`/`rotate_hoisted` surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotationFan {
+    /// The shared rotation source.
+    pub source: ValRef,
+    /// Instruction indices of the fan's `rot-ct` members, in program order
+    /// (always ≥ 2 entries).
+    pub members: Vec<usize>,
+}
+
+/// Groups a program's `rot-ct` instructions by source value and returns
+/// every group with at least two members, ordered by first member. A
+/// rotation whose source feeds no other rotation is not a fan — hoisting
+/// it would only add the setup cost.
+pub fn rotation_fans(prog: &Program) -> Vec<RotationFan> {
+    let mut fans: Vec<RotationFan> = Vec::new();
+    for (j, instr) in prog.instrs.iter().enumerate() {
+        if let Instr::RotCt(src, _) = instr {
+            match fans.iter_mut().find(|f| f.source == *src) {
+                Some(f) => f.members.push(j),
+                None => fans.push(RotationFan {
+                    source: *src,
+                    members: vec![j],
+                }),
+            }
+        }
+    }
+    fans.retain(|f| f.members.len() >= 2);
+    fans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,5 +498,44 @@ mod tests {
             p.validate(),
             Err(crate::program::ProgramError::RelinOfSize2(0))
         );
+    }
+
+    /// Fan detection: three rotations of input 0 plus a lone rotation of an
+    /// intermediate form exactly one fan (the lone rotation is not worth a
+    /// setup), grouped by source, members in program order.
+    #[test]
+    fn rotation_fans_group_same_source_rotations() {
+        let p = Program::new(
+            "fanned",
+            1,
+            0,
+            vec![
+                Instr::RotCt(ValRef::Input(0), 1),
+                Instr::AddCtCt(ValRef::Input(0), ValRef::Instr(0)),
+                Instr::RotCt(ValRef::Input(0), 5),
+                Instr::AddCtCt(ValRef::Instr(1), ValRef::Instr(2)),
+                Instr::RotCt(ValRef::Instr(3), 2),
+                Instr::RotCt(ValRef::Input(0), 6),
+            ],
+            ValRef::Instr(4),
+        );
+        p.validate().expect("valid");
+        let fans = rotation_fans(&p);
+        assert_eq!(
+            fans,
+            vec![RotationFan {
+                source: ValRef::Input(0),
+                members: vec![0, 2, 5],
+            }]
+        );
+        // No rotations at all → no fans.
+        let flat = Program::new(
+            "flat",
+            2,
+            0,
+            vec![Instr::AddCtCt(ValRef::Input(0), ValRef::Input(1))],
+            ValRef::Instr(0),
+        );
+        assert!(rotation_fans(&flat).is_empty());
     }
 }

@@ -296,7 +296,9 @@ impl RingContext {
         self.zip_assign(a, b, sub_mod)
     }
 
-    fn zip_assign(&self, a: &mut RnsPoly, b: &RnsPoly, f: fn(u64, u64, u64) -> u64) {
+    // Generic over `F` (not an `fn` pointer) so the modular op inlines into
+    // the inner loop and autovectorizes.
+    fn zip_assign<F: Fn(u64, u64, u64) -> u64 + Copy>(&self, a: &mut RnsPoly, b: &RnsPoly, f: F) {
         if a.form != b.form {
             self.make_eval(a);
             let be = self.to_eval(b);
@@ -330,7 +332,7 @@ impl RingContext {
         }
     }
 
-    fn zip(&self, a: &RnsPoly, b: &RnsPoly, f: fn(u64, u64, u64) -> u64) -> RnsPoly {
+    fn zip<F: Fn(u64, u64, u64) -> u64 + Copy>(&self, a: &RnsPoly, b: &RnsPoly, f: F) -> RnsPoly {
         if a.form != b.form {
             return self.zip(&self.to_eval(a), &self.to_eval(b), f);
         }

@@ -18,7 +18,10 @@
 //! ```
 //!
 //! `--jobs` defaults to `PORCUPINE_JOBS` or the machine's available
-//! parallelism; the synthesized program is identical at any value. The
+//! parallelism; the synthesized program is identical at any value.
+//! `--eval-jobs` (default: `PORCUPINE_EVAL_JOBS`, else 1) sets the worker
+//! count for the encrypted check's execution engine — decryptions are
+//! bit-identical at any setting. The
 //! printed program is the middle-end's output at the selected `-O` level
 //! (default: `PORCUPINE_OPT` or `-O2`) — backend-legal IR with explicit
 //! `relin-ct` placement; `-O0` reproduces the eager
@@ -58,7 +61,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>] [--scheme bfv|bgv] [--size <n>] [--params auto|paper] [--margin-bits <n>] [--strategy bottom-up|dfs] [--cache <dir>] [--no-cache]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
+        "usage:\n  porcupine list\n  porcupine synth <kernel> [--timeout <s>] [--emit seal|quill] [--explicit] [--auto] [--seed <n>] [--jobs <n>] [-O<0|1|2>] [--scheme bfv|bgv] [--size <n>] [--params auto|paper] [--margin-bits <n>] [--strategy bottom-up|dfs] [--cache <dir>] [--no-cache] [--eval-jobs <n>]\n  porcupine baseline <kernel> [--emit seal|quill] [-O<0|1|2>]"
     );
     ExitCode::FAILURE
 }
@@ -76,6 +79,7 @@ fn run_encrypted_check_for<S: Scheme>(
     spec: &KernelSpec,
     params: BfvParams,
     seed: u64,
+    eval_jobs: NonZeroUsize,
 ) -> Result<i64, String> {
     let ctx = S::context(params).map_err(|e| e.to_string())?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -92,7 +96,8 @@ fn run_encrypted_check_for<S: Scheme>(
     let keygen = S::keygen(&ctx, &mut rng);
     let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
     let decryptor = S::decryptor(&ctx, &keygen);
-    let runner: Runner<'_, S> = Runner::for_programs(&ctx, &keygen, &[prog], &mut rng);
+    let runner: Runner<'_, S> =
+        Runner::for_programs(&ctx, &keygen, &[prog], &mut rng).with_eval_jobs(eval_jobs.get());
     let encoder = runner.encoder();
     let cts: Vec<S::Ciphertext> = ct_model
         .iter()
@@ -125,10 +130,11 @@ fn run_encrypted_check(
     spec: &KernelSpec,
     params: BfvParams,
     seed: u64,
+    eval_jobs: NonZeroUsize,
 ) -> Result<i64, String> {
     match scheme {
-        SchemeId::Bfv => run_encrypted_check_for::<BfvScheme>(prog, spec, params, seed),
-        SchemeId::Bgv => run_encrypted_check_for::<BgvScheme>(prog, spec, params, seed),
+        SchemeId::Bfv => run_encrypted_check_for::<BfvScheme>(prog, spec, params, seed, eval_jobs),
+        SchemeId::Bgv => run_encrypted_check_for::<BgvScheme>(prog, spec, params, seed, eval_jobs),
     }
 }
 
@@ -185,6 +191,7 @@ fn finish_synth(
     options: &SynthesisOptions,
     args: &[String],
     run_check: bool,
+    eval_jobs: NonZeroUsize,
 ) -> ExitCode {
     match params {
         Ok(params) => {
@@ -205,6 +212,7 @@ fn finish_synth(
                     &k.spec,
                     params.clone(),
                     options.seed,
+                    eval_jobs,
                 ) {
                     Ok(budget) => eprintln!(
                         "; encrypted check: backend matches interpreter on all masked \
@@ -372,6 +380,16 @@ fn main() -> ExitCode {
                 },
                 None => default_parallelism(),
             };
+            let eval_jobs = match grab("--eval-jobs") {
+                Some(n) => match NonZeroUsize::new(n as usize) {
+                    Some(j) => j,
+                    None => {
+                        eprintln!("--eval-jobs must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => porcupine::codegen::default_eval_jobs(),
+            };
             let opt_level = match parse_opt_level(&args) {
                 Ok(level) => level.unwrap_or_else(opt::default_opt_level),
                 Err(e) => {
@@ -469,6 +487,7 @@ fn main() -> ExitCode {
                         &options,
                         &args,
                         params_mode.is_some(),
+                        eval_jobs,
                     );
                 }
             }
@@ -519,6 +538,7 @@ fn main() -> ExitCode {
                         &options,
                         &args,
                         params_mode.is_some(),
+                        eval_jobs,
                     )
                 }
                 Err(e) => {

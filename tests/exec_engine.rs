@@ -1,0 +1,164 @@
+//! Execution-engine contracts (ISSUE 9): hoisted rotations and the
+//! DAG-parallel runner.
+//!
+//! Two guarantees are pinned here, both scheme-generic:
+//!
+//! - **Hoisting is invisible**: a rotation served from a shared hoisted
+//!   decomposition decrypts bit-identically to the sequential key switch,
+//!   with the same noise budget (±1 bit of measurement granularity), on
+//!   BFV and BGV alike.
+//! - **Thread count is invisible**: running any paper kernel with
+//!   `eval_jobs` = 2 or 4 decrypts bit-identically to the sequential
+//!   runner — exact modular arithmetic plus the `_assign` ≡ pure contract
+//!   makes the schedule unobservable.
+
+use bfv::params::BfvParams;
+use porcupine::codegen::Runner;
+use porcupine::opt::{optimize_with, OptLevel};
+use porcupine::scheme::{BfvScheme, BgvScheme, Scheme};
+use porcupine_kernels::{composite, stencil, PaperKernel};
+use proptest::prelude::*;
+use rand::Rng;
+use test_support::{noise_test_params, seeded_rng};
+
+/// Hoisted rotation (shared digit decomposition, per-element accumulate)
+/// against the one-shot key switch, over random plaintexts.
+fn hoisted_matches_sequential<S: Scheme>(seed: u64) {
+    let ctx = S::context(BfvParams::test_small()).expect("valid parameters");
+    let mut rng = seeded_rng(seed);
+    let keygen = S::keygen(&ctx, &mut rng);
+    let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
+    let decryptor = S::decryptor(&ctx, &keygen);
+    let encoder = S::encoder(&ctx);
+    let ev = S::evaluator(&ctx);
+    let gk = S::galois_keys(&keygen, &[1, 2, 3], false, &mut rng);
+
+    let t = S::params(&ctx).plain_modulus;
+    let data: Vec<u64> = (0..S::slot_count(&encoder))
+        .map(|_| rng.gen_range(0..t))
+        .collect();
+    let ct = S::encrypt(&encryptor, &S::encode(&encoder, &data), &mut rng);
+    let hd = S::hoist(&ev, &ct).expect("both shipped backends hoist");
+    for steps in [0i64, 1, 2, 3] {
+        let hoisted = S::rotate_hoisted(&ev, &ct, &hd, steps, &gk);
+        let mut sequential = ct.clone();
+        S::rotate_rows_assign(&ev, &mut sequential, steps, &gk);
+        assert_eq!(
+            S::decode(&encoder, &S::decrypt(&decryptor, &hoisted)),
+            S::decode(&encoder, &S::decrypt(&decryptor, &sequential)),
+            "{} steps={steps}: hoisted decryption diverged",
+            S::ID
+        );
+        let nb_h = S::noise_budget(&decryptor, &hoisted);
+        let nb_s = S::noise_budget(&decryptor, &sequential);
+        assert!(nb_h > 0, "{} steps={steps}: budget exhausted", S::ID);
+        assert!(
+            (nb_h - nb_s).abs() <= 1,
+            "{} steps={steps}: noise budget diverged (hoisted {nb_h}, sequential {nb_s})",
+            S::ID
+        );
+    }
+    S::recycle_hoisted(&ev, hd);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn hoisted_rotation_is_invisible_bfv(seed in any::<u64>()) {
+        hoisted_matches_sequential::<BfvScheme>(seed);
+    }
+
+    #[test]
+    fn hoisted_rotation_is_invisible_bgv(seed in any::<u64>()) {
+        hoisted_matches_sequential::<BgvScheme>(seed);
+    }
+}
+
+/// The paper's kernel suite at test-friendly sizes, mirroring
+/// `tests/synth_strategies.rs`: the nine direct kernels plus the sobel and
+/// harris combine stages. No synthesis happens here (the baselines are
+/// executed directly), so the full set runs in debug builds too.
+fn paper_kernels() -> Vec<PaperKernel> {
+    let img = stencil::default_image();
+    let mut kernels: Vec<PaperKernel> = porcupine_kernels::DIRECT_NAMES
+        .iter()
+        .map(|name| porcupine_kernels::direct_kernel(name, None).expect("registry names"))
+        .collect();
+    kernels.push(composite::sobel_combine(img.slots()));
+    kernels.push(composite::harris_det(img.slots()));
+    kernels.push(composite::harris_trace(img.slots()));
+    kernels
+}
+
+/// Lowers a kernel's baseline at `-O2` (the fan-richest legal form),
+/// executes it at `eval_jobs` = 1, 2, and 4 on scheme `S`, and requires
+/// every decryption to match the sequential one slot for slot.
+fn jobs_are_bit_identical<S: Scheme>(k: &PaperKernel) {
+    let (prog, _) = optimize_with(&k.baseline, OptLevel::O2, &S::ID.legality());
+    let params = noise_test_params(&prog, k.spec.n);
+    let ctx = S::context(params).expect("valid parameters");
+    let mut rng = seeded_rng(0xE0B5);
+    let keygen = S::keygen(&ctx, &mut rng);
+    let encryptor = S::encryptor(&ctx, &keygen, &mut rng);
+    let decryptor = S::decryptor(&ctx, &keygen);
+    // Same key material for every runner (fresh rng per call), so the
+    // only variable across configurations is the scheduler.
+    let make = |jobs: usize| {
+        Runner::<'_, S>::for_programs(&ctx, &keygen, &[&prog], &mut seeded_rng(1))
+            .with_eval_jobs(jobs)
+    };
+
+    let runner1 = make(1);
+    let encoder = runner1.encoder();
+    let t = k.spec.t;
+    let n = S::slot_count(encoder);
+    let sample = |rng: &mut rand::rngs::StdRng| -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..t)).collect()
+    };
+    let cts: Vec<S::Ciphertext> = (0..prog.num_ct_inputs)
+        .map(|_| {
+            let v = sample(&mut rng);
+            S::encrypt(&encryptor, &S::encode(encoder, &v), &mut rng)
+        })
+        .collect();
+    let pts: Vec<S::Plaintext> = (0..prog.num_pt_inputs)
+        .map(|_| S::encode(encoder, &sample(&mut rng)))
+        .collect();
+    let ct_refs: Vec<&S::Ciphertext> = cts.iter().collect();
+    let pt_refs: Vec<&S::Plaintext> = pts.iter().collect();
+
+    let out = runner1.run(&prog, &ct_refs, &pt_refs);
+    assert!(
+        S::noise_budget(&decryptor, &out) > 0,
+        "{} ({}): budget exhausted at eval_jobs=1",
+        k.name,
+        S::ID
+    );
+    let baseline = S::decode(encoder, &S::decrypt(&decryptor, &out));
+    for jobs in [2usize, 4] {
+        let out = make(jobs).run(&prog, &ct_refs, &pt_refs);
+        assert_eq!(
+            S::decode(encoder, &S::decrypt(&decryptor, &out)),
+            baseline,
+            "{} ({}): eval_jobs={jobs} diverged from sequential",
+            k.name,
+            S::ID
+        );
+    }
+}
+
+#[test]
+fn eval_jobs_is_invisible_on_every_paper_kernel() {
+    for k in paper_kernels() {
+        jobs_are_bit_identical::<BfvScheme>(&k);
+    }
+}
+
+/// Cross-scheme coverage of the parallel scheduler: the rotation-fan-heavy
+/// box-blur kernel under BGV (depth-safe at any test parameter set).
+#[test]
+fn eval_jobs_is_invisible_under_bgv() {
+    let k = porcupine_kernels::direct_kernel("box-blur", None).expect("registry name");
+    jobs_are_bit_identical::<BgvScheme>(&k);
+}
